@@ -1,0 +1,368 @@
+package pgasemb_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable1WeakScalingSpeedup   — Table 1 (weak-scaling speedups)
+//	BenchmarkTable2StrongScalingSpeedup — Table 2 (strong-scaling speedups)
+//	BenchmarkFig5WeakScalingFactor      — Figure 5 curves
+//	BenchmarkFig6WeakBreakdown          — Figure 6 component bars
+//	BenchmarkFig8StrongScalingFactor    — Figure 8 curves
+//	BenchmarkFig9StrongBreakdown        — Figure 9 component bars
+//	BenchmarkFig7CommVolume2GPU         — Figure 7 volume-over-time
+//	BenchmarkFig10CommVolume4GPU        — Figure 10 volume-over-time
+//
+// plus the ablation/extension benches (A1-A3). Custom metrics carry the
+// reproduced numbers: e.g. speedup_2gpu / speedup_3gpu / speedup_4gpu and
+// geomean_speedup correspond directly to the paper's table cells. Each
+// benchmark iteration simulates a fixed number of inference batches;
+// sim_ms_per_batch reports the simulated per-batch runtime.
+//
+// The cmd/weakscale, cmd/strongscale and cmd/commtrace binaries produce the
+// same artifacts as rendered tables/charts at the paper's full 100-batch
+// configuration.
+
+import (
+	"fmt"
+	"testing"
+
+	"pgasemb"
+)
+
+// benchBatches keeps one benchmark iteration around a second of wall time;
+// trends are invariant to batch count (batches are statistically
+// identical).
+const benchBatches = 5
+
+func runScaling(b *testing.B, kind pgasemb.ScalingKind) *pgasemb.ScalingResult {
+	b.Helper()
+	var res *pgasemb.ScalingResult
+	for i := 0; i < b.N; i++ {
+		r, err := pgasemb.RunScaling(kind, pgasemb.ExperimentOptions{Batches: benchBatches})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	return res
+}
+
+func BenchmarkTable1WeakScalingSpeedup(b *testing.B) {
+	res := runScaling(b, pgasemb.WeakScaling)
+	for _, gpus := range []int{2, 3, 4} {
+		b.ReportMetric(res.Point(gpus).Speedup(), fmt.Sprintf("speedup_%dgpu", gpus))
+	}
+	b.ReportMetric(res.GeomeanSpeedup(), "geomean_speedup")
+}
+
+func BenchmarkTable2StrongScalingSpeedup(b *testing.B) {
+	res := runScaling(b, pgasemb.StrongScaling)
+	for _, gpus := range []int{2, 3, 4} {
+		b.ReportMetric(res.Point(gpus).Speedup(), fmt.Sprintf("speedup_%dgpu", gpus))
+	}
+	b.ReportMetric(res.GeomeanSpeedup(), "geomean_speedup")
+}
+
+func BenchmarkFig5WeakScalingFactor(b *testing.B) {
+	res := runScaling(b, pgasemb.WeakScaling)
+	base := res.Factors(false)
+	pgas := res.Factors(true)
+	b.ReportMetric(base[1], "baseline_factor_2gpu")
+	b.ReportMetric(base[3], "baseline_factor_4gpu")
+	b.ReportMetric(pgas[1], "pgas_factor_2gpu")
+	b.ReportMetric(pgas[3], "pgas_factor_4gpu")
+}
+
+func BenchmarkFig6WeakBreakdown(b *testing.B) {
+	res := runScaling(b, pgasemb.WeakScaling)
+	pt := res.Point(2)
+	perBatch := 1e3 / float64(benchBatches)
+	b.ReportMetric(pt.Baseline.Breakdown.Get(pgasemb.CompComputation)*perBatch, "comp_ms_per_batch")
+	b.ReportMetric(pt.Baseline.Breakdown.Get(pgasemb.CompComm)*perBatch, "comm_ms_per_batch")
+	b.ReportMetric(pt.Baseline.Breakdown.Get(pgasemb.CompSyncUnpack)*perBatch, "syncunpack_ms_per_batch")
+	b.ReportMetric(pt.PGAS.TotalTime*perBatch, "pgas_total_ms_per_batch")
+}
+
+func BenchmarkFig8StrongScalingFactor(b *testing.B) {
+	res := runScaling(b, pgasemb.StrongScaling)
+	base := res.Factors(false)
+	pgas := res.Factors(true)
+	b.ReportMetric(base[1], "baseline_factor_2gpu")
+	b.ReportMetric(base[3], "baseline_factor_4gpu")
+	b.ReportMetric(pgas[1], "pgas_factor_2gpu")
+	b.ReportMetric(pgas[3], "pgas_factor_4gpu")
+}
+
+func BenchmarkFig9StrongBreakdown(b *testing.B) {
+	res := runScaling(b, pgasemb.StrongScaling)
+	pt := res.Point(4)
+	perBatch := 1e3 / float64(benchBatches)
+	b.ReportMetric(pt.Baseline.Breakdown.Get(pgasemb.CompComputation)*perBatch, "comp_ms_per_batch")
+	b.ReportMetric(pt.Baseline.Breakdown.Get(pgasemb.CompComm)*perBatch, "comm_ms_per_batch")
+	b.ReportMetric(pt.Baseline.Breakdown.Get(pgasemb.CompSyncUnpack)*perBatch, "syncunpack_ms_per_batch")
+	b.ReportMetric(pt.PGAS.TotalTime*perBatch, "pgas_total_ms_per_batch")
+}
+
+func benchCommVolume(b *testing.B, kind pgasemb.ScalingKind, gpus int) {
+	b.Helper()
+	var cv *pgasemb.CommVolumeResult
+	for i := 0; i < b.N; i++ {
+		r, err := pgasemb.RunCommVolume(kind, gpus, 100, pgasemb.ExperimentOptions{Batches: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cv = r
+	}
+	// Active fraction of the timeline carrying volume: the paper's
+	// smoothness evidence (PGAS near 1, baseline bursty).
+	pgActive, blActive := 0, 0
+	for _, p := range cv.PGAS {
+		if p.V > 0 {
+			pgActive++
+		}
+	}
+	for _, p := range cv.Baseline {
+		if p.V > 0 {
+			blActive++
+		}
+	}
+	b.ReportMetric(float64(pgActive)/float64(len(cv.PGAS)), "pgas_active_frac")
+	b.ReportMetric(float64(blActive)/float64(len(cv.Baseline)), "baseline_active_frac")
+}
+
+func BenchmarkFig7CommVolume2GPU(b *testing.B) {
+	benchCommVolume(b, pgasemb.WeakScaling, 2)
+}
+
+func BenchmarkFig10CommVolume4GPU(b *testing.B) {
+	benchCommVolume(b, pgasemb.StrongScaling, 4)
+}
+
+// runBackend times one backend on one configuration, reporting simulated
+// per-batch milliseconds.
+func runBackend(b *testing.B, cfg pgasemb.Config, backend pgasemb.Backend) {
+	b.Helper()
+	cfg.Batches = benchBatches
+	var total float64
+	for i := 0; i < b.N; i++ {
+		sys, err := pgasemb.NewSystem(cfg, pgasemb.DefaultHardware())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	b.ReportMetric(total*1e3/benchBatches, "sim_ms_per_batch")
+}
+
+func BenchmarkBaselineWeak4GPU(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewBaseline())
+}
+
+func BenchmarkPGASFusedWeak4GPU(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewPGASFused())
+}
+
+func BenchmarkBaselineStrong4GPU(b *testing.B) {
+	runBackend(b, pgasemb.StrongScalingConfig(4), pgasemb.NewBaseline())
+}
+
+func BenchmarkPGASFusedStrong4GPU(b *testing.B) {
+	runBackend(b, pgasemb.StrongScalingConfig(4), pgasemb.NewPGASFused())
+}
+
+// Ablation A1: how much of the win is unpack elimination alone?
+func BenchmarkAblationUnpackOnly(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewUnpackOnlyAblation())
+}
+
+// Ablation A2: how much of the win is overlap alone?
+func BenchmarkAblationOverlapOnly(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewOverlapOnlyAblation())
+}
+
+// Extension A3: aggregated one-sided stores (future-work §V).
+func BenchmarkAggregatedPGASWeak4GPU(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewAggregatedPGAS(pgasemb.AggregatorConfig{
+		FlushBytes: 64 << 10,
+		MaxWait:    50e-6,
+	}))
+}
+
+// Extension A4: the backward pass (future-work §V) — collective shift
+// rounds vs fused one-sided atomic pushes.
+func BenchmarkBackwardBaseline4GPU(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewBackwardBaseline())
+}
+
+func BenchmarkBackwardPGAS4GPU(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewBackwardPGAS())
+}
+
+// Extension A5: sharding schemes — table-wise vs row-wise placement, each
+// under its best backend.
+func BenchmarkShardingTableWisePGAS(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewPGASFused())
+}
+
+func BenchmarkShardingRowWisePGAS(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Sharding = pgasemb.RowWiseSharding
+	runBackend(b, cfg, pgasemb.NewRowWisePGAS())
+}
+
+func BenchmarkShardingRowWiseBaseline(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Sharding = pgasemb.RowWiseSharding
+	runBackend(b, cfg, pgasemb.NewRowWiseBaseline())
+}
+
+// Extension A6: Zipf-skewed indices (hot items) versus the paper's uniform
+// distribution.
+func BenchmarkZipfWorkloadPGAS(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Rows = 1 << 20
+	cfg.Distribution = 1 // workload.Zipf
+	cfg.ZipfExponent = 1.1
+	runBackend(b, cfg, pgasemb.NewPGASFused())
+}
+
+// Multi-node (future-work §V): the aggregator's raison d'être.
+func BenchmarkMultiNodeDirectPGAS(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Batches = benchBatches
+	var total float64
+	for i := 0; i < b.N; i++ {
+		sys, err := pgasemb.NewSystem(cfg, pgasemb.MultiNodeHardware(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(pgasemb.NewPGASFused())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	b.ReportMetric(total*1e3/benchBatches, "sim_ms_per_batch")
+}
+
+func BenchmarkMultiNodeAggregatedPGAS(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Batches = benchBatches
+	backend := pgasemb.NewAggregatedPGAS(pgasemb.AggregatorConfig{FlushBytes: 64 << 10, MaxWait: 100e-6})
+	var total float64
+	for i := 0; i < b.N; i++ {
+		sys, err := pgasemb.NewSystem(cfg, pgasemb.MultiNodeHardware(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	b.ReportMetric(total*1e3/benchBatches, "sim_ms_per_batch")
+}
+
+// Extension A7: the sparse-input stage (future-work §V): serial CPU
+// partition + H2D copy vs fused into the kernel.
+func BenchmarkInputStageSerial(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewInputStaged(pgasemb.NewPGASFused(), false))
+}
+
+func BenchmarkInputStageFused(b *testing.B) {
+	runBackend(b, pgasemb.WeakScalingConfig(4), pgasemb.NewInputStaged(pgasemb.NewPGASFused(), true))
+}
+
+// Extension A8: heterogeneous (skewed) features under block vs greedy
+// table placement.
+func BenchmarkSkewBlockPlan(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.PerFeatureMaxPooling = pgasemb.SkewedPooling(cfg.TotalTables, 0.125, 256, 16)
+	runBackend(b, cfg, pgasemb.NewPGASFused())
+}
+
+func BenchmarkSkewGreedyPlan(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.PerFeatureMaxPooling = pgasemb.SkewedPooling(cfg.TotalTables, 0.125, 256, 16)
+	cfg.GreedyPlan = true
+	runBackend(b, cfg, pgasemb.NewPGASFused())
+}
+
+// Training steps end to end (trainer).
+func BenchmarkTrainStepCollective(b *testing.B) {
+	benchTrainStep(b, pgasemb.NewBaseline(), pgasemb.NewBackwardBaseline())
+}
+
+func BenchmarkTrainStepPGAS(b *testing.B) {
+	benchTrainStep(b, pgasemb.NewPGASFused(), pgasemb.NewBackwardPGAS())
+}
+
+func benchTrainStep(b *testing.B, fwd, bwd pgasemb.Backend) {
+	b.Helper()
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Batches = benchBatches
+	var total float64
+	for i := 0; i < b.N; i++ {
+		tr, err := pgasemb.NewTrainer(cfg, pgasemb.DefaultHardware(), fwd, bwd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	b.ReportMetric(total*1e3/benchBatches, "sim_ms_per_step")
+}
+
+// Criteo-shaped workload: single-valued bags, the latency-dominated regime.
+func BenchmarkCriteoShapedBaseline(b *testing.B) {
+	runBackend(b, pgasemb.CriteoShapedConfig(4), pgasemb.NewBaseline())
+}
+
+func BenchmarkCriteoShapedPGAS(b *testing.B) {
+	runBackend(b, pgasemb.CriteoShapedConfig(4), pgasemb.NewPGASFused())
+}
+
+// Cross-hardware sensitivity: the PGAS advantage on an A100-class machine.
+func BenchmarkA100WeakPGAS(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Batches = benchBatches
+	var total float64
+	for i := 0; i < b.N; i++ {
+		sys, err := pgasemb.NewSystem(cfg, pgasemb.A100Hardware())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(pgasemb.NewPGASFused())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	b.ReportMetric(total*1e3/benchBatches, "sim_ms_per_batch")
+}
+
+func BenchmarkA100WeakBaseline(b *testing.B) {
+	cfg := pgasemb.WeakScalingConfig(4)
+	cfg.Batches = benchBatches
+	var total float64
+	for i := 0; i < b.N; i++ {
+		sys, err := pgasemb.NewSystem(cfg, pgasemb.A100Hardware())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(pgasemb.NewBaseline())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	b.ReportMetric(total*1e3/benchBatches, "sim_ms_per_batch")
+}

@@ -1,0 +1,50 @@
+// Command commtrace regenerates the paper's communication-volume-over-time
+// profiles: Figure 7 (weak scaling, 2 GPUs) and Figure 10 (strong scaling,
+// 4 GPUs), rendered as ASCII strips or CSV for external plotting.
+//
+// Usage:
+//
+//	commtrace [-kind weak|strong] [-gpus N] [-bins 120] [-batches 3] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+func main() {
+	kindFlag := flag.String("kind", "weak", "scaling kind: weak (Figure 7) or strong (Figure 10)")
+	gpus := flag.Int("gpus", 0, "GPU count (default: 2 for weak, 4 for strong — the paper's figures)")
+	bins := flag.Int("bins", 120, "time bins in the rendered series")
+	batches := flag.Int("batches", 3, "inference batches to profile")
+	height := flag.Int("height", 10, "chart height in rows")
+	csv := flag.Bool("csv", false, "emit CSV instead of charts")
+	flag.Parse()
+
+	kind := pgasemb.WeakScaling
+	defaultGPUs := 2
+	if *kindFlag == "strong" {
+		kind = pgasemb.StrongScaling
+		defaultGPUs = 4
+	} else if *kindFlag != "weak" {
+		fmt.Fprintln(os.Stderr, "commtrace: -kind must be weak or strong")
+		os.Exit(2)
+	}
+	if *gpus == 0 {
+		*gpus = defaultGPUs
+	}
+
+	cv, err := pgasemb.RunCommVolume(kind, *gpus, *bins, pgasemb.ExperimentOptions{Batches: *batches})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commtrace:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(cv.CSVTable().CSV())
+		return
+	}
+	fmt.Print(cv.CommVolumeCharts(*height))
+}

@@ -1,0 +1,59 @@
+// Command dlrminfer runs the full DLRM inference pipeline (dense MLPs +
+// interaction around the EMB layer) on the simulated machine and reports
+// end-to-end and EMB-segment times for both communication schemes — the
+// "full inference pipeline" measurement context of the paper's §IV.
+//
+// Usage:
+//
+//	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+func main() {
+	gpus := flag.Int("gpus", 4, "GPU count")
+	kind := flag.String("kind", "weak", "workload: weak or strong scaling configuration")
+	batches := flag.Int("batches", 20, "inference batches")
+	flag.Parse()
+
+	var cfg pgasemb.Config
+	switch *kind {
+	case "weak":
+		cfg = pgasemb.WeakScalingConfig(*gpus)
+	case "strong":
+		cfg = pgasemb.StrongScalingConfig(*gpus)
+	default:
+		fmt.Fprintln(os.Stderr, "dlrminfer: -kind must be weak or strong")
+		os.Exit(2)
+	}
+	cfg.Batches = *batches
+
+	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches\n\n",
+		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches)
+	fmt.Printf("%-12s  %-14s  %-14s  %-10s\n", "backend", "total", "EMB segment", "EMB share")
+	var times []float64
+	for _, backend := range []pgasemb.Backend{pgasemb.NewBaseline(), pgasemb.NewPGASFused()} {
+		pl, err := pgasemb.NewPipeline(cfg, pgasemb.DefaultHardware(), backend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlrminfer:", err)
+			os.Exit(1)
+		}
+		res, err := pl.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlrminfer:", err)
+			os.Exit(1)
+		}
+		times = append(times, res.TotalTime)
+		fmt.Printf("%-12s  %12.2fms  %12.2fms  %9.1f%%\n",
+			backend.Name(), res.TotalTime*1e3, res.EMBTime*1e3, 100*res.EMBTime/res.TotalTime)
+	}
+	if len(times) == 2 {
+		fmt.Printf("\nend-to-end speedup of PGAS fused over baseline: %.2fx\n", times[0]/times[1])
+	}
+}

@@ -1,0 +1,114 @@
+// Command report reproduces the paper's entire evaluation in one run and
+// writes every artifact — Tables 1-2, Figures 5-10, the mechanism
+// ablations, and the multi-seed statistics — to a results directory as
+// aligned-text and CSV files, plus a summary to stdout.
+//
+// Usage:
+//
+//	report [-out results] [-batches 100] [-seeds 3]
+//
+// With the default 100 batches the full run takes a few minutes of real
+// time (it simulates 2×(1+2+3+4) GPU-runs of 100 batches each, twice, plus
+// profiles and ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pgasemb"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	batches := flag.Int("batches", 100, "batches per run (paper: 100)")
+	seeds := flag.Int("seeds", 3, "workload seeds for the statistics tables (0 = skip)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	opts := pgasemb.ExperimentOptions{Batches: *batches}
+
+	write := func(name string, t *pgasemb.RenderedTable) {
+		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(t.Render()), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+
+	fmt.Println("== Weak scaling (Table 1, Figures 5-6) ==")
+	weak, err := pgasemb.RunScaling(pgasemb.WeakScaling, opts)
+	if err != nil {
+		fatal(err)
+	}
+	write("table1_weak_speedups", weak.SpeedupTable())
+	write("fig5_weak_factors", weak.FactorTable())
+	write("fig6_weak_breakdown", weak.BreakdownTable())
+
+	fmt.Println("== Strong scaling (Table 2, Figures 8-9) ==")
+	strong, err := pgasemb.RunScaling(pgasemb.StrongScaling, opts)
+	if err != nil {
+		fatal(err)
+	}
+	write("table2_strong_speedups", strong.SpeedupTable())
+	write("fig8_strong_factors", strong.FactorTable())
+	write("fig9_strong_breakdown", strong.BreakdownTable())
+
+	fmt.Println("== Reproduction scorecard ==")
+	write("scorecard", pgasemb.Scorecard(weak, strong))
+
+	fmt.Println("== Communication volume over time (Figures 7, 10) ==")
+	traceBatches := 3
+	if *batches < traceBatches {
+		traceBatches = *batches
+	}
+	fig7, err := pgasemb.RunCommVolume(pgasemb.WeakScaling, 2, 120, pgasemb.ExperimentOptions{Batches: traceBatches})
+	if err != nil {
+		fatal(err)
+	}
+	write("fig7_comm_volume_2gpu", fig7.CSVTable())
+	if err := os.WriteFile(filepath.Join(*out, "fig7_comm_volume_2gpu_chart.txt"),
+		[]byte(fig7.CommVolumeCharts(10)), 0o644); err != nil {
+		fatal(err)
+	}
+	fig10, err := pgasemb.RunCommVolume(pgasemb.StrongScaling, 4, 120, pgasemb.ExperimentOptions{Batches: traceBatches})
+	if err != nil {
+		fatal(err)
+	}
+	write("fig10_comm_volume_4gpu", fig10.CSVTable())
+	if err := os.WriteFile(filepath.Join(*out, "fig10_comm_volume_4gpu_chart.txt"),
+		[]byte(fig10.CommVolumeCharts(10)), 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("== Mechanism ablations ==")
+	ab, err := pgasemb.RunAblations(4, opts)
+	if err != nil {
+		fatal(err)
+	}
+	write("ablations", pgasemb.AblationTable(ab))
+
+	if *seeds > 0 {
+		fmt.Println("== Multi-seed statistics ==")
+		for _, kind := range []pgasemb.ScalingKind{pgasemb.WeakScaling, pgasemb.StrongScaling} {
+			stats, err := pgasemb.RunScalingStats(kind, *seeds, opts)
+			if err != nil {
+				fatal(err)
+			}
+			write(fmt.Sprintf("stats_%s", kind), pgasemb.StatsTable(kind, stats))
+		}
+	}
+
+	fmt.Printf("artifacts written to %s/\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command strongscale regenerates the paper's strong-scaling evaluation
+// (§IV-B): Table 2 speedups, the Figure 8 scaling-factor curves and the
+// Figure 9 runtime breakdown, on up to -maxgpus simulated V100s.
+//
+// Usage:
+//
+//	strongscale [-batches 100] [-maxgpus 4] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+func main() {
+	batches := flag.Int("batches", 100, "inference batches per run (paper: 100)")
+	maxGPUs := flag.Int("maxgpus", 4, "largest GPU count in the sweep")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	res, err := pgasemb.RunScaling(pgasemb.StrongScaling, pgasemb.ExperimentOptions{
+		Batches: *batches,
+		MaxGPUs: *maxGPUs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strongscale:", err)
+		os.Exit(1)
+	}
+	for _, t := range []*pgasemb.RenderedTable{res.SpeedupTable(), res.FactorTable(), res.BreakdownTable()} {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

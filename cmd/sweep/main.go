@@ -1,0 +1,123 @@
+// Command sweep explores how the PGAS-over-baseline speedup responds to one
+// configuration axis — batch size, pooling factor, embedding dimension,
+// table count or fused-kernel chunk granularity — holding everything else
+// at the paper's weak-scaling setup. Useful for sensitivity analysis beyond
+// the paper's two operating points.
+//
+// Usage:
+//
+//	sweep -axis batch|pooling|dim|tables|chunks [-gpus 4] [-batches 10] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+type point struct {
+	label string
+	cfg   pgasemb.Config
+}
+
+func sweepPoints(axis string, gpus int) ([]point, error) {
+	base := pgasemb.WeakScalingConfig(gpus)
+	var pts []point
+	switch axis {
+	case "batch":
+		for _, b := range []int{1024, 4096, 16384, 65536} {
+			cfg := base
+			cfg.BatchSize = b
+			pts = append(pts, point{fmt.Sprintf("batch=%d", b), cfg})
+		}
+	case "pooling":
+		for _, p := range []int{8, 32, 128, 256} {
+			cfg := base
+			cfg.MaxPooling = p
+			pts = append(pts, point{fmt.Sprintf("maxpool=%d", p), cfg})
+		}
+	case "dim":
+		for _, d := range []int{32, 64, 128, 256} {
+			cfg := base
+			cfg.Dim = d
+			// Shrink rows to keep the shard within 32 GB at d=256.
+			cfg.Rows = 500_000
+			pts = append(pts, point{fmt.Sprintf("dim=%d", d), cfg})
+		}
+	case "tables":
+		for _, t := range []int{16, 32, 64, 96} {
+			cfg := base
+			cfg.TotalTables = t * gpus
+			pts = append(pts, point{fmt.Sprintf("tables/gpu=%d", t), cfg})
+		}
+	case "chunks":
+		for _, c := range []int{4, 16, 64, 256} {
+			cfg := base
+			cfg.ChunksPerKernel = c
+			pts = append(pts, point{fmt.Sprintf("chunks=%d", c), cfg})
+		}
+	case "skew":
+		for _, hot := range []float64{0, 0.0625, 0.125, 0.25} {
+			cfg := base
+			if hot > 0 {
+				cfg.PerFeatureMaxPooling = pgasemb.SkewedPooling(cfg.TotalTables, hot, 256, 16)
+			}
+			pts = append(pts, point{fmt.Sprintf("hot=%.0f%%", hot*100), cfg})
+			cfgG := cfg
+			cfgG.GreedyPlan = true
+			pts = append(pts, point{fmt.Sprintf("hot=%.0f%%+greedy", hot*100), cfgG})
+		}
+	case "criteo":
+		cfg := pgasemb.CriteoShapedConfig(gpus)
+		pts = append(pts, point{"criteo-shaped", cfg})
+		pts = append(pts, point{"paper-weak", base})
+	default:
+		return nil, fmt.Errorf("unknown axis %q", axis)
+	}
+	return pts, nil
+}
+
+func main() {
+	axis := flag.String("axis", "batch", "sweep axis: batch, pooling, dim, tables, chunks, skew or criteo")
+	gpus := flag.Int("gpus", 4, "GPU count")
+	batches := flag.Int("batches", 10, "inference batches per run")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	pts, err := sweepPoints(*axis, *gpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	if *csv {
+		fmt.Println("point,baseline_s,pgas_s,speedup")
+	} else {
+		fmt.Printf("%-16s  %-12s  %-12s  %-8s\n", "point", "baseline", "pgas-fused", "speedup")
+	}
+	for _, pt := range pts {
+		cfg := pt.cfg
+		cfg.Batches = *batches
+		var times []float64
+		for _, backend := range []pgasemb.Backend{pgasemb.NewBaseline(), pgasemb.NewPGASFused()} {
+			sys, err := pgasemb.NewSystem(cfg, pgasemb.DefaultHardware())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
+				os.Exit(1)
+			}
+			res, err := sys.Run(backend)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
+				os.Exit(1)
+			}
+			times = append(times, res.TotalTime)
+		}
+		if *csv {
+			fmt.Printf("%s,%.6f,%.6f,%.3f\n", pt.label, times[0], times[1], times[0]/times[1])
+		} else {
+			fmt.Printf("%-16s  %10.2fms  %10.2fms  %7.2fx\n",
+				pt.label, times[0]*1e3, times[1]*1e3, times[0]/times[1])
+		}
+	}
+}

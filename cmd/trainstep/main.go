@@ -1,0 +1,57 @@
+// Command trainstep times full DLRM training steps — EMB forward, dense
+// forward/backward with gradient all-reduce, and EMB backward — under every
+// combination of collective and PGAS communication, quantifying the paper's
+// future-work prediction for backpropagation.
+//
+// Usage:
+//
+//	trainstep [-gpus 4] [-batches 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+func main() {
+	gpus := flag.Int("gpus", 4, "GPU count")
+	batches := flag.Int("batches", 10, "training steps")
+	flag.Parse()
+
+	cfg := pgasemb.WeakScalingConfig(*gpus)
+	cfg.Batches = *batches
+
+	combos := []struct {
+		name     string
+		fwd, bwd pgasemb.Backend
+	}{
+		{"collective fwd + collective bwd", pgasemb.NewBaseline(), pgasemb.NewBackwardBaseline()},
+		{"PGAS fwd + collective bwd", pgasemb.NewPGASFused(), pgasemb.NewBackwardBaseline()},
+		{"collective fwd + PGAS bwd", pgasemb.NewBaseline(), pgasemb.NewBackwardPGAS()},
+		{"PGAS fwd + PGAS bwd", pgasemb.NewPGASFused(), pgasemb.NewBackwardPGAS()},
+	}
+	fmt.Printf("DLRM training steps: %d GPUs, %d tables, batch %d, %d steps\n\n",
+		*gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches)
+	fmt.Printf("%-34s %-12s %-12s %-12s\n", "configuration", "total", "EMB fwd", "EMB bwd")
+	var first float64
+	for i, c := range combos {
+		tr, err := pgasemb.NewTrainer(cfg, pgasemb.DefaultHardware(), c.fwd, c.bwd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainstep:", err)
+			os.Exit(1)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainstep:", err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			first = res.TotalTime
+		}
+		fmt.Printf("%-34s %10.2fms %10.2fms %10.2fms  (%.2fx)\n",
+			c.name, res.TotalTime*1e3, res.EMBForward*1e3, res.EMBBackward*1e3, first/res.TotalTime)
+	}
+}

@@ -1,0 +1,59 @@
+// Command weakscale regenerates the paper's weak-scaling evaluation
+// (§IV-A): Table 1 speedups, the Figure 5 scaling-factor curves and the
+// Figure 6 runtime breakdown, on up to -maxgpus simulated V100s.
+//
+// Usage:
+//
+//	weakscale [-batches 100] [-maxgpus 4] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+func main() {
+	batches := flag.Int("batches", 100, "inference batches per run (paper: 100)")
+	maxGPUs := flag.Int("maxgpus", 4, "largest GPU count in the sweep")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	ablations := flag.Bool("ablations", false, "also run the mechanism-isolation suite")
+	seeds := flag.Int("seeds", 0, "also report speedup statistics across this many workload seeds")
+	flag.Parse()
+
+	res, err := pgasemb.RunScaling(pgasemb.WeakScaling, pgasemb.ExperimentOptions{
+		Batches: *batches,
+		MaxGPUs: *maxGPUs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "weakscale:", err)
+		os.Exit(1)
+	}
+	tables := []*pgasemb.RenderedTable{res.SpeedupTable(), res.FactorTable(), res.BreakdownTable()}
+	if *seeds > 0 {
+		stats, err := pgasemb.RunScalingStats(pgasemb.WeakScaling, *seeds,
+			pgasemb.ExperimentOptions{Batches: *batches, MaxGPUs: *maxGPUs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, pgasemb.StatsTable(pgasemb.WeakScaling, stats))
+	}
+	if *ablations {
+		ab, err := pgasemb.RunAblations(*maxGPUs, pgasemb.ExperimentOptions{Batches: *batches})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, pgasemb.AblationTable(ab))
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

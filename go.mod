@@ -1,0 +1,3 @@
+module pgasemb
+
+go 1.22

@@ -1,0 +1,587 @@
+// Package collective implements an NCCL-like collective communication
+// library over the simulated NVLink fabric: the all-to-all exchange the
+// paper's baseline uses after the embedding kernel (PyTorch
+// all_to_all_single with async_op=true + wait), plus all-gather,
+// reduce-scatter and ring all-reduce for the backward-pass comparison.
+//
+// Collectives are bulk-synchronous: no rank's transfers start before every
+// rank has entered the call (the "false dependency" the paper eliminates),
+// and each call pays a host-side launch overhead. Transfer bandwidth per
+// GPU pair is the minimum of the raw link bandwidth and the protocol's
+// effective channel bandwidth — NCCL point-to-point sends are driven by SM
+// copy engines through a limited number of channels, and on V100-class
+// hardware all-to-all achieves only a modest fraction of the NVLink line
+// rate. ChannelBandwidth is the calibrated knob behind the paper's measured
+// communication component; see EXPERIMENTS.md.
+package collective
+
+import (
+	"fmt"
+
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/trace"
+)
+
+// Params describes the collective protocol.
+type Params struct {
+	// ChannelBandwidth is the effective bytes/second a rank can push to one
+	// peer inside a collective (protocol-limited; may be below link rate).
+	ChannelBandwidth float64
+
+	// LaunchOverhead is the host-side cost of invoking one collective.
+	LaunchOverhead sim.Duration
+
+	// ChunkBytes is the pipelining granularity; each chunk pays
+	// PerChunkLatency.
+	ChunkBytes int
+
+	// PerChunkLatency is the protocol latency per chunk per hop.
+	PerChunkLatency sim.Duration
+}
+
+// DefaultParams returns parameters calibrated against the paper's measured
+// baseline communication component (see EXPERIMENTS.md §Calibration).
+func DefaultParams() Params {
+	return Params{
+		ChannelBandwidth: 2.6e9,
+		LaunchOverhead:   30 * sim.Microsecond,
+		ChunkBytes:       4 << 20,
+		PerChunkLatency:  8 * sim.Microsecond,
+	}
+}
+
+// Validate reports whether the parameter set is usable.
+func (p Params) Validate() error {
+	switch {
+	case p.ChannelBandwidth <= 0:
+		return fmt.Errorf("collective: ChannelBandwidth must be positive")
+	case p.LaunchOverhead < 0:
+		return fmt.Errorf("collective: LaunchOverhead must be non-negative")
+	case p.ChunkBytes <= 0:
+		return fmt.Errorf("collective: ChunkBytes must be positive")
+	case p.PerChunkLatency < 0:
+		return fmt.Errorf("collective: PerChunkLatency must be non-negative")
+	}
+	return nil
+}
+
+// Comm is a communicator over a fixed set of ranks (one per GPU). All ranks
+// must call each collective in the same order — the standard NCCL contract.
+type Comm struct {
+	env    *sim.Env
+	fabric *nvlink.Fabric
+	params Params
+
+	volume *trace.VolumeTrace
+
+	// Rendezvous state for the in-flight collective.
+	arrived int
+	op      *pendingOp
+	gate    *sim.Signal
+}
+
+type pendingOp struct {
+	kind    string
+	sends   [][][]float32 // [rank][dst] -> segment
+	recvs   [][][]float32 // [rank][src] -> segment
+	reduceA [][]float32   // [rank] -> full buffer (allreduce)
+}
+
+// New creates a communicator over every fabric endpoint.
+func New(env *sim.Env, fabric *nvlink.Fabric, params Params) *Comm {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Comm{
+		env:    env,
+		fabric: fabric,
+		params: params,
+		volume: &trace.VolumeTrace{},
+	}
+}
+
+// NumRanks returns the number of participants.
+func (c *Comm) NumRanks() int { return c.fabric.NumGPUs() }
+
+// Params returns the protocol parameters.
+func (c *Comm) Params() Params { return c.params }
+
+// Volume returns the communicator's cumulative volume trace (bytes
+// attributed uniformly over each collective's transfer window — the paper's
+// own convention for plotting the baseline's communication volume).
+func (c *Comm) Volume() *trace.VolumeTrace { return c.volume }
+
+// ResetVolume clears the volume trace between measurement repetitions.
+func (c *Comm) ResetVolume() { c.volume = &trace.VolumeTrace{} }
+
+// pairBandwidth returns the effective rate from src to dst inside a
+// collective.
+func (c *Comm) pairBandwidth(src, dst int) float64 {
+	raw := c.fabric.PairBandwidth(src, dst)
+	if c.params.ChannelBandwidth < raw {
+		return c.params.ChannelBandwidth
+	}
+	return raw
+}
+
+// transferTime returns the protocol time to move bytes from src to dst.
+func (c *Comm) transferTime(src, dst int, bytes float64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	chunks := int(bytes) / c.params.ChunkBytes
+	if int(bytes)%c.params.ChunkBytes != 0 {
+		chunks++
+	}
+	if chunks == 0 {
+		chunks = 1
+	}
+	return bytes/c.pairBandwidth(src, dst) + sim.Duration(chunks)*c.params.PerChunkLatency
+}
+
+// occupyWire places a collective's egress bytes on the physical pipe so
+// concurrent one-sided traffic observes the contention, and returns the
+// extra time (beyond the protocol's own pacing) the caller must wait when
+// the wire is congested. On an idle link the wire drains far faster than
+// the protocol paces (link rate vs channel bandwidth), so the excess is
+// zero and the analytic timing is unchanged.
+func (c *Comm) occupyWire(p *sim.Proc, src, dst int, bytes float64, protocol sim.Duration) sim.Duration {
+	if bytes <= 0 {
+		return protocol
+	}
+	drained := c.fabric.Pipe(src, dst).Offer(bytes)
+	if wire := drained - p.Now(); wire > protocol {
+		return wire
+	}
+	return protocol
+}
+
+// rendezvous blocks until all ranks have entered the same collective. The
+// last arriver installs nothing; the first installs the op descriptor. It
+// returns the shared op.
+func (c *Comm) rendezvous(p *sim.Proc, rank int, kind string, install func(op *pendingOp)) *pendingOp {
+	n := c.NumRanks()
+	if c.op == nil {
+		c.op = &pendingOp{
+			kind:  kind,
+			sends: make([][][]float32, n),
+			recvs: make([][][]float32, n),
+		}
+		c.op.reduceA = make([][]float32, n)
+		c.gate = sim.NewSignal(c.env)
+	}
+	if c.op.kind != kind {
+		panic(fmt.Sprintf("collective: rank %d called %s while %s is in flight", rank, kind, c.op.kind))
+	}
+	install(c.op)
+	c.arrived++
+	op := c.op
+	if c.arrived == n {
+		c.arrived = 0
+		c.op = nil
+		gate := c.gate
+		c.gate = nil
+		gate.Fire()
+		return op
+	}
+	gate := c.gate
+	p.WaitSignal(gate)
+	return op
+}
+
+// AllToAllSingle exchanges per-destination segments: sendSegs[dst] travels
+// to rank dst, landing in that rank's recvSegs[me]. Segment j may be empty.
+// Functionally this is PyTorch's all_to_all_single over a contiguous buffer
+// pre-split into rank segments; the receiving side still holds the data in
+// *rank order*, which is why the baseline needs the unpack/rearrangement
+// step afterwards (modelled in the retrieval backend, not here).
+//
+// The call blocks until this rank's transfers complete: entry rendezvous
+// (bulk-synchronous start) + launch overhead + the slowest pairwise
+// transfer this rank participates in (egress and ingress proceed on
+// independent link directions and overlap).
+func (c *Comm) AllToAllSingle(p *sim.Proc, rank int, sendSegs, recvSegs [][]float32) {
+	n := c.NumRanks()
+	if len(sendSegs) != n || len(recvSegs) != n {
+		panic(fmt.Sprintf("collective: rank %d alltoall with %d send / %d recv segments, want %d",
+			rank, len(sendSegs), len(recvSegs), n))
+	}
+	op := c.rendezvous(p, rank, "alltoall", func(op *pendingOp) {
+		op.sends[rank] = sendSegs
+		op.recvs[rank] = recvSegs
+	})
+	// All ranks released at the same instant; copies are globally consistent
+	// to perform once, by rank 0's process (functional state only).
+	if rank == 0 {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					// Local segment: all_to_all_single still copies it
+					// through the buffer, functionally a plain copy.
+					copySeg(op.recvs[src][src], op.sends[src][src], src, src)
+					continue
+				}
+				copySeg(op.recvs[dst][src], op.sends[src][dst], src, dst)
+			}
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	start := p.Now()
+	var worst sim.Duration
+	var egress float64
+	for peer := 0; peer < n; peer++ {
+		if peer == rank {
+			continue
+		}
+		outBytes := 4 * float64(len(sendSegs[peer]))
+		out := c.occupyWire(p, rank, peer, outBytes, c.transferTime(rank, peer, outBytes))
+		in := c.transferTime(peer, rank, 4*float64(len(recvSegs[peer])))
+		if out > worst {
+			worst = out
+		}
+		if in > worst {
+			worst = in
+		}
+		egress += 4 * float64(len(sendSegs[peer]))
+	}
+	if worst > 0 {
+		c.volume.Add(start, start+worst, egress)
+	}
+	p.Wait(worst)
+}
+
+// AllToAllSingleSizes is the timing-only all-to-all: identical rendezvous,
+// launch overhead, transfer schedule and volume accounting as
+// AllToAllSingle, but driven by byte counts instead of real buffers. The
+// paper-scale simulations use this path; sendBytes[dst] / recvBytes[src]
+// give this rank's per-peer traffic (self entries are ignored — the local
+// segment copy is part of the kernel's write traffic, not the wire).
+func (c *Comm) AllToAllSingleSizes(p *sim.Proc, rank int, sendBytes, recvBytes []float64) {
+	n := c.NumRanks()
+	if len(sendBytes) != n || len(recvBytes) != n {
+		panic(fmt.Sprintf("collective: rank %d alltoall-sizes with %d send / %d recv entries, want %d",
+			rank, len(sendBytes), len(recvBytes), n))
+	}
+	c.rendezvous(p, rank, "alltoall-sizes", func(op *pendingOp) {})
+	p.Wait(c.params.LaunchOverhead)
+	start := p.Now()
+	var worst sim.Duration
+	var egress float64
+	for peer := 0; peer < n; peer++ {
+		if peer == rank {
+			continue
+		}
+		out := c.occupyWire(p, rank, peer, sendBytes[peer], c.transferTime(rank, peer, sendBytes[peer]))
+		in := c.transferTime(peer, rank, recvBytes[peer])
+		if out > worst {
+			worst = out
+		}
+		if in > worst {
+			worst = in
+		}
+		egress += sendBytes[peer]
+	}
+	if worst > 0 {
+		c.volume.Add(start, start+worst, egress)
+	}
+	p.Wait(worst)
+}
+
+func copySeg(dst, src []float32, from, to int) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("collective: segment size mismatch %d->%d: recv %d vs send %d",
+			from, to, len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// AllGather gathers each rank's shard into every rank's out slot:
+// out[r] <- shard of rank r. Ring schedule: P-1 steps, each moving one shard
+// per rank.
+func (c *Comm) AllGather(p *sim.Proc, rank int, shard []float32, out [][]float32) {
+	n := c.NumRanks()
+	if len(out) != n {
+		panic(fmt.Sprintf("collective: rank %d allgather with %d out slots, want %d", rank, len(out), n))
+	}
+	op := c.rendezvous(p, rank, "allgather", func(op *pendingOp) {
+		op.sends[rank] = [][]float32{shard}
+		op.recvs[rank] = out
+	})
+	if rank == 0 {
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				copySeg(op.recvs[dst][src], op.sends[src][0], src, dst)
+			}
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	// Ring: each step sends one shard to the next rank.
+	next := (rank + 1) % n
+	stepBytes := 4 * float64(len(shard))
+	total := c.occupyWire(p, rank, next, stepBytes*float64(n-1),
+		sim.Duration(n-1)*c.transferTime(rank, next, stepBytes))
+	if total > 0 {
+		c.volume.Add(start, start+total, stepBytes*float64(n-1))
+	}
+	p.Wait(total)
+}
+
+// ReduceScatter reduces (sums) the concatenation of per-rank contributions
+// and leaves rank r with the r-th shard: out <- sum over ranks of
+// contrib[r-th shard]. contrib must be n*len(out) long.
+func (c *Comm) ReduceScatter(p *sim.Proc, rank int, contrib []float32, out []float32) {
+	n := c.NumRanks()
+	if len(contrib) != n*len(out) {
+		panic(fmt.Sprintf("collective: rank %d reducescatter contrib %d, want %d", rank, len(contrib), n*len(out)))
+	}
+	op := c.rendezvous(p, rank, "reducescatter", func(op *pendingOp) {
+		op.reduceA[rank] = contrib
+		op.recvs[rank] = [][]float32{out}
+	})
+	if rank == 0 {
+		shard := len(out)
+		for dst := 0; dst < n; dst++ {
+			dstOut := op.recvs[dst][0]
+			for i := range dstOut {
+				var sum float32
+				for src := 0; src < n; src++ {
+					sum += op.reduceA[src][dst*shard+i]
+				}
+				dstOut[i] = sum
+			}
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	next := (rank + 1) % n
+	stepBytes := 4 * float64(len(out))
+	total := c.occupyWire(p, rank, next, stepBytes*float64(n-1),
+		sim.Duration(n-1)*c.transferTime(rank, next, stepBytes))
+	if total > 0 {
+		c.volume.Add(start, start+total, stepBytes*float64(n-1))
+	}
+	p.Wait(total)
+}
+
+// ReduceScatterV is ReduceScatter with per-rank shard sizes (shardSizes[r]
+// elements go to rank r; contrib is their concatenation). Needed when the
+// scattered dimension does not divide evenly — e.g. minibatches of a batch
+// size not divisible by the GPU count.
+func (c *Comm) ReduceScatterV(p *sim.Proc, rank int, contrib []float32, out []float32, shardSizes []int) {
+	n := c.NumRanks()
+	if len(shardSizes) != n {
+		panic(fmt.Sprintf("collective: rank %d reducescatterv with %d shard sizes, want %d", rank, len(shardSizes), n))
+	}
+	total := 0
+	for _, sz := range shardSizes {
+		total += sz
+	}
+	if len(contrib) != total {
+		panic(fmt.Sprintf("collective: rank %d reducescatterv contrib %d, want %d", rank, len(contrib), total))
+	}
+	if len(out) != shardSizes[rank] {
+		panic(fmt.Sprintf("collective: rank %d reducescatterv out %d, want %d", rank, len(out), shardSizes[rank]))
+	}
+	op := c.rendezvous(p, rank, "reducescatterv", func(op *pendingOp) {
+		op.reduceA[rank] = contrib
+		op.recvs[rank] = [][]float32{out}
+	})
+	if rank == 0 {
+		at := 0
+		for dst := 0; dst < n; dst++ {
+			dstOut := op.recvs[dst][0]
+			for i := range dstOut {
+				var sum float32
+				for src := 0; src < n; src++ {
+					sum += op.reduceA[src][at+i]
+				}
+				dstOut[i] = sum
+			}
+			at += shardSizes[dst]
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	// Ring schedule paced by the largest shard.
+	maxShard := 0
+	for _, sz := range shardSizes {
+		if sz > maxShard {
+			maxShard = sz
+		}
+	}
+	next := (rank + 1) % n
+	stepBytes := 4 * float64(maxShard)
+	totalTime := c.occupyWire(p, rank, next, stepBytes*float64(n-1),
+		sim.Duration(n-1)*c.transferTime(rank, next, stepBytes))
+	if totalTime > 0 {
+		c.volume.Add(start, start+totalTime, stepBytes*float64(n-1))
+	}
+	p.Wait(totalTime)
+}
+
+// ReduceScatterSizes is the timing-only reduce-scatter: identical
+// rendezvous, launch overhead, ring schedule and volume accounting as
+// ReduceScatter, driven by the per-rank shard size in bytes.
+func (c *Comm) ReduceScatterSizes(p *sim.Proc, rank int, shardBytes float64) {
+	n := c.NumRanks()
+	c.rendezvous(p, rank, "reducescatter-sizes", func(op *pendingOp) {})
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	next := (rank + 1) % n
+	total := c.occupyWire(p, rank, next, shardBytes*float64(n-1),
+		sim.Duration(n-1)*c.transferTime(rank, next, shardBytes))
+	if total > 0 {
+		c.volume.Add(start, start+total, shardBytes*float64(n-1))
+	}
+	p.Wait(total)
+}
+
+// Broadcast copies root's buf into every rank's buf. Flat schedule: the
+// root pushes to each peer over its own pipe concurrently; completion is
+// paced by the slowest peer transfer.
+func (c *Comm) Broadcast(p *sim.Proc, rank, root int, buf []float32) {
+	n := c.NumRanks()
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("collective: broadcast root %d out of range", root))
+	}
+	op := c.rendezvous(p, rank, "broadcast", func(op *pendingOp) {
+		op.reduceA[rank] = buf
+	})
+	if rank == 0 {
+		src := op.reduceA[root]
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if len(op.reduceA[r]) != len(src) {
+				panic(fmt.Sprintf("collective: broadcast buffer sizes differ: rank %d has %d, root has %d",
+					r, len(op.reduceA[r]), len(src)))
+			}
+			copy(op.reduceA[r], src)
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	var dur sim.Duration
+	if rank == root {
+		for peer := 0; peer < n; peer++ {
+			if peer == root {
+				continue
+			}
+			bytes := 4 * float64(len(buf))
+			if t := c.occupyWire(p, root, peer, bytes, c.transferTime(root, peer, bytes)); t > dur {
+				dur = t
+			}
+		}
+		if dur > 0 {
+			c.volume.Add(start, start+dur, 4*float64(len(buf))*float64(n-1))
+		}
+	} else {
+		dur = c.transferTime(root, rank, 4*float64(len(buf)))
+	}
+	p.Wait(dur)
+}
+
+// Gather collects each rank's shard at the root: on the root, out[r]
+// receives rank r's shard; on other ranks out may be nil.
+func (c *Comm) Gather(p *sim.Proc, rank, root int, shard []float32, out [][]float32) {
+	n := c.NumRanks()
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("collective: gather root %d out of range", root))
+	}
+	if rank == root && len(out) != n {
+		panic(fmt.Sprintf("collective: gather root needs %d out slots, got %d", n, len(out)))
+	}
+	op := c.rendezvous(p, rank, "gather", func(op *pendingOp) {
+		op.sends[rank] = [][]float32{shard}
+		if rank == root {
+			op.recvs[rank] = out
+		}
+	})
+	if rank == 0 {
+		for src := 0; src < n; src++ {
+			copySeg(op.recvs[root][src], op.sends[src][0], src, root)
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	var dur sim.Duration
+	if rank == root {
+		// Root ingress: paced by the slowest sender.
+		for peer := 0; peer < n; peer++ {
+			if peer == root {
+				continue
+			}
+			if t := c.transferTime(peer, root, 4*float64(len(op.recvs[root][peer]))); t > dur {
+				dur = t
+			}
+		}
+	} else {
+		bytes := 4 * float64(len(shard))
+		dur = c.occupyWire(p, rank, root, bytes, c.transferTime(rank, root, bytes))
+		if dur > 0 {
+			c.volume.Add(start, start+dur, bytes)
+		}
+	}
+	p.Wait(dur)
+}
+
+// AllReduce sums buf element-wise across ranks, leaving every rank with the
+// full result. Ring algorithm: reduce-scatter then all-gather, 2(P-1) steps
+// over shards of len(buf)/P.
+func (c *Comm) AllReduce(p *sim.Proc, rank int, buf []float32) {
+	n := c.NumRanks()
+	op := c.rendezvous(p, rank, "allreduce", func(op *pendingOp) {
+		op.reduceA[rank] = buf
+	})
+	if rank == 0 {
+		m := len(op.reduceA[0])
+		for _, b := range op.reduceA {
+			if len(b) != m {
+				panic(fmt.Sprintf("collective: allreduce buffer sizes differ: %d vs %d", len(b), m))
+			}
+		}
+		sum := make([]float32, m)
+		for _, b := range op.reduceA {
+			for i, v := range b {
+				sum[i] += v
+			}
+		}
+		for _, b := range op.reduceA {
+			copy(b, sum)
+		}
+	}
+	p.Wait(c.params.LaunchOverhead)
+	if n == 1 {
+		return
+	}
+	start := p.Now()
+	shardBytes := 4 * float64(len(buf)) / float64(n)
+	next := (rank + 1) % n
+	total := c.occupyWire(p, rank, next, shardBytes*2*float64(n-1),
+		2*sim.Duration(n-1)*c.transferTime(rank, next, shardBytes))
+	if total > 0 {
+		c.volume.Add(start, start+total, shardBytes*2*float64(n-1))
+	}
+	p.Wait(total)
+}

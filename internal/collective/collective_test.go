@@ -1,0 +1,547 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/sim"
+)
+
+func testComm(n int) (*sim.Env, *Comm) {
+	env := sim.NewEnv()
+	fabric := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(n))
+	return env, New(env, fabric, DefaultParams())
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	muts := []func(*Params){
+		func(p *Params) { p.ChannelBandwidth = 0 },
+		func(p *Params) { p.LaunchOverhead = -1 },
+		func(p *Params) { p.ChunkBytes = 0 },
+		func(p *Params) { p.PerChunkLatency = -1 },
+	}
+	for i, mut := range muts {
+		p := DefaultParams()
+		mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+// runRanks launches one proc per rank running fn and drains the simulation.
+func runRanks(env *sim.Env, n int, fn func(p *sim.Proc, rank int)) {
+	for r := 0; r < n; r++ {
+		r := r
+		env.Go("rank", func(p *sim.Proc) { fn(p, r) })
+	}
+	env.Run()
+}
+
+func TestAllToAllSingleFunctional(t *testing.T) {
+	const n = 4
+	env, c := testComm(n)
+	// sendSegs[r][dst] = {r*10 + dst}; after exchange recvSegs[r][src] must
+	// be {src*10 + r}.
+	recv := make([][][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		send := make([][]float32, n)
+		recv[rank] = make([][]float32, n)
+		for dst := 0; dst < n; dst++ {
+			send[dst] = []float32{float32(rank*10 + dst)}
+			recv[rank][dst] = make([]float32, 1)
+		}
+		c.AllToAllSingle(p, rank, send, recv[rank])
+		for src := 0; src < n; src++ {
+			if got, want := recv[rank][src][0], float32(src*10+rank); got != want {
+				t.Errorf("rank %d recv from %d = %v, want %v", rank, src, got, want)
+			}
+		}
+	})
+}
+
+func TestAllToAllEmptySegments(t *testing.T) {
+	const n = 2
+	env, c := testComm(n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		send := [][]float32{{}, {}}
+		recv := [][]float32{{}, {}}
+		c.AllToAllSingle(p, rank, send, recv)
+	})
+	if env.Now() <= 0 {
+		t.Fatal("even an empty collective pays launch overhead")
+	}
+}
+
+func TestAllToAllIsBulkSynchronous(t *testing.T) {
+	// A late rank delays everyone: no transfers before the last arrival.
+	const n = 2
+	env, c := testComm(n)
+	var doneAt [n]sim.Time
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		if rank == 1 {
+			p.Wait(10 * sim.Millisecond)
+		}
+		send := [][]float32{make([]float32, 64), make([]float32, 64)}
+		recv := [][]float32{make([]float32, 64), make([]float32, 64)}
+		c.AllToAllSingle(p, rank, send, recv)
+		doneAt[rank] = p.Now()
+	})
+	if doneAt[0] < 10*sim.Millisecond {
+		t.Fatalf("rank 0 finished at %v, before rank 1 even arrived", doneAt[0])
+	}
+}
+
+func TestAllToAllTransferTimeScalesWithBytes(t *testing.T) {
+	run := func(elems int) sim.Time {
+		const n = 2
+		env, c := testComm(n)
+		var done sim.Time
+		runRanks(env, n, func(p *sim.Proc, rank int) {
+			send := [][]float32{make([]float32, elems), make([]float32, elems)}
+			recv := [][]float32{make([]float32, elems), make([]float32, elems)}
+			c.AllToAllSingle(p, rank, send, recv)
+			if p.Now() > done {
+				done = p.Now()
+			}
+		})
+		return done
+	}
+	small := run(1 << 10)
+	big := run(1 << 22)
+	if big <= small {
+		t.Fatalf("transfer time did not grow with volume: %v vs %v", small, big)
+	}
+	// 4 MiB floats = 16 MiB per peer at 5.2 GB/s ≈ 3.2 ms dominates overheads.
+	wantBig := 4 * float64(1<<22) / DefaultParams().ChannelBandwidth
+	if math.Abs(big-wantBig)/wantBig > 0.2 {
+		t.Fatalf("big transfer = %v, want ≈%v", big, wantBig)
+	}
+}
+
+func TestAllToAllChannelLimited(t *testing.T) {
+	// With channel bandwidth below link rate, the channel is the bottleneck.
+	env := sim.NewEnv()
+	fabric := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(2))
+	params := DefaultParams()
+	params.ChannelBandwidth = 1e9 // far below the 50 GB/s pair
+	c := New(env, fabric, params)
+	var done sim.Time
+	runRanks(env, 2, func(p *sim.Proc, rank int) {
+		send := [][]float32{make([]float32, 1<<20), make([]float32, 1<<20)}
+		recv := [][]float32{make([]float32, 1<<20), make([]float32, 1<<20)}
+		c.AllToAllSingle(p, rank, send, recv)
+		done = p.Now()
+	})
+	want := 4 * float64(1<<20) / 1e9
+	if done < want {
+		t.Fatalf("finished at %v, faster than channel bandwidth allows (%v)", done, want)
+	}
+}
+
+func TestAllToAllSegmentCountPanics(t *testing.T) {
+	env, c := testComm(2)
+	panicked := false
+	env.Go("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.AllToAllSingle(p, 0, make([][]float32, 3), make([][]float32, 2))
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("wrong segment count did not panic")
+	}
+}
+
+func TestAllToAllVolumeTrace(t *testing.T) {
+	const n = 4
+	env, c := testComm(n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		send := make([][]float32, n)
+		recv := make([][]float32, n)
+		for i := 0; i < n; i++ {
+			send[i] = make([]float32, 256)
+			recv[i] = make([]float32, 256)
+		}
+		c.AllToAllSingle(p, rank, send, recv)
+	})
+	// Each rank sends 3 remote segments of 1 KiB.
+	want := float64(n) * 3 * 1024
+	if got := c.Volume().Total(); got != want {
+		t.Fatalf("volume = %v, want %v", got, want)
+	}
+	c.ResetVolume()
+	if c.Volume().Total() != 0 {
+		t.Fatal("ResetVolume left residue")
+	}
+}
+
+func TestAllGatherFunctional(t *testing.T) {
+	const n = 3
+	env, c := testComm(n)
+	results := make([][][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		shard := []float32{float32(rank), float32(rank * 100)}
+		out := make([][]float32, n)
+		for i := range out {
+			out[i] = make([]float32, 2)
+		}
+		c.AllGather(p, rank, shard, out)
+		results[rank] = out
+	})
+	for rank := 0; rank < n; rank++ {
+		for src := 0; src < n; src++ {
+			if results[rank][src][0] != float32(src) || results[rank][src][1] != float32(src*100) {
+				t.Fatalf("rank %d slot %d = %v", rank, src, results[rank][src])
+			}
+		}
+	}
+}
+
+func TestReduceScatterFunctional(t *testing.T) {
+	const n = 2
+	env, c := testComm(n)
+	outs := make([][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		// contrib = [rank+1, rank+1, rank+1, rank+1], shards of 2.
+		contrib := []float32{float32(rank + 1), float32(rank + 1), float32(rank + 1), float32(rank + 1)}
+		out := make([]float32, 2)
+		c.ReduceScatter(p, rank, contrib, out)
+		outs[rank] = out
+	})
+	// Sum across ranks: 1+2 = 3 everywhere.
+	for rank := 0; rank < n; rank++ {
+		for _, v := range outs[rank] {
+			if v != 3 {
+				t.Fatalf("rank %d out = %v", rank, outs[rank])
+			}
+		}
+	}
+}
+
+func TestReduceScatterSizePanics(t *testing.T) {
+	env, c := testComm(2)
+	panicked := false
+	env.Go("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.ReduceScatter(p, 0, make([]float32, 3), make([]float32, 2))
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("bad contrib size did not panic")
+	}
+}
+
+func TestAllReduceFunctional(t *testing.T) {
+	const n = 4
+	env, c := testComm(n)
+	bufs := make([][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		bufs[rank] = []float32{float32(rank), 1}
+		c.AllReduce(p, rank, bufs[rank])
+	})
+	// Sum of ranks 0..3 = 6; sum of ones = 4.
+	for rank := 0; rank < n; rank++ {
+		if bufs[rank][0] != 6 || bufs[rank][1] != 4 {
+			t.Fatalf("rank %d buf = %v", rank, bufs[rank])
+		}
+	}
+}
+
+func TestAllReduceRingCostGrowsWithRanks(t *testing.T) {
+	cost := func(n int) sim.Time {
+		env := sim.NewEnv()
+		fabric := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(n))
+		c := New(env, fabric, DefaultParams())
+		var done sim.Time
+		runRanks(env, n, func(p *sim.Proc, rank int) {
+			buf := make([]float32, 1<<20)
+			c.AllReduce(p, rank, buf)
+			if p.Now() > done {
+				done = p.Now()
+			}
+		})
+		return done
+	}
+	// Ring allreduce time ∝ 2(P-1)/P: grows with P at fixed buffer size.
+	if !(cost(2) < cost(3) && cost(3) < cost(4)) {
+		t.Fatalf("ring cost not increasing: %v %v %v", cost(2), cost(3), cost(4))
+	}
+}
+
+func TestMismatchedCollectiveKindsPanic(t *testing.T) {
+	env, c := testComm(2)
+	panicked := false
+	env.Go("r0", func(p *sim.Proc) {
+		c.AllReduce(p, 0, make([]float32, 4))
+	})
+	env.Go("r1", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.AllGather(p, 1, make([]float32, 2), [][]float32{make([]float32, 2), make([]float32, 2)})
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("mismatched collective kinds did not panic")
+	}
+}
+
+func TestSingleRankCollectivesDegenerate(t *testing.T) {
+	env, c := testComm(1)
+	runRanks(env, 1, func(p *sim.Proc, rank int) {
+		send := [][]float32{{1, 2}}
+		recv := [][]float32{make([]float32, 2)}
+		c.AllToAllSingle(p, rank, send, recv)
+		if recv[0][0] != 1 || recv[0][1] != 2 {
+			t.Errorf("self alltoall = %v", recv[0])
+		}
+		buf := []float32{5}
+		c.AllReduce(p, rank, buf)
+		if buf[0] != 5 {
+			t.Errorf("self allreduce = %v", buf[0])
+		}
+	})
+}
+
+func TestBackToBackCollectives(t *testing.T) {
+	const n = 2
+	env, c := testComm(n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		for round := 0; round < 5; round++ {
+			buf := []float32{1}
+			c.AllReduce(p, rank, buf)
+			if buf[0] != n {
+				t.Errorf("round %d: allreduce = %v", round, buf[0])
+			}
+		}
+	})
+}
+
+func TestReduceScatterVFunctional(t *testing.T) {
+	// 5 elements over 2 ranks: shards of 3 and 2.
+	const n = 2
+	env, c := testComm(n)
+	outs := make([][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		contrib := []float32{1, 2, 3, 4, 5}
+		if rank == 1 {
+			contrib = []float32{10, 20, 30, 40, 50}
+		}
+		sizes := []int{3, 2}
+		out := make([]float32, sizes[rank])
+		c.ReduceScatterV(p, rank, contrib, out, sizes)
+		outs[rank] = out
+	})
+	want0 := []float32{11, 22, 33}
+	want1 := []float32{44, 55}
+	for i, v := range want0 {
+		if outs[0][i] != v {
+			t.Fatalf("rank0 out = %v", outs[0])
+		}
+	}
+	for i, v := range want1 {
+		if outs[1][i] != v {
+			t.Fatalf("rank1 out = %v", outs[1])
+		}
+	}
+}
+
+func TestReduceScatterVValidation(t *testing.T) {
+	env, c := testComm(2)
+	cases := []struct {
+		contrib, out int
+		sizes        []int
+	}{
+		{5, 3, []int{3}},    // wrong shard count
+		{4, 3, []int{3, 2}}, // contrib != sum
+		{5, 1, []int{3, 2}}, // out != own shard
+	}
+	for i, cse := range cases {
+		cse := cse
+		panicked := false
+		env.Go("bad", func(p *sim.Proc) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			c.ReduceScatterV(p, 0, make([]float32, cse.contrib), make([]float32, cse.out), cse.sizes)
+		})
+		env.Run()
+		if !panicked {
+			t.Errorf("case %d did not panic", i)
+		}
+	}
+}
+
+func TestReduceScatterSizesTiming(t *testing.T) {
+	const n = 3
+	env, c := testComm(n)
+	var done sim.Time
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		c.ReduceScatterSizes(p, rank, 26e6) // 26 MB shard at 2.6 GB/s = 10 ms per step
+		if p.Now() > done {
+			done = p.Now()
+		}
+	})
+	// Two ring steps of ~10 ms plus overheads.
+	if done < 20e-3 || done > 25e-3 {
+		t.Fatalf("reduce-scatter-sizes time = %v, want ~20ms", done)
+	}
+}
+
+func TestBroadcastFunctional(t *testing.T) {
+	const n = 3
+	env, c := testComm(n)
+	bufs := make([][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		bufs[rank] = make([]float32, 4)
+		if rank == 1 { // root
+			for i := range bufs[rank] {
+				bufs[rank][i] = float32(10 + i)
+			}
+		}
+		c.Broadcast(p, rank, 1, bufs[rank])
+	})
+	for rank := 0; rank < n; rank++ {
+		for i := 0; i < 4; i++ {
+			if bufs[rank][i] != float32(10+i) {
+				t.Fatalf("rank %d buf = %v", rank, bufs[rank])
+			}
+		}
+	}
+}
+
+func TestBroadcastRootOutOfRangePanics(t *testing.T) {
+	env, c := testComm(2)
+	panicked := false
+	env.Go("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.Broadcast(p, 0, 5, make([]float32, 1))
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("bad root did not panic")
+	}
+}
+
+func TestGatherFunctional(t *testing.T) {
+	const n = 3
+	env, c := testComm(n)
+	var rootOut [][]float32
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		shard := []float32{float32(rank * 7)}
+		var out [][]float32
+		if rank == 2 {
+			out = [][]float32{make([]float32, 1), make([]float32, 1), make([]float32, 1)}
+			rootOut = out
+		}
+		c.Gather(p, rank, 2, shard, out)
+	})
+	for src := 0; src < n; src++ {
+		if rootOut[src][0] != float32(src*7) {
+			t.Fatalf("gathered = %v", rootOut)
+		}
+	}
+}
+
+func TestGatherRootNeedsSlots(t *testing.T) {
+	env, c := testComm(2)
+	panicked := false
+	env.Go("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.Gather(p, 0, 0, make([]float32, 1), nil)
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("root without out slots did not panic")
+	}
+}
+
+func TestBroadcastSingleRank(t *testing.T) {
+	env, c := testComm(1)
+	runRanks(env, 1, func(p *sim.Proc, rank int) {
+		buf := []float32{3}
+		c.Broadcast(p, rank, 0, buf)
+		if buf[0] != 3 {
+			t.Error("self broadcast corrupted buffer")
+		}
+	})
+}
+
+func TestCollectiveContendsWithOneSidedTraffic(t *testing.T) {
+	// Collectives now occupy the physical pipes: when a burst of one-sided
+	// traffic already fills the 0->1 wire, the collective's leg drains
+	// later than its protocol pacing alone would allow.
+	run := func(congest bool) sim.Time {
+		env := sim.NewEnv()
+		fabric := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(2))
+		c := New(env, fabric, DefaultParams())
+		if congest {
+			// 5 GB head-of-line on the 0->1 pipe: 100 ms at 50 GB/s.
+			fabric.Pipe(0, 1).Offer(5e9)
+		}
+		var done sim.Time
+		runRanks(env, 2, func(p *sim.Proc, rank int) {
+			sizes := []float64{0, 0}
+			sizes[1-rank] = 1 << 20
+			c.AllToAllSingleSizes(p, rank, sizes, sizes)
+			if p.Now() > done {
+				done = p.Now()
+			}
+		})
+		return done
+	}
+	idle := run(false)
+	congested := run(true)
+	if congested <= idle {
+		t.Fatalf("congested collective (%v) not slower than idle (%v)", congested, idle)
+	}
+	if congested < 0.09 { // must wait out most of the 100 ms burst
+		t.Fatalf("congested collective finished at %v, ignoring wire occupancy", congested)
+	}
+}
+
+func TestCollectiveOccupiesWireForLaterTraffic(t *testing.T) {
+	// Symmetric direction: a collective's bytes delay subsequent one-sided
+	// traffic on the same pipe.
+	env := sim.NewEnv()
+	fabric := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(2))
+	c := New(env, fabric, DefaultParams())
+	const legBytes = 1 << 24 // 16 MiB
+	runRanks(env, 2, func(p *sim.Proc, rank int) {
+		sizes := []float64{0, 0}
+		sizes[1-rank] = legBytes
+		c.AllToAllSingleSizes(p, rank, sizes, sizes)
+	})
+	// The pipe now holds the collective's bytes; their drain horizon must
+	// reflect 16 MiB at 50 GB/s.
+	if got := fabric.Pipe(0, 1).TotalBytes(); got != legBytes {
+		t.Fatalf("pipe carried %v bytes, want %v", got, float64(legBytes))
+	}
+}

@@ -1,0 +1,64 @@
+package embedding
+
+import (
+	"testing"
+
+	"pgasemb/internal/sim"
+)
+
+func BenchmarkHashIndex(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= HashIndex(int64(i), 1_000_000)
+	}
+	_ = sink
+}
+
+func benchLookup(b *testing.B, pooling int, mode PoolingMode) {
+	b.Helper()
+	rng := sim.NewRNG(1)
+	tbl := NewTable(1<<16, 64, rng)
+	bag := make([]int64, pooling)
+	for i := range bag {
+		bag[i] = int64(rng.Intn(1 << 30))
+	}
+	out := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.LookupPooled(bag, mode, out)
+	}
+	b.SetBytes(int64(pooling) * 64 * 4)
+}
+
+func BenchmarkLookupPooledSum32(b *testing.B)  { benchLookup(b, 32, SumPooling) }
+func BenchmarkLookupPooledSum128(b *testing.B) { benchLookup(b, 128, SumPooling) }
+func BenchmarkLookupPooledMax32(b *testing.B)  { benchLookup(b, 32, MaxPooling) }
+
+func BenchmarkLookupPooledPartial(b *testing.B) {
+	rng := sim.NewRNG(2)
+	tbl := NewTable(1<<16, 64, rng)
+	bag := make([]int64, 64)
+	for i := range bag {
+		bag[i] = int64(rng.Intn(1 << 30))
+	}
+	out := make([]float32, 64)
+	lo, hi := RowShardRange(1<<16, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.LookupPooledPartial(bag, SumPooling, out, lo, hi)
+	}
+}
+
+func BenchmarkAccumulateGrad(b *testing.B) {
+	rng := sim.NewRNG(3)
+	tbl := NewTable(1<<16, 64, rng)
+	bag := make([]int64, 64)
+	for i := range bag {
+		bag[i] = int64(rng.Intn(1 << 30))
+	}
+	grad := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.AccumulateGrad(bag, grad)
+	}
+}

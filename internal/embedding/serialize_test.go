@@ -1,0 +1,94 @@
+package embedding
+
+import (
+	"bytes"
+	"testing"
+
+	"pgasemb/internal/sim"
+	"pgasemb/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(31)
+	c := NewCollection([]int{3, 1, 7}, 40, 8, MeanPooling, rng)
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 8 || got.Mode != MeanPooling || len(got.Tables) != 3 {
+		t.Fatalf("loaded shape wrong: dim=%d mode=%v tables=%d", got.Dim, got.Mode, len(got.Tables))
+	}
+	for i := range c.Tables {
+		if got.FeatureIDs[i] != c.FeatureIDs[i] {
+			t.Fatalf("feature IDs differ at %d", i)
+		}
+		if !tensor.Equal(got.Tables[i].Weights, c.Tables[i].Weights) {
+			t.Fatalf("table %d weights differ after round trip", i)
+		}
+	}
+	// Loaded tables keep working.
+	out := make([]float32, 8)
+	got.Tables[0].LookupPooled([]int64{5, 9}, SumPooling, out)
+	want := make([]float32, 8)
+	c.Tables[0].LookupPooled([]int64{5, 9}, SumPooling, want)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatal("loaded table lookup differs")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a checkpoint at all........"),
+		{0x50, 0x47, 0x45, 0x42}, // magic only, truncated
+	}
+	for i, c := range cases {
+		if _, err := LoadCollection(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	c := NewCollection([]int{0}, 4, 2, SumPooling, sim.NewRNG(1))
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // bump version byte
+	if _, err := LoadCollection(bytes.NewReader(b)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestLoadRejectsBadMode(t *testing.T) {
+	c := NewCollection([]int{0}, 4, 2, SumPooling, sim.NewRNG(1))
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = 77 // mode field
+	if _, err := LoadCollection(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad pooling mode accepted")
+	}
+}
+
+func TestLoadTruncatedWeights(t *testing.T) {
+	c := NewCollection([]int{0}, 10, 4, SumPooling, sim.NewRNG(2))
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-17] // chop mid-weights
+	if _, err := LoadCollection(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

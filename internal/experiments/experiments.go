@@ -1,0 +1,253 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section from the simulated system:
+//
+//	Table 1 / Table 2 — weak/strong scaling speedups of PGAS over baseline
+//	Figure 5 / Figure 8 — weak/strong scaling factor curves
+//	Figure 6 / Figure 9 — runtime component breakdowns
+//	Figure 7 / Figure 10 — communication volume over time
+//
+// Each experiment returns structured data plus ASCII/CSV renderings; the
+// calibration shape tests in this package assert that the regenerated
+// results match the paper's qualitative and (within tolerance) quantitative
+// findings.
+package experiments
+
+import (
+	"fmt"
+
+	"pgasemb/internal/metrics"
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/trace"
+)
+
+// ScalingKind selects the paper's §IV-A or §IV-B experiment.
+type ScalingKind int
+
+const (
+	// WeakScaling holds per-GPU work constant (64 tables per GPU).
+	WeakScaling ScalingKind = iota
+	// StrongScaling holds total work constant (96 tables).
+	StrongScaling
+)
+
+func (k ScalingKind) String() string {
+	if k == WeakScaling {
+		return "weak"
+	}
+	return "strong"
+}
+
+// Config builds the retrieval configuration for this kind and GPU count.
+func (k ScalingKind) Config(gpus int) retrieval.Config {
+	if k == WeakScaling {
+		return retrieval.WeakScalingConfig(gpus)
+	}
+	return retrieval.StrongScalingConfig(gpus)
+}
+
+// Options tunes an experiment run.
+type Options struct {
+	// MaxGPUs bounds the sweep (paper: 4).
+	MaxGPUs int
+	// Batches overrides the per-run batch count (0 = paper's 100).
+	Batches int
+	// HW selects the hardware model (zero value = calibrated defaults).
+	HW *retrieval.HardwareParams
+}
+
+func (o Options) maxGPUs() int {
+	if o.MaxGPUs <= 0 {
+		return 4
+	}
+	return o.MaxGPUs
+}
+
+func (o Options) hardware() retrieval.HardwareParams {
+	if o.HW != nil {
+		return *o.HW
+	}
+	return retrieval.DefaultHardware()
+}
+
+func (o Options) apply(cfg retrieval.Config) retrieval.Config {
+	if o.Batches > 0 {
+		cfg.Batches = o.Batches
+	}
+	return cfg
+}
+
+// ScalingPoint holds one GPU count's pair of runs.
+type ScalingPoint struct {
+	GPUs     int
+	Baseline *retrieval.Result
+	PGAS     *retrieval.Result
+}
+
+// Speedup returns baseline/PGAS total time.
+func (p ScalingPoint) Speedup() float64 {
+	return metrics.Speedup(p.Baseline.TotalTime, p.PGAS.TotalTime)
+}
+
+// ScalingResult is a full sweep over GPU counts.
+type ScalingResult struct {
+	Kind   ScalingKind
+	Points []ScalingPoint
+}
+
+// RunScaling executes the weak- or strong-scaling sweep with both backends.
+func RunScaling(kind ScalingKind, opts Options) (*ScalingResult, error) {
+	res := &ScalingResult{Kind: kind}
+	hw := opts.hardware()
+	for gpus := 1; gpus <= opts.maxGPUs(); gpus++ {
+		cfg := opts.apply(kind.Config(gpus))
+		pt := ScalingPoint{GPUs: gpus}
+		for _, backend := range []retrieval.Backend{&retrieval.Baseline{}, &retrieval.PGASFused{}} {
+			sys, err := retrieval.NewSystem(cfg, hw)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s scaling, %d GPUs: %w", kind, gpus, err)
+			}
+			r, err := sys.Run(backend)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s scaling, %d GPUs, %s: %w", kind, gpus, backend.Name(), err)
+			}
+			switch backend.(type) {
+			case *retrieval.Baseline:
+				pt.Baseline = r
+			default:
+				pt.PGAS = r
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Point returns the entry for the given GPU count.
+func (r *ScalingResult) Point(gpus int) ScalingPoint {
+	for _, p := range r.Points {
+		if p.GPUs == gpus {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("experiments: no point for %d GPUs", gpus))
+}
+
+// Speedups returns the PGAS-over-baseline speedups for GPU counts >= 2 —
+// the rows of Table 1 / Table 2.
+func (r *ScalingResult) Speedups() []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		if p.GPUs >= 2 {
+			out = append(out, p.Speedup())
+		}
+	}
+	return out
+}
+
+// GeomeanSpeedup returns the headline number (paper: 1.97x weak, 2.63x
+// strong).
+func (r *ScalingResult) GeomeanSpeedup() float64 {
+	return metrics.Geomean(r.Speedups())
+}
+
+// Factors returns the scaling-factor series for one backend: weak scaling
+// uses T1/TP (ideal flat 1.0, Figure 5); strong scaling uses T1/TP as the
+// speedup over one GPU (ideal = P, Figure 8). Both definitions coincide;
+// they differ only in the ideal line they are compared against.
+func (r *ScalingResult) Factors(pgas bool) []float64 {
+	single := r.Points[0].Baseline.TotalTime
+	if pgas {
+		single = r.Points[0].PGAS.TotalTime
+	}
+	var out []float64
+	for _, p := range r.Points {
+		t := p.Baseline.TotalTime
+		if pgas {
+			t = p.PGAS.TotalTime
+		}
+		out = append(out, single/t)
+	}
+	return out
+}
+
+// BreakdownSeries returns, for each GPU count, the named baseline component
+// (per the paper's Figures 6 and 9 bars), in seconds.
+func (r *ScalingResult) BreakdownSeries(component string) []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		out = append(out, p.Baseline.Breakdown.Get(component))
+	}
+	return out
+}
+
+// PGASTotals returns the PGAS total runtime per GPU count.
+func (r *ScalingResult) PGASTotals() []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		out = append(out, p.PGAS.TotalTime)
+	}
+	return out
+}
+
+// BaselineTotals returns the baseline total runtime per GPU count.
+func (r *ScalingResult) BaselineTotals() []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		out = append(out, p.Baseline.TotalTime)
+	}
+	return out
+}
+
+// CommVolumeResult carries the data behind Figures 7 and 10: communication
+// volume over time for both implementations on a given GPU count.
+type CommVolumeResult struct {
+	Kind     ScalingKind
+	GPUs     int
+	Bins     int
+	PGAS     []trace.Point // per-bin delivered payload bytes, PGAS run
+	Baseline []trace.Point // per-bin delivered payload bytes, baseline run
+	// PGASSpan / BaselineSpan are each run's [0, total] windows the series
+	// cover.
+	PGASSpan     sim.Duration
+	BaselineSpan sim.Duration
+}
+
+// RunCommVolume profiles communication volume over time (the paper's
+// "communication counter" experiment) for the given scaling kind and GPU
+// count. The paper plots 2 GPUs for the weak configuration (Figure 7) and
+// 4 GPUs for the strong one (Figure 10).
+func RunCommVolume(kind ScalingKind, gpus, bins int, opts Options) (*CommVolumeResult, error) {
+	if gpus < 2 {
+		return nil, fmt.Errorf("experiments: communication profiling needs >= 2 GPUs")
+	}
+	if bins <= 0 {
+		bins = 120
+	}
+	cfg := opts.apply(kind.Config(gpus))
+	hw := opts.hardware()
+	out := &CommVolumeResult{Kind: kind, GPUs: gpus, Bins: bins}
+	for _, pgasRun := range []bool{false, true} {
+		sys, err := retrieval.NewSystem(cfg, hw)
+		if err != nil {
+			return nil, err
+		}
+		var backend retrieval.Backend = &retrieval.Baseline{}
+		if pgasRun {
+			backend = &retrieval.PGASFused{}
+		}
+		r, err := sys.Run(backend)
+		if err != nil {
+			return nil, err
+		}
+		series := r.CommTrace.RateSeries(0, r.TotalTime, bins)
+		if pgasRun {
+			out.PGAS = series
+			out.PGASSpan = r.TotalTime
+		} else {
+			out.Baseline = series
+			out.BaselineSpan = r.TotalTime
+		}
+	}
+	return out, nil
+}

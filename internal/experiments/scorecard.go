@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pgasemb/internal/metrics"
+)
+
+// Scorecard renders the headline paper-vs-measured comparison from a pair
+// of completed sweeps: every number the paper states explicitly, next to
+// this run's value and the relative error.
+func Scorecard(weak, strong *ScalingResult) *Table {
+	if weak.Kind != WeakScaling || strong.Kind != StrongScaling {
+		panic("experiments: Scorecard needs one weak and one strong result, in that order")
+	}
+	t := &Table{
+		Title:   "Reproduction scorecard (paper vs this run)",
+		Headers: []string{"metric", "paper", "measured", "rel err"},
+	}
+	add := func(name string, paper, measured float64) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", paper),
+			fmt.Sprintf("%.2f", measured),
+			fmt.Sprintf("%+.1f%%", 100*(measured-paper)/paper),
+		})
+	}
+	add("weak speedup, 2 GPUs", 2.10, weak.Point(2).Speedup())
+	add("weak speedup, 3 GPUs", 1.95, weak.Point(3).Speedup())
+	add("weak speedup, 4 GPUs", 1.87, weak.Point(4).Speedup())
+	add("weak speedup, geomean", 1.97, weak.GeomeanSpeedup())
+	add("strong speedup, 2 GPUs", 2.95, strong.Point(2).Speedup())
+	add("strong speedup, 3 GPUs", 2.55, strong.Point(3).Speedup())
+	add("strong speedup, 4 GPUs", 2.44, strong.Point(4).Speedup())
+	add("strong speedup, geomean", 2.63, strong.GeomeanSpeedup())
+	add("baseline weak factor, 2 GPUs", 0.46, weak.Factors(false)[1])
+	add("PGAS strong factor, 2 GPUs", 1.60, strong.Factors(true)[1])
+	return t
+}
+
+// ScorecardWorstError returns the largest relative error (absolute value)
+// across the scorecard's metrics — a single regression number for CI.
+func ScorecardWorstError(weak, strong *ScalingResult) float64 {
+	pairs := []struct{ paper, measured float64 }{
+		{2.10, weak.Point(2).Speedup()},
+		{1.95, weak.Point(3).Speedup()},
+		{1.87, weak.Point(4).Speedup()},
+		{1.97, weak.GeomeanSpeedup()},
+		{2.95, strong.Point(2).Speedup()},
+		{2.55, strong.Point(3).Speedup()},
+		{2.44, strong.Point(4).Speedup()},
+		{2.63, strong.GeomeanSpeedup()},
+		{0.46, weak.Factors(false)[1]},
+		{1.60, strong.Factors(true)[1]},
+	}
+	var worst float64
+	for _, p := range pairs {
+		if e := metrics.RelativeError(p.measured, p.paper); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pgasemb/internal/retrieval"
+)
+
+// SpeedupStats summarises the PGAS-over-baseline speedup at one GPU count
+// across several workload seeds.
+type SpeedupStats struct {
+	GPUs   int
+	Seeds  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// RunScalingStats repeats the scaling sweep across `seeds` workload seeds
+// and reports per-GPU-count speedup statistics — the variance the paper's
+// single-seed tables do not show. The pooling draws are the only stochastic
+// input, so at paper scale the spread is small; the statistics quantify
+// exactly how small.
+func RunScalingStats(kind ScalingKind, seeds int, opts Options) ([]SpeedupStats, error) {
+	if seeds <= 0 {
+		return nil, fmt.Errorf("experiments: need at least one seed")
+	}
+	hw := opts.hardware()
+	maxGPUs := opts.maxGPUs()
+	samples := make([][]float64, maxGPUs+1)
+	for s := 0; s < seeds; s++ {
+		for gpus := 2; gpus <= maxGPUs; gpus++ {
+			cfg := opts.apply(kind.Config(gpus))
+			cfg.Seed = cfg.Seed + uint64(s)*1_000_003
+			var times [2]float64
+			for i, backend := range []retrieval.Backend{&retrieval.Baseline{}, &retrieval.PGASFused{}} {
+				sys, err := retrieval.NewSystem(cfg, hw)
+				if err != nil {
+					return nil, err
+				}
+				r, err := sys.Run(backend)
+				if err != nil {
+					return nil, err
+				}
+				times[i] = r.TotalTime
+			}
+			samples[gpus] = append(samples[gpus], times[0]/times[1])
+		}
+	}
+	var out []SpeedupStats
+	for gpus := 2; gpus <= maxGPUs; gpus++ {
+		xs := samples[gpus]
+		var sum float64
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		mean := sum / float64(len(xs))
+		var sq float64
+		for _, x := range xs {
+			sq += (x - mean) * (x - mean)
+		}
+		sd := 0.0
+		if len(xs) > 1 {
+			sd = math.Sqrt(sq / float64(len(xs)-1))
+		}
+		out = append(out, SpeedupStats{
+			GPUs: gpus, Seeds: seeds, Mean: mean, StdDev: sd, Min: mn, Max: mx,
+		})
+	}
+	return out, nil
+}
+
+// StatsTable renders speedup statistics.
+func StatsTable(kind ScalingKind, stats []SpeedupStats) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("%s-scaling speedup across seeds", kind),
+		Headers: []string{"GPUs", "seeds", "mean", "stddev", "min", "max"},
+	}
+	for _, s := range stats {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", s.GPUs),
+			fmt.Sprintf("%d", s.Seeds),
+			fmt.Sprintf("%.3fx", s.Mean),
+			fmt.Sprintf("%.4f", s.StdDev),
+			fmt.Sprintf("%.3fx", s.Min),
+			fmt.Sprintf("%.3fx", s.Max),
+		})
+	}
+	return t
+}

@@ -1,0 +1,212 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"pgasemb/internal/sim"
+)
+
+// Device is one simulated GPU: an ID, a parameter set, a memory allocator
+// and any number of in-order streams.
+type Device struct {
+	env    *sim.Env
+	id     int
+	params Params
+
+	allocated int64
+	buffers   map[string]*Buffer
+	streams   []*Stream
+}
+
+// Buffer is a named device-memory allocation. It carries no storage — the
+// functional data lives in tensors — only capacity accounting, mirroring how
+// the paper's strong-scaling configuration is bounded by the 32 GB card.
+type Buffer struct {
+	dev   *Device
+	name  string
+	bytes int64
+	freed bool
+}
+
+// NewDevice returns a device with the given ID and parameters.
+func NewDevice(env *sim.Env, id int, params Params) *Device {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		env:     env,
+		id:      id,
+		params:  params,
+		buffers: make(map[string]*Buffer),
+	}
+}
+
+// ID returns the device ordinal.
+func (d *Device) ID() int { return d.id }
+
+// Params returns the device parameter set.
+func (d *Device) Params() Params { return d.params }
+
+// Env returns the simulation environment.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// Alloc reserves bytes of device memory under the given name. It returns an
+// error when the device would exceed capacity — the same constraint that
+// shaped the paper's strong-scaling configuration (96 tables ≈ 24.6 GB on a
+// 32 GB card).
+func (d *Device) Alloc(name string, bytes int64) (*Buffer, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("gpu%d: negative allocation %d for %q", d.id, bytes, name)
+	}
+	if _, exists := d.buffers[name]; exists {
+		return nil, fmt.Errorf("gpu%d: allocation %q already exists", d.id, name)
+	}
+	if d.allocated+bytes > d.params.MemoryCapacity {
+		return nil, fmt.Errorf("gpu%d: out of memory: %q needs %d bytes, %d of %d in use",
+			d.id, name, bytes, d.allocated, d.params.MemoryCapacity)
+	}
+	b := &Buffer{dev: d, name: name, bytes: bytes}
+	d.buffers[name] = b
+	d.allocated += bytes
+	return b, nil
+}
+
+// MustAlloc is Alloc that panics on failure, for setup code whose sizes are
+// validated elsewhere.
+func (d *Device) MustAlloc(name string, bytes int64) *Buffer {
+	b, err := d.Alloc(name, bytes)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases the buffer. Freeing twice panics.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic(fmt.Sprintf("gpu%d: double free of %q", b.dev.id, b.name))
+	}
+	b.freed = true
+	b.dev.allocated -= b.bytes
+	delete(b.dev.buffers, b.name)
+}
+
+// Bytes returns the buffer size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Name returns the buffer name.
+func (b *Buffer) Name() string { return b.name }
+
+// Allocated returns the bytes currently in use on the device.
+func (d *Device) Allocated() int64 { return d.allocated }
+
+// AllocationNames returns the live allocation names, sorted, for diagnostics.
+func (d *Device) AllocationNames() []string {
+	names := make([]string, 0, len(d.buffers))
+	for n := range d.buffers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewStream creates an in-order execution stream on the device
+// (cudaStreamCreateWithFlags in the paper's Listing 2).
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{dev: d, name: name}
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// Stream is an in-order work queue on a device. Work items enqueue
+// host-side (costing launch overhead on the caller) and run back-to-back on
+// the device; Synchronize blocks the calling process until the queue drains,
+// costing the host-side sync overhead on top.
+type Stream struct {
+	dev       *Device
+	name      string
+	busyUntil sim.Time
+	launches  int
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.name }
+
+// Device returns the owning device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Launches returns how many work items were ever enqueued.
+func (s *Stream) Launches() int { return s.launches }
+
+// BusyUntil returns when the last enqueued work item finishes.
+func (s *Stream) BusyUntil() sim.Time { return s.busyUntil }
+
+// Launch enqueues a kernel of the given duration. The calling process pays
+// the launch overhead; the kernel itself starts when the stream is free and
+// runs without blocking the caller (asynchronous launch semantics). It
+// returns the kernel's (start, end) interval.
+func (s *Stream) Launch(p *sim.Proc, d sim.Duration) (start, end sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("gpu%d/%s: negative kernel duration %g", s.dev.id, s.name, d))
+	}
+	p.Wait(s.dev.params.KernelLaunch) // host-side cost
+	start = p.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end = start + d
+	s.busyUntil = end
+	s.launches++
+	return start, end
+}
+
+// Synchronize blocks the calling process until the stream drains, then pays
+// the host-side synchronisation overhead.
+func (s *Stream) Synchronize(p *sim.Proc) {
+	p.WaitUntil(s.busyUntil)
+	p.Wait(s.dev.params.StreamSync)
+}
+
+// Event is a marker in a stream's work queue (cudaEvent semantics): it
+// completes when every kernel enqueued before it has finished.
+type Event struct {
+	stream   *Stream
+	at       sim.Time
+	recorded bool
+}
+
+// RecordEvent marks the stream's current tail: the event completes when all
+// previously enqueued work does.
+func (s *Stream) RecordEvent() *Event {
+	return &Event{stream: s, at: s.busyUntil, recorded: true}
+}
+
+// CompletesAt returns the event's completion time.
+func (e *Event) CompletesAt() sim.Time {
+	if !e.recorded {
+		panic("gpu: CompletesAt on unrecorded event")
+	}
+	return e.at
+}
+
+// WaitEvent makes subsequent work on s wait for e to complete
+// (cudaStreamWaitEvent): cross-stream ordering without host involvement.
+func (s *Stream) WaitEvent(e *Event) {
+	if !e.recorded {
+		panic("gpu: WaitEvent on unrecorded event")
+	}
+	if e.at > s.busyUntil {
+		s.busyUntil = e.at
+	}
+}
+
+// SynchronizeEvent blocks the calling process until the event completes
+// (cudaEventSynchronize), without draining the rest of the stream.
+func (e *Event) SynchronizeEvent(p *sim.Proc) {
+	if !e.recorded {
+		panic("gpu: SynchronizeEvent on unrecorded event")
+	}
+	p.WaitUntil(e.at)
+	p.Wait(e.stream.dev.params.StreamSync)
+}

@@ -1,0 +1,86 @@
+package gpu
+
+import (
+	"testing"
+
+	"pgasemb/internal/sim"
+)
+
+func TestRecordEventCapturesTail(t *testing.T) {
+	env, d := testDevice()
+	s := d.NewStream("s")
+	env.Go("host", func(p *sim.Proc) {
+		_, end := s.Launch(p, 5*sim.Millisecond)
+		e := s.RecordEvent()
+		if e.CompletesAt() != end {
+			t.Errorf("event completes at %v, want kernel end %v", e.CompletesAt(), end)
+		}
+	})
+	env.Run()
+}
+
+func TestWaitEventOrdersAcrossStreams(t *testing.T) {
+	env, d := testDevice()
+	a, b := d.NewStream("a"), d.NewStream("b")
+	env.Go("host", func(p *sim.Proc) {
+		_, endA := a.Launch(p, 10*sim.Millisecond)
+		e := a.RecordEvent()
+		b.WaitEvent(e)
+		startB, _ := b.Launch(p, 1*sim.Millisecond)
+		if startB < endA {
+			t.Errorf("stream b started at %v, before event at %v", startB, endA)
+		}
+	})
+	env.Run()
+}
+
+func TestWaitEventNoopWhenAlreadyPast(t *testing.T) {
+	env, d := testDevice()
+	a, b := d.NewStream("a"), d.NewStream("b")
+	env.Go("host", func(p *sim.Proc) {
+		e := a.RecordEvent() // empty stream: completes immediately
+		_, endB1 := b.Launch(p, 5*sim.Millisecond)
+		b.WaitEvent(e)
+		startB2, _ := b.Launch(p, 1*sim.Millisecond)
+		if startB2 != endB1 {
+			t.Errorf("past event delayed stream: start %v, want %v", startB2, endB1)
+		}
+	})
+	env.Run()
+}
+
+func TestSynchronizeEventDoesNotDrainStream(t *testing.T) {
+	env, d := testDevice()
+	s := d.NewStream("s")
+	env.Go("host", func(p *sim.Proc) {
+		_, end1 := s.Launch(p, 2*sim.Millisecond)
+		e := s.RecordEvent()
+		s.Launch(p, 50*sim.Millisecond) // long tail after the event
+		e.SynchronizeEvent(p)
+		if p.Now() < end1 {
+			t.Errorf("event sync returned at %v before event at %v", p.Now(), end1)
+		}
+		if p.Now() > end1+d.Params().StreamSync+1e-9 {
+			t.Errorf("event sync waited for the whole stream: %v", p.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestUnrecordedEventPanics(t *testing.T) {
+	var e Event
+	for i, fn := range []func(){
+		func() { e.CompletesAt() },
+		func() { (&Stream{}).WaitEvent(&e) },
+	} {
+		fn := fn
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

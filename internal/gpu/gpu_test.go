@@ -1,0 +1,430 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pgasemb/internal/sim"
+)
+
+func approxEq(a, b sim.Time) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func testDevice() (*sim.Env, *Device) {
+	env := sim.NewEnv()
+	return env, NewDevice(env, 0, V100Params())
+}
+
+func TestV100ParamsValid(t *testing.T) {
+	if err := V100Params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsEachField(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"MemoryCapacity", func(p *Params) { p.MemoryCapacity = 0 }},
+		{"HBMBandwidth", func(p *Params) { p.HBMBandwidth = -1 }},
+		{"GatherEfficiency", func(p *Params) { p.GatherEfficiency = 1.5 }},
+		{"StreamEfficiency", func(p *Params) { p.StreamEfficiency = 0 }},
+		{"UnpackEfficiency", func(p *Params) { p.UnpackEfficiency = -0.1 }},
+		{"PeakFLOPS", func(p *Params) { p.PeakFLOPS = 0 }},
+		{"MLPEfficiency", func(p *Params) { p.MLPEfficiency = 2 }},
+		{"KernelLaunch", func(p *Params) { p.KernelLaunch = -1 }},
+		{"StreamSync", func(p *Params) { p.StreamSync = -1 }},
+		{"SaturationItems", func(p *Params) { p.SaturationItems = -1 }},
+		{"ItemOverhead", func(p *Params) { p.ItemOverhead = -1 }},
+		{"RemoteIssueOverhead", func(p *Params) { p.RemoteIssueOverhead = -1 }},
+		{"RemotePeerChunkOverhead", func(p *Params) { p.RemotePeerChunkOverhead = -1 }},
+		{"UnpackFixed", func(p *Params) { p.UnpackFixed = -1 }},
+		{"UnpackPerSegment", func(p *Params) { p.UnpackPerSegment = -1 }},
+	}
+	for _, m := range mutations {
+		p := V100Params()
+		m.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("mutation of %s not rejected", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.name) {
+			t.Errorf("error %q does not name field %s", err, m.name)
+		}
+	}
+}
+
+func TestNewDeviceRejectsBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDevice with invalid params did not panic")
+		}
+	}()
+	p := V100Params()
+	p.HBMBandwidth = 0
+	NewDevice(sim.NewEnv(), 0, p)
+}
+
+func TestAllocAccounting(t *testing.T) {
+	_, d := testDevice()
+	b1, err := d.Alloc("tables", 10<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := d.Alloc("outputs", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocated() != 11<<30 {
+		t.Fatalf("Allocated = %d", d.Allocated())
+	}
+	names := d.AllocationNames()
+	if len(names) != 2 || names[0] != "outputs" || names[1] != "tables" {
+		t.Fatalf("names = %v", names)
+	}
+	b1.Free()
+	if d.Allocated() != 1<<30 {
+		t.Fatalf("Allocated after free = %d", d.Allocated())
+	}
+	b2.Free()
+	if d.Allocated() != 0 {
+		t.Fatalf("Allocated after all frees = %d", d.Allocated())
+	}
+}
+
+func TestAllocOverCapacityFails(t *testing.T) {
+	_, d := testDevice()
+	if _, err := d.Alloc("huge", 33<<30); err == nil {
+		t.Fatal("allocation beyond 32GB succeeded")
+	}
+	// Paper's strong-scaling config fits: 96 tables × 1M rows × 64 dims × 4B.
+	bytes := int64(96) * 1_000_000 * 64 * 4
+	if _, err := d.Alloc("strongscale", bytes); err != nil {
+		t.Fatalf("paper's 96-table config should fit in 32GB: %v", err)
+	}
+}
+
+func TestAllocDuplicateNameFails(t *testing.T) {
+	_, d := testDevice()
+	d.MustAlloc("x", 1)
+	if _, err := d.Alloc("x", 1); err == nil {
+		t.Fatal("duplicate allocation name succeeded")
+	}
+}
+
+func TestAllocNegativeFails(t *testing.T) {
+	_, d := testDevice()
+	if _, err := d.Alloc("neg", -1); err == nil {
+		t.Fatal("negative allocation succeeded")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	_, d := testDevice()
+	b := d.MustAlloc("x", 4)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestBufferAccessors(t *testing.T) {
+	_, d := testDevice()
+	b := d.MustAlloc("weights", 128)
+	if b.Bytes() != 128 || b.Name() != "weights" {
+		t.Fatalf("accessors: %d %q", b.Bytes(), b.Name())
+	}
+}
+
+func TestStreamSerializesKernels(t *testing.T) {
+	env, d := testDevice()
+	s := d.NewStream("s0")
+	var ends []sim.Time
+	env.Go("host", func(p *sim.Proc) {
+		_, e1 := s.Launch(p, 10*sim.Millisecond)
+		_, e2 := s.Launch(p, 5*sim.Millisecond)
+		ends = append(ends, e1, e2)
+	})
+	env.Run()
+	launch := d.Params().KernelLaunch
+	wantE1 := launch + 10*sim.Millisecond
+	// The second kernel queues behind the first (which outlives its own
+	// launch overhead), so it starts at wantE1 and ends 5 ms later.
+	wantE2 := launch + 15*sim.Millisecond
+	if !approxEq(ends[0], wantE1) {
+		t.Fatalf("first kernel end = %v, want %v", ends[0], wantE1)
+	}
+	if !approxEq(ends[1], wantE2) {
+		t.Fatalf("second kernel end = %v, want %v", ends[1], wantE2)
+	}
+	if s.Launches() != 2 {
+		t.Fatalf("Launches = %d", s.Launches())
+	}
+}
+
+func TestStreamSynchronizeWaitsAndCosts(t *testing.T) {
+	env, d := testDevice()
+	s := d.NewStream("s0")
+	var doneAt sim.Time
+	env.Go("host", func(p *sim.Proc) {
+		s.Launch(p, 1*sim.Millisecond)
+		s.Synchronize(p)
+		doneAt = p.Now()
+	})
+	env.Run()
+	want := d.Params().KernelLaunch + 1*sim.Millisecond + d.Params().StreamSync
+	if doneAt != want {
+		t.Fatalf("sync completed at %v, want %v", doneAt, want)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	env, d := testDevice()
+	a, b := d.NewStream("a"), d.NewStream("b")
+	env.Go("host", func(p *sim.Proc) {
+		_, endA := a.Launch(p, 10*sim.Millisecond)
+		_, endB := b.Launch(p, 1*sim.Millisecond)
+		if endB >= endA {
+			t.Errorf("independent streams serialized: endA=%v endB=%v", endA, endB)
+		}
+	})
+	env.Run()
+}
+
+func TestNegativeKernelDurationPanics(t *testing.T) {
+	env, d := testDevice()
+	s := d.NewStream("s")
+	panicked := false
+	env.Go("host", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		s.Launch(p, -1)
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("negative duration did not panic")
+	}
+}
+
+func TestOccupancyUtilShape(t *testing.T) {
+	_, d := testDevice()
+	if d.occupancyUtil(0) != 0 {
+		t.Fatal("zero items should have zero utilisation")
+	}
+	sat := int(d.Params().SaturationItems)
+	if got := d.occupancyUtil(sat / 2); got < 0.49 || got > 0.51 {
+		t.Fatalf("util at half saturation = %v, want ~0.5", got)
+	}
+	if d.occupancyUtil(sat) != 1 || d.occupancyUtil(100*sat) != 1 {
+		t.Fatal("util should be exactly 1 at and beyond saturation")
+	}
+	if d.occupancyUtil(10) >= d.occupancyUtil(100) {
+		t.Fatal("util should be increasing below saturation")
+	}
+}
+
+func TestStrongScalingComputePlateau(t *testing.T) {
+	// Below saturation, halving both traffic and work items leaves kernel
+	// time unchanged — the paper's strong-scaling compute plateau.
+	_, d := testDevice()
+	sat := int(d.Params().SaturationItems)
+	t2 := d.GatherKernelCost(4e9, 0, sat/2)
+	t4 := d.GatherKernelCost(2e9, 0, sat/4)
+	if ratio := t4 / t2; ratio < 0.999 || ratio > 1.001 {
+		t.Fatalf("plateau broken: t2=%v t4=%v", t2, t4)
+	}
+}
+
+func TestGatherKernelCostScalesWithBytes(t *testing.T) {
+	// With the per-item overhead zeroed, cost is linear in bytes at fixed
+	// occupancy.
+	p := V100Params()
+	p.ItemOverhead = 0
+	d := NewDevice(sim.NewEnv(), 0, p)
+	const items = 1 << 20
+	c1 := d.GatherKernelCost(1e9, 0, items)
+	c2 := d.GatherKernelCost(2e9, 0, items)
+	if c2 <= c1 {
+		t.Fatal("cost not increasing in read bytes")
+	}
+	ratio := c2 / c1
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("cost should be linear in bytes at fixed occupancy: ratio=%v", ratio)
+	}
+}
+
+func TestGatherKernelLatencyLimited(t *testing.T) {
+	// Halving bytes AND work items together (strong scaling) must shrink
+	// runtime by less than 2x once the work drops below saturation.
+	_, d := testDevice()
+	sat := int(d.Params().SaturationItems)
+	full := d.GatherKernelCost(16e9, 0, sat)
+	half := d.GatherKernelCost(8e9, 0, sat/2)
+	if half*2 <= full {
+		t.Fatalf("no latency-limiting visible: full=%v half=%v", full, half)
+	}
+}
+
+func TestChunkCostsSumToKernelCost(t *testing.T) {
+	_, d := testDevice()
+	const items = 1 << 19 // below saturation: utilisation matters
+	total := d.GatherKernelCost(1e9, 2e8, items)
+	var sum sim.Duration
+	const chunks = 7
+	for k := 0; k < chunks; k++ {
+		lo := items * k / chunks
+		hi := items * (k + 1) / chunks
+		frac := float64(hi-lo) / float64(items)
+		sum += d.GatherKernelChunkCost(1e9*frac, 2e8*frac, hi-lo, items)
+	}
+	diff := sum - total
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-12 {
+		t.Fatalf("chunk costs sum to %v, kernel cost %v", sum, total)
+	}
+}
+
+func TestChunkCostValidation(t *testing.T) {
+	_, d := testDevice()
+	defer func() {
+		if recover() == nil {
+			t.Error("chunkItems > kernelItems did not panic")
+		}
+	}()
+	d.GatherKernelChunkCost(1, 1, 10, 5)
+}
+
+func TestGatherWritesCheaperThanGatherReads(t *testing.T) {
+	_, d := testDevice()
+	r := d.GatherKernelCost(1e9, 0, 1<<20)
+	w := d.GatherKernelCost(0, 1e9, 1<<20)
+	if w >= r {
+		t.Fatalf("streaming writes (%v) should beat gathered reads (%v)", w, r)
+	}
+}
+
+func TestRemoteIssueCostLinear(t *testing.T) {
+	_, d := testDevice()
+	if d.RemoteIssueCost(0) != 0 {
+		t.Fatal("zero stores should cost nothing")
+	}
+	one := d.RemoteIssueCost(1)
+	million := d.RemoteIssueCost(1_000_000)
+	if million != 1_000_000*one {
+		t.Fatalf("issue cost not linear: %v vs %v", million, 1_000_000*one)
+	}
+}
+
+func TestUnpackSlowerThanCopy(t *testing.T) {
+	// The whole point of the unpack parameter: rearrangement through the
+	// framework is far slower than a tight copy kernel.
+	_, d := testDevice()
+	if d.UnpackKernelCost(1e9, 1) <= d.CopyKernelCost(1e9) {
+		t.Fatal("unpack should cost more than a plain copy")
+	}
+}
+
+func TestUnpackGrowsWithSegments(t *testing.T) {
+	// Even with FEWER received bytes, more source segments can cost more —
+	// the paper's strong-scaling sync+unpack trend.
+	_, d := testDevice()
+	few := d.UnpackKernelCost(100e6, 1)
+	many := d.UnpackKernelCost(75e6, 3)
+	if many <= few {
+		t.Fatalf("segment overhead too weak: 3 segs/75MB = %v <= 1 seg/100MB = %v", many, few)
+	}
+}
+
+func TestMLPKernelRoofline(t *testing.T) {
+	_, d := testDevice()
+	// Compute-bound: many flops, few bytes.
+	cb := d.MLPKernelCost(1e12, 1e3)
+	if want := 1e12 / (d.Params().PeakFLOPS * d.Params().MLPEfficiency); cb != want {
+		t.Fatalf("compute-bound cost = %v, want %v", cb, want)
+	}
+	// Memory-bound: few flops, many bytes.
+	mb := d.MLPKernelCost(1e3, 1e9)
+	if want := 1e9 / (d.Params().HBMBandwidth * d.Params().StreamEfficiency); mb != want {
+		t.Fatalf("memory-bound cost = %v, want %v", mb, want)
+	}
+}
+
+func TestKernelCostsNonNegativeProperty(t *testing.T) {
+	_, d := testDevice()
+	f := func(rb, wb uint32, items uint16) bool {
+		c := d.GatherKernelCost(float64(rb), float64(wb), int(items))
+		return c >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostPanicsOnNegativeInputs(t *testing.T) {
+	_, d := testDevice()
+	calls := []func(){
+		func() { d.GatherKernelCost(-1, 0, 1) },
+		func() { d.GatherKernelCost(0, -1, 1) },
+		func() { d.UnpackKernelCost(-1, 1) },
+		func() { d.UnpackKernelCost(1, -1) },
+		func() { d.CopyKernelCost(-1) },
+		func() { d.MLPKernelCost(-1, 0) },
+		func() { d.RemoteIssueCost(-1) },
+	}
+	for i, call := range calls {
+		call := call
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("call %d did not panic on negative input", i)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestMultipleDevicesIndependentMemory(t *testing.T) {
+	env := sim.NewEnv()
+	d0 := NewDevice(env, 0, V100Params())
+	d1 := NewDevice(env, 1, V100Params())
+	d0.MustAlloc("x", 30<<30)
+	if _, err := d1.Alloc("x", 30<<30); err != nil {
+		t.Fatalf("second device shares the first's memory: %v", err)
+	}
+}
+
+func TestStreamManyKernelsAccumulate(t *testing.T) {
+	env, d := testDevice()
+	s := d.NewStream("s")
+	env.Go("host", func(p *sim.Proc) {
+		var last sim.Time
+		for i := 0; i < 50; i++ {
+			_, end := s.Launch(p, sim.Millisecond)
+			if end <= last {
+				t.Errorf("kernel %d ends at %v, not after %v", i, end, last)
+			}
+			last = end
+		}
+		if s.Launches() != 50 {
+			t.Errorf("Launches = %d", s.Launches())
+		}
+	})
+	env.Run()
+}

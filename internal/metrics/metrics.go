@@ -1,0 +1,99 @@
+// Package metrics computes the summary statistics the paper reports:
+// geometric-mean speedups (Tables 1 and 2) and weak/strong scaling factors
+// (Figures 5 and 8).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geomean returns the geometric mean of strictly positive values. It panics
+// on an empty slice or non-positive input — both indicate a broken
+// experiment, not a value to average over.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: geomean of nothing")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: geomean of non-positive value %g", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean; it panics on an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: mean of nothing")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Speedup returns baseline/optimized — how many times faster the optimized
+// runtime is.
+func Speedup(baseline, optimized float64) float64 {
+	if baseline <= 0 || optimized <= 0 {
+		panic(fmt.Sprintf("metrics: speedup of non-positive runtimes (%g, %g)", baseline, optimized))
+	}
+	return baseline / optimized
+}
+
+// WeakScalingFactor returns singleGPU/runtime for a weak-scaling point:
+// 1.0 is perfect (runtime flat as GPUs and problem size grow together),
+// below 1.0 means the run slowed down.
+func WeakScalingFactor(singleGPU, runtime float64) float64 {
+	return Speedup(singleGPU, runtime)
+}
+
+// StrongScalingFactor returns singleGPU/runtime for a strong-scaling point:
+// the speedup over one GPU at fixed total problem size; ideal is the GPU
+// count.
+func StrongScalingFactor(singleGPU, runtime float64) float64 {
+	return Speedup(singleGPU, runtime)
+}
+
+// RelativeError returns |got-want| / |want|.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		panic("metrics: relative error against zero")
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// WithinFactor reports whether got is within [want/f, want*f] for f >= 1 —
+// the tolerance form used by the calibration shape tests.
+func WithinFactor(got, want, f float64) bool {
+	if f < 1 {
+		panic("metrics: WithinFactor needs f >= 1")
+	}
+	if want <= 0 || got <= 0 {
+		return false
+	}
+	return got >= want/f && got <= want*f
+}
+
+// Monotone reports whether xs is non-increasing (dir < 0) or non-decreasing
+// (dir > 0) within slack tolerance (absolute).
+func Monotone(xs []float64, dir int, slack float64) bool {
+	if dir == 0 {
+		panic("metrics: Monotone needs a direction")
+	}
+	for i := 1; i < len(xs); i++ {
+		d := xs[i] - xs[i-1]
+		if dir > 0 && d < -slack {
+			return false
+		}
+		if dir < 0 && d > slack {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,370 @@
+// Package nvlink models the GPU interconnect of the paper's DGX testbed: a
+// set of point-to-point NVLink connections between GPU pairs, each direction
+// an independent rate-limited channel. One-sided PGAS traffic streams
+// through per-direction fluid pipes (internal/sim.Pipe) at raw link
+// bandwidth minus per-message header overhead; the NCCL-like collective
+// library (internal/collective) runs its protocol-limited schedule over the
+// same topology.
+package nvlink
+
+import (
+	"fmt"
+
+	"pgasemb/internal/sim"
+)
+
+// Params describes the interconnect technology.
+type Params struct {
+	// LinkBandwidth is bytes/second per link per direction
+	// (NVLink 2.0: 25 GB/s).
+	LinkBandwidth float64
+
+	// LinkLatency is the one-way message latency of the fabric.
+	LinkLatency sim.Duration
+
+	// HeaderBytes is the per-message protocol overhead of a one-sided
+	// store. The paper measures communication volume in 256 B units (one
+	// d=64 float32 embedding vector) and attributes the PGAS backend's
+	// mild runtime growth to exactly this header tax on small messages.
+	HeaderBytes int
+
+	// MaxPayload is the largest single one-sided message payload; larger
+	// puts are split and pay one header per fragment.
+	MaxPayload int
+
+	// InterNodeBandwidth is bytes/second per direction of one inter-node
+	// link (a GPU pair's share of the NIC) in MultiNode topologies.
+	// Ignored for purely intra-node topologies.
+	InterNodeBandwidth float64
+
+	// InterNodeLatency is the one-way latency of an inter-node link.
+	InterNodeLatency sim.Duration
+}
+
+// DefaultParams returns NVLink 2.0 (V100-generation) parameters.
+func DefaultParams() Params {
+	return Params{
+		LinkBandwidth:      25e9,
+		LinkLatency:        1.3 * sim.Microsecond,
+		HeaderBytes:        32,
+		MaxPayload:         256,
+		InterNodeBandwidth: 1e9, // one pair's share of a 100 GbE-class NIC
+		InterNodeLatency:   4 * sim.Microsecond,
+	}
+}
+
+// Validate reports whether the parameter set is usable.
+func (p Params) Validate() error {
+	switch {
+	case p.LinkBandwidth <= 0:
+		return fmt.Errorf("nvlink: LinkBandwidth must be positive")
+	case p.LinkLatency < 0:
+		return fmt.Errorf("nvlink: LinkLatency must be non-negative")
+	case p.HeaderBytes < 0:
+		return fmt.Errorf("nvlink: HeaderBytes must be non-negative")
+	case p.MaxPayload <= 0:
+		return fmt.Errorf("nvlink: MaxPayload must be positive")
+	case p.InterNodeBandwidth < 0:
+		return fmt.Errorf("nvlink: InterNodeBandwidth must be non-negative")
+	case p.InterNodeLatency < 0:
+		return fmt.Errorf("nvlink: InterNodeLatency must be non-negative")
+	}
+	return nil
+}
+
+// Topology describes which GPU pairs are wired together and with how many
+// links.
+type Topology interface {
+	// NumGPUs returns the number of endpoints.
+	NumGPUs() int
+	// Links returns the number of NVLink links between a and b
+	// (0 = not directly connected). Must be symmetric.
+	Links(a, b int) int
+}
+
+// FullyConnected is a topology where every GPU pair is wired with the same
+// number of links — the DGX Station V100 layout the paper uses: each V100
+// has 6 links, fully connecting 4 GPUs with 2 links per pair.
+type FullyConnected struct {
+	N            int
+	LinksPerPair int
+}
+
+// NumGPUs implements Topology.
+func (t FullyConnected) NumGPUs() int { return t.N }
+
+// Links implements Topology.
+func (t FullyConnected) Links(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if a < 0 || b < 0 || a >= t.N || b >= t.N {
+		panic(fmt.Sprintf("nvlink: GPU index out of range: Links(%d, %d) with %d GPUs", a, b, t.N))
+	}
+	return t.LinksPerPair
+}
+
+// DGXStation returns the paper's testbed topology for n active GPUs: V100s
+// fully connected with 2 NVLink links (50 GB/s per direction) per pair.
+func DGXStation(n int) Topology {
+	return FullyConnected{N: n, LinksPerPair: 2}
+}
+
+// Custom is an explicit symmetric link matrix, for modelling irregular
+// wirings (e.g. DGX-1-style hybrid meshes where some pairs have two links,
+// some one). LinkMatrix[a][b] is the link count between GPUs a and b.
+type Custom struct {
+	LinkMatrix [][]int
+}
+
+// NumGPUs implements Topology.
+func (t Custom) NumGPUs() int { return len(t.LinkMatrix) }
+
+// Links implements Topology.
+func (t Custom) Links(a, b int) int {
+	n := len(t.LinkMatrix)
+	if a < 0 || b < 0 || a >= n || b >= n {
+		panic(fmt.Sprintf("nvlink: GPU index out of range: Links(%d, %d) with %d GPUs", a, b, n))
+	}
+	if a == b {
+		return 0
+	}
+	return t.LinkMatrix[a][b]
+}
+
+// Validate checks the matrix is square, symmetric, non-negative and
+// zero-diagonal.
+func (t Custom) Validate() error {
+	n := len(t.LinkMatrix)
+	for a, row := range t.LinkMatrix {
+		if len(row) != n {
+			return fmt.Errorf("nvlink: link matrix row %d has %d entries, want %d", a, len(row), n)
+		}
+		for b, links := range row {
+			if links < 0 {
+				return fmt.Errorf("nvlink: negative link count between %d and %d", a, b)
+			}
+			if a == b && links != 0 {
+				return fmt.Errorf("nvlink: self links on GPU %d", a)
+			}
+			if t.LinkMatrix[b][a] != links {
+				return fmt.Errorf("nvlink: asymmetric links between %d and %d", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// LinkClass distinguishes wire types in heterogeneous topologies.
+type LinkClass int
+
+const (
+	// IntraNode links are NVLink connections inside one chassis.
+	IntraNode LinkClass = iota
+	// InterNode links cross the network between chassis — lower bandwidth,
+	// higher latency, the regime the paper's future-work aggregator
+	// targets.
+	InterNode
+)
+
+// ClassedTopology is a Topology that also labels each pair's wire type.
+// Fabrics give InterNode pairs the Params' inter-node bandwidth/latency.
+type ClassedTopology interface {
+	Topology
+	// Class returns the wire type between a and b (a != b, connected).
+	Class(a, b int) LinkClass
+}
+
+// MultiNode is a cluster of fully connected NVLink nodes joined by a
+// network: GPUs [k*PerNode, (k+1)*PerNode) form node k. Intra-node pairs
+// get IntraLinks NVLink links; every inter-node pair is connected by one
+// InterNode link (a share of the NIC).
+type MultiNode struct {
+	Nodes      int
+	PerNode    int
+	IntraLinks int
+}
+
+// NumGPUs implements Topology.
+func (t MultiNode) NumGPUs() int { return t.Nodes * t.PerNode }
+
+// Node returns the node index of GPU g.
+func (t MultiNode) Node(g int) int { return g / t.PerNode }
+
+// Links implements Topology.
+func (t MultiNode) Links(a, b int) int {
+	if a == b {
+		return 0
+	}
+	n := t.NumGPUs()
+	if a < 0 || b < 0 || a >= n || b >= n {
+		panic(fmt.Sprintf("nvlink: GPU index out of range: Links(%d, %d) with %d GPUs", a, b, n))
+	}
+	if t.Node(a) == t.Node(b) {
+		return t.IntraLinks
+	}
+	return 1
+}
+
+// Class implements ClassedTopology.
+func (t MultiNode) Class(a, b int) LinkClass {
+	if t.Node(a) == t.Node(b) {
+		return IntraNode
+	}
+	return InterNode
+}
+
+// Fabric instantiates a topology as per-direction fluid pipes.
+type Fabric struct {
+	env    *sim.Env
+	params Params
+	topo   Topology
+	pipes  [][]*sim.Pipe // pipes[src][dst]
+}
+
+// NewFabric wires up the fabric. Unconnected pairs have no pipe; sending
+// between them panics (this model has no routing — the paper's testbed is
+// fully connected).
+func NewFabric(env *sim.Env, params Params, topo Topology) *Fabric {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	n := topo.NumGPUs()
+	if n <= 0 {
+		panic("nvlink: topology with no GPUs")
+	}
+	f := &Fabric{env: env, params: params, topo: topo, pipes: make([][]*sim.Pipe, n)}
+	for src := 0; src < n; src++ {
+		f.pipes[src] = make([]*sim.Pipe, n)
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			links := topo.Links(src, dst)
+			if links != topo.Links(dst, src) {
+				panic(fmt.Sprintf("nvlink: asymmetric topology between %d and %d", src, dst))
+			}
+			if links <= 0 {
+				continue
+			}
+			bw := float64(links) * params.LinkBandwidth
+			lat := params.LinkLatency
+			name := fmt.Sprintf("nvlink-%d->%d", src, dst)
+			if ct, ok := topo.(ClassedTopology); ok && ct.Class(src, dst) == InterNode {
+				if params.InterNodeBandwidth <= 0 {
+					panic("nvlink: inter-node topology needs positive InterNodeBandwidth")
+				}
+				bw = float64(links) * params.InterNodeBandwidth
+				lat = params.InterNodeLatency
+				name = fmt.Sprintf("net-%d->%d", src, dst)
+			}
+			f.pipes[src][dst] = sim.NewPipe(env, name, bw, lat)
+		}
+	}
+	return f
+}
+
+// Params returns the fabric's link parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// NumGPUs returns the number of endpoints.
+func (f *Fabric) NumGPUs() int { return len(f.pipes) }
+
+// Topology returns the wiring description.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// Pipe returns the directional pipe from src to dst. It panics when the
+// pair is not connected or src == dst — local traffic never touches the
+// fabric.
+func (f *Fabric) Pipe(src, dst int) *sim.Pipe {
+	if src < 0 || dst < 0 || src >= len(f.pipes) || dst >= len(f.pipes) {
+		panic(fmt.Sprintf("nvlink: pipe index out of range (%d -> %d)", src, dst))
+	}
+	p := f.pipes[src][dst]
+	if p == nil {
+		panic(fmt.Sprintf("nvlink: no link between GPU %d and GPU %d", src, dst))
+	}
+	return p
+}
+
+// PairBandwidth returns the raw per-direction bandwidth between src and dst.
+func (f *Fabric) PairBandwidth(src, dst int) float64 {
+	return f.Pipe(src, dst).Bandwidth()
+}
+
+// WireBytes returns the on-the-wire size of a one-sided message carrying
+// payload bytes: each MaxPayload-sized fragment pays one header.
+func (f *Fabric) WireBytes(payload int) float64 {
+	if payload < 0 {
+		panic(fmt.Sprintf("nvlink: negative payload %d", payload))
+	}
+	if payload == 0 {
+		return float64(f.params.HeaderBytes)
+	}
+	fragments := (payload + f.params.MaxPayload - 1) / f.params.MaxPayload
+	return float64(payload + fragments*f.params.HeaderBytes)
+}
+
+// SetRecording toggles completion recording on every pipe (needed for
+// delivered-volume traces).
+func (f *Fabric) SetRecording(on bool) {
+	for _, row := range f.pipes {
+		for _, p := range row {
+			if p != nil {
+				p.SetRecording(on)
+			}
+		}
+	}
+}
+
+// Reset clears all pipe state between measurement repetitions.
+func (f *Fabric) Reset() {
+	for _, row := range f.pipes {
+		for _, p := range row {
+			if p != nil {
+				p.Reset()
+			}
+		}
+	}
+}
+
+// TotalBytes returns the cumulative payload+header bytes offered across the
+// whole fabric.
+func (f *Fabric) TotalBytes() float64 {
+	var sum float64
+	for _, row := range f.pipes {
+		for _, p := range row {
+			if p != nil {
+				sum += p.TotalBytes()
+			}
+		}
+	}
+	return sum
+}
+
+// DeliveredBy sums delivered bytes across all pipes by time t (requires
+// recording).
+func (f *Fabric) DeliveredBy(t sim.Time) float64 {
+	var sum float64
+	for _, row := range f.pipes {
+		for _, p := range row {
+			if p != nil {
+				sum += p.DeliveredBy(t)
+			}
+		}
+	}
+	return sum
+}
+
+// BusyUntil returns the latest drain time over all pipes.
+func (f *Fabric) BusyUntil() sim.Time {
+	var worst sim.Time
+	for _, row := range f.pipes {
+		for _, p := range row {
+			if p != nil && p.BusyUntil() > worst {
+				worst = p.BusyUntil()
+			}
+		}
+	}
+	return worst
+}

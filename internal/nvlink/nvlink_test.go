@@ -1,0 +1,223 @@
+package nvlink
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasemb/internal/sim"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.LinkBandwidth = 0 },
+		func(p *Params) { p.LinkLatency = -1 },
+		func(p *Params) { p.HeaderBytes = -1 },
+		func(p *Params) { p.MaxPayload = 0 },
+	}
+	for i, mut := range cases {
+		p := DefaultParams()
+		mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestDGXStationTopology(t *testing.T) {
+	topo := DGXStation(4)
+	if topo.NumGPUs() != 4 {
+		t.Fatalf("NumGPUs = %d", topo.NumGPUs())
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			want := 2
+			if a == b {
+				want = 0
+			}
+			if got := topo.Links(a, b); got != want {
+				t.Fatalf("Links(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestTopologyOutOfRangePanics(t *testing.T) {
+	topo := DGXStation(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Links did not panic")
+		}
+	}()
+	topo.Links(0, 5)
+}
+
+func TestFabricPairBandwidth(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(4))
+	want := 2 * 25e9 // two links per pair
+	if got := f.PairBandwidth(0, 3); got != want {
+		t.Fatalf("PairBandwidth = %v, want %v", got, want)
+	}
+	if f.NumGPUs() != 4 {
+		t.Fatalf("NumGPUs = %d", f.NumGPUs())
+	}
+}
+
+func TestFabricSelfPipePanics(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("self pipe did not panic")
+		}
+	}()
+	f.Pipe(1, 1)
+}
+
+func TestFabricUnconnectedPanics(t *testing.T) {
+	env := sim.NewEnv()
+	// Two disconnected GPUs.
+	f := NewFabric(env, DefaultParams(), FullyConnected{N: 2, LinksPerPair: 0})
+	defer func() {
+		if recover() == nil {
+			t.Error("unconnected pipe did not panic")
+		}
+	}()
+	f.Pipe(0, 1)
+}
+
+func TestFabricDirectionsIndependent(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(2))
+	// Saturate 0->1; 1->0 must stay unaffected (full duplex).
+	end01 := f.Pipe(0, 1).Offer(500e6)
+	end10 := f.Pipe(1, 0).Offer(500e6)
+	if end01 != end10 {
+		t.Fatalf("duplex directions interfere: %v vs %v", end01, end10)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(2))
+	cases := []struct {
+		payload int
+		want    float64
+	}{
+		{0, 32},         // bare header
+		{1, 33},         // one fragment
+		{256, 288},      // exactly one embedding vector
+		{257, 257 + 64}, // two fragments
+		{512, 512 + 64}, // two full fragments
+	}
+	for _, c := range cases {
+		if got := f.WireBytes(c.payload); got != c.want {
+			t.Errorf("WireBytes(%d) = %v, want %v", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestWireBytesNegativePanics(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("negative payload did not panic")
+		}
+	}()
+	f.WireBytes(-1)
+}
+
+// Property: header overhead is at most HeaderBytes per MaxPayload-1 bytes
+// extra, and WireBytes is monotone.
+func TestWireBytesMonotoneProperty(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(2))
+	prop := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return f.WireBytes(x) <= f.WireBytes(y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricAggregates(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewFabric(env, DefaultParams(), DGXStation(3))
+	f.SetRecording(true)
+	f.Pipe(0, 1).Offer(100)
+	f.Pipe(1, 2).Offer(200)
+	f.Pipe(2, 0).Offer(300)
+	if got := f.TotalBytes(); got != 600 {
+		t.Fatalf("TotalBytes = %v, want 600", got)
+	}
+	if got := f.DeliveredBy(1); got != 600 { // all drained within a second
+		t.Fatalf("DeliveredBy(1s) = %v, want 600", got)
+	}
+	if f.BusyUntil() <= 0 {
+		t.Fatal("BusyUntil should be positive after traffic")
+	}
+	f.Reset()
+	if f.TotalBytes() != 0 || f.BusyUntil() != 0 {
+		t.Fatal("Reset did not clear fabric")
+	}
+}
+
+func TestFabricCommTimeDropsWithMoreGPUs(t *testing.T) {
+	// The paper's trend: with the all-to-all volume split over more peers
+	// (each pair its own links), per-GPU communication time decreases.
+	drain := func(n int) sim.Time {
+		env := sim.NewEnv()
+		f := NewFabric(env, DefaultParams(), DGXStation(n))
+		total := 268e6 // output bytes per GPU per batch (weak scaling)
+		remote := total * float64(n-1) / float64(n)
+		perPeer := remote / float64(n-1)
+		for dst := 1; dst < n; dst++ {
+			f.Pipe(0, dst).Offer(perPeer)
+		}
+		return f.BusyUntil()
+	}
+	t2, t3, t4 := drain(2), drain(3), drain(4)
+	if !(t2 > t3 && t3 > t4) {
+		t.Fatalf("comm drain times not decreasing: %v %v %v", t2, t3, t4)
+	}
+}
+
+func TestNewFabricRejectsAsymmetric(t *testing.T) {
+	env := sim.NewEnv()
+	defer func() {
+		if recover() == nil {
+			t.Error("asymmetric topology not rejected")
+		}
+	}()
+	NewFabric(env, DefaultParams(), asymTopo{})
+}
+
+type asymTopo struct{}
+
+func (asymTopo) NumGPUs() int { return 2 }
+func (asymTopo) Links(a, b int) int {
+	if a == 0 && b == 1 {
+		return 2
+	}
+	return 1
+}
+
+func TestNewFabricRejectsEmptyTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty topology not rejected")
+		}
+	}()
+	NewFabric(sim.NewEnv(), DefaultParams(), FullyConnected{N: 0, LinksPerPair: 2})
+}

@@ -1,0 +1,226 @@
+// Package pgas implements the PGAS-style one-sided communication runtime the
+// paper builds its fused embedding-retrieval backend on: NVSHMEM-like
+// remote stores ("RDMA writes issued by CUDA threads"), remote atomics (for
+// the backward-pass extension), quiet/barrier completion semantics, per-PE
+// communication counters (the instrumentation behind Figures 7 and 10), and
+// the asynchronous aggregator sketched in the paper's future-work section.
+//
+// Each GPU is a processing element (PE). A remote store is functionally a
+// memcpy into the destination PE's memory — performed immediately, since the
+// simulation is deterministic and single-threaded — while its *timing* is a
+// message on the per-direction NVLink pipe: payload plus per-fragment header
+// drains at link bandwidth, concurrently with whatever compute the issuing
+// kernel continues to do. Quiet blocks until all of a PE's outstanding
+// stores have drained, exactly the semantics the fused kernel relies on
+// before the EMB layer is declared complete.
+package pgas
+
+import (
+	"fmt"
+
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/trace"
+)
+
+// Runtime is the communication context shared by all PEs on one machine.
+type Runtime struct {
+	env    *sim.Env
+	fabric *nvlink.Fabric
+	pes    []*PE
+}
+
+// New creates a runtime with one PE per fabric endpoint.
+func New(env *sim.Env, fabric *nvlink.Fabric) *Runtime {
+	rt := &Runtime{env: env, fabric: fabric}
+	n := fabric.NumGPUs()
+	rt.pes = make([]*PE, n)
+	for i := 0; i < n; i++ {
+		rt.pes[i] = &PE{rt: rt, id: i, counter: &trace.VolumeTrace{}}
+	}
+	return rt
+}
+
+// NumPEs returns the number of processing elements.
+func (rt *Runtime) NumPEs() int { return len(rt.pes) }
+
+// PE returns processing element i.
+func (rt *Runtime) PE(i int) *PE {
+	if i < 0 || i >= len(rt.pes) {
+		panic(fmt.Sprintf("pgas: PE %d out of range (n=%d)", i, len(rt.pes)))
+	}
+	return rt.pes[i]
+}
+
+// Fabric returns the underlying interconnect.
+func (rt *Runtime) Fabric() *nvlink.Fabric { return rt.fabric }
+
+// NewBarrier returns a barrier across all PEs (each PE's process calls
+// Await once per round).
+func (rt *Runtime) NewBarrier() *sim.Barrier {
+	return sim.NewBarrier(rt.env, len(rt.pes))
+}
+
+// ResetCounters clears every PE's communication counter.
+func (rt *Runtime) ResetCounters() {
+	for _, pe := range rt.pes {
+		pe.counter = &trace.VolumeTrace{}
+		pe.puts = 0
+		pe.payloadBytes = 0
+		pe.wireBytes = 0
+	}
+}
+
+// TotalTrace merges all PE counters into one volume trace — the machine-wide
+// communication-volume-over-time curve of Figures 7 and 10.
+func (rt *Runtime) TotalTrace() *trace.VolumeTrace {
+	merged := &trace.VolumeTrace{}
+	for _, pe := range rt.pes {
+		for _, iv := range pe.counter.Intervals() {
+			merged.Add(iv.Start, iv.End, iv.Bytes)
+		}
+	}
+	return merged
+}
+
+// PE is one processing element (GPU) of the partitioned global address
+// space.
+type PE struct {
+	rt *Runtime
+	id int
+
+	puts         int64
+	payloadBytes float64
+	wireBytes    float64
+	counter      *trace.VolumeTrace
+}
+
+// ID returns the PE ordinal.
+func (pe *PE) ID() int { return pe.id }
+
+// Puts returns the number of one-sided stores issued by this PE.
+func (pe *PE) Puts() int64 { return pe.puts }
+
+// PayloadBytes returns the cumulative payload issued by this PE.
+func (pe *PE) PayloadBytes() float64 { return pe.payloadBytes }
+
+// WireBytes returns the cumulative on-the-wire bytes (payload + headers).
+func (pe *PE) WireBytes() float64 { return pe.wireBytes }
+
+// Counter returns this PE's communication-volume trace.
+func (pe *PE) Counter() *trace.VolumeTrace { return pe.counter }
+
+// PutFloat32s issues a one-sided store of src into dst, which lives on
+// target's memory (dst must be sized to len(src)). The copy happens
+// immediately — functional state is always current — while the wire time is
+// queued on the src→target pipe. It returns the simulated delivery time.
+// Local "stores" (target == pe) are plain writes that never touch the
+// fabric; the caller's kernel cost model already accounts for them.
+func (pe *PE) PutFloat32s(target *PE, dst, src []float32) sim.Time {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("pgas: put length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+	if target.id == pe.id {
+		return pe.rt.env.Now()
+	}
+	return pe.accountPut(target, 4*len(src))
+}
+
+// PutBytes issues a timing-only one-sided store of payload bytes to target.
+// Used by cost-level experiments that do not carry functional data.
+func (pe *PE) PutBytes(target *PE, payload int) sim.Time {
+	if payload < 0 {
+		panic(fmt.Sprintf("pgas: negative payload %d", payload))
+	}
+	if target.id == pe.id {
+		return pe.rt.env.Now()
+	}
+	return pe.accountPut(target, payload)
+}
+
+// PutVectors accounts count one-sided stores of vecBytes payload each to
+// target, offered to the pipe as one aggregate (identical wire bytes, issue
+// counts and drain time as count individual PutBytes calls when vecBytes ==
+// MaxPayload — which holds for the paper's d=64 vectors). This is the fast
+// path the paper-scale timing simulations use: one call per (chunk,
+// destination) instead of one per output vector.
+func (pe *PE) PutVectors(target *PE, count, vecBytes int) sim.Time {
+	if count < 0 || vecBytes < 0 {
+		panic(fmt.Sprintf("pgas: PutVectors(count=%d, vecBytes=%d)", count, vecBytes))
+	}
+	if count == 0 || target.id == pe.id {
+		return pe.rt.env.Now()
+	}
+	wire := float64(count) * pe.rt.fabric.WireBytes(vecBytes)
+	pipe := pe.rt.fabric.Pipe(pe.id, target.id)
+	issued := pe.rt.env.Now()
+	delivered := pipe.Offer(wire)
+	payload := float64(count) * float64(vecBytes)
+	pe.puts += int64(count)
+	pe.payloadBytes += payload
+	pe.wireBytes += wire
+	pe.counter.Add(issued, delivered, payload)
+	return delivered
+}
+
+// AtomicAddFloat32s issues a one-sided accumulate: src is added element-wise
+// into dst on target. Remote atomics ride the same wire as stores (NVLink
+// atomics are posted operations); the addition itself is applied
+// immediately for functional purposes.
+func (pe *PE) AtomicAddFloat32s(target *PE, dst, src []float32) sim.Time {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("pgas: atomic add length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+	if target.id == pe.id {
+		return pe.rt.env.Now()
+	}
+	return pe.accountPut(target, 4*len(src))
+}
+
+// GetFloat32s issues a one-sided fetch of src (on target) into dst (local).
+// The wire cost is charged on the target→pe direction.
+func (pe *PE) GetFloat32s(target *PE, dst, src []float32) sim.Time {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("pgas: get length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+	if target.id == pe.id {
+		return pe.rt.env.Now()
+	}
+	return target.accountPut(pe, 4*len(src))
+}
+
+func (pe *PE) accountPut(target *PE, payload int) sim.Time {
+	wire := pe.rt.fabric.WireBytes(payload)
+	pipe := pe.rt.fabric.Pipe(pe.id, target.id)
+	issued := pe.rt.env.Now()
+	delivered := pipe.Offer(wire)
+	pe.puts++
+	pe.payloadBytes += float64(payload)
+	pe.wireBytes += wire
+	pe.counter.Add(issued, delivered, float64(payload))
+	return delivered
+}
+
+// Quiet blocks the calling process until every store this PE has issued so
+// far has drained onto the wire — nvshmem_quiet semantics, the completion
+// point at the end of the paper's fused kernel.
+func (pe *PE) Quiet(p *sim.Proc) {
+	var worst sim.Time
+	for dst := 0; dst < pe.rt.NumPEs(); dst++ {
+		if dst == pe.id {
+			continue
+		}
+		if pe.rt.fabric.Topology().Links(pe.id, dst) <= 0 {
+			continue
+		}
+		if b := pe.rt.fabric.Pipe(pe.id, dst).BusyUntil(); b > worst {
+			worst = b
+		}
+	}
+	p.WaitUntil(worst)
+}

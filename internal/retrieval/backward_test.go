@@ -1,0 +1,201 @@
+package retrieval
+
+import (
+	"testing"
+
+	"pgasemb/internal/tensor"
+)
+
+// referenceBackward computes the expected table weights after applying one
+// run's gradient batches serially, starting from freshly initialised
+// tables. It replays the exact batches a system run would draw.
+func referenceBackwardWeights(t *testing.T, gpus int) [][]*tensor.Tensor {
+	t.Helper()
+	s, err := NewSystem(TestScaleConfig(gpus), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Cfg.Batches; i++ {
+		bd, err := s.NextBatchData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < gpus; g++ {
+			applyGradients(s, g, bd)
+		}
+	}
+	return collectWeights(s)
+}
+
+func collectWeights(s *System) [][]*tensor.Tensor {
+	var out [][]*tensor.Tensor
+	for g := 0; g < s.Cfg.GPUs; g++ {
+		var tables []*tensor.Tensor
+		for _, tbl := range s.Collection(g).Tables {
+			tables = append(tables, tbl.Weights.Clone())
+		}
+		out = append(out, tables)
+	}
+	return out
+}
+
+func runBackward(t *testing.T, gpus int, backend Backend) ([][]*tensor.Tensor, *Result) {
+	t.Helper()
+	s, err := NewSystem(TestScaleConfig(gpus), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collectWeights(s), res
+}
+
+func TestBackwardBaselineUpdatesMatchReference(t *testing.T) {
+	for gpus := 1; gpus <= 4; gpus++ {
+		want := referenceBackwardWeights(t, gpus)
+		got, _ := runBackward(t, gpus, &BackwardBaseline{})
+		for g := range want {
+			for ti := range want[g] {
+				if !tensor.Equal(got[g][ti], want[g][ti]) {
+					t.Fatalf("%d GPUs: GPU %d table %d weights differ from reference", gpus, g, ti)
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardPGASUpdatesMatchReference(t *testing.T) {
+	for gpus := 1; gpus <= 4; gpus++ {
+		want := referenceBackwardWeights(t, gpus)
+		got, _ := runBackward(t, gpus, &BackwardPGAS{})
+		for g := range want {
+			for ti := range want[g] {
+				if !tensor.Equal(got[g][ti], want[g][ti]) {
+					t.Fatalf("%d GPUs: GPU %d table %d weights differ from reference", gpus, g, ti)
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardWeightsActuallyChange(t *testing.T) {
+	// Guard against a vacuous pass: the gradient application must move the
+	// weights away from their initialisation.
+	s, err := NewSystem(TestScaleConfig(2), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := collectWeights(s)
+	if _, err := s.Run(&BackwardPGAS{}); err != nil {
+		t.Fatal(err)
+	}
+	after := collectWeights(s)
+	changed := false
+	for g := range before {
+		for ti := range before[g] {
+			if !tensor.Equal(before[g][ti], after[g][ti]) {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("backward pass left all weights untouched")
+	}
+}
+
+func TestBackwardPGASFasterThanBaseline(t *testing.T) {
+	// The future-work prediction: replacing shift rounds + syncs with
+	// overlapped one-sided atomics wins, at paper scale.
+	cfg := WeakScalingConfig(4)
+	cfg.Batches = 5
+	run := func(b Backend) float64 {
+		s, err := NewSystem(cfg, DefaultHardware())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	base := run(&BackwardBaseline{})
+	pgas := run(&BackwardPGAS{})
+	if pgas >= base {
+		t.Fatalf("backward PGAS (%v) not faster than collective rounds (%v)", pgas, base)
+	}
+	if base/pgas < 1.3 {
+		t.Fatalf("backward speedup only %.2fx; rounds + syncs should cost more", base/pgas)
+	}
+}
+
+func TestBackwardBreakdownComponents(t *testing.T) {
+	cfg := WeakScalingConfig(2)
+	cfg.Batches = 2
+	s, _ := NewSystem(cfg, DefaultHardware())
+	res, err := s.Run(&BackwardBaseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{CompGradStage, CompGradShift, CompGradApply} {
+		if res.Breakdown.Get(name) <= 0 {
+			t.Errorf("backward baseline missing component %q", name)
+		}
+	}
+	s2, _ := NewSystem(cfg, DefaultHardware())
+	res2, err := s2.Run(&BackwardPGAS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Breakdown.Get(CompGradFused) <= 0 {
+		t.Error("backward PGAS missing fused component")
+	}
+	if res2.Breakdown.Get(CompGradShift) != 0 {
+		t.Error("backward PGAS must have no shift rounds")
+	}
+}
+
+func TestBackwardSingleGPUNoComm(t *testing.T) {
+	cfg := TestScaleConfig(1)
+	for _, b := range []Backend{&BackwardBaseline{}, &BackwardPGAS{}} {
+		s, _ := NewSystem(cfg, DefaultHardware())
+		res, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CommTrace.Total() != 0 {
+			t.Errorf("%s on 1 GPU communicated", b.Name())
+		}
+	}
+}
+
+func TestBackwardCommVolumeEqualAcrossSchemes(t *testing.T) {
+	// Every remote gradient vector crosses the wire exactly once in the
+	// PGAS scheme; the ring baseline moves blocks through neighbours, so
+	// its volume is at least as large.
+	cfg := TestScaleConfig(3)
+	cfg.Batches = 1
+	sP, _ := NewSystem(cfg, DefaultHardware())
+	rP, err := sP.Run(&BackwardPGAS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for g := 0; g < cfg.GPUs; g++ {
+		lo, hi := sP.Minibatch(g)
+		want += float64((hi - lo) * (cfg.TotalTables - sP.LocalTables(g)) * cfg.VectorBytes())
+	}
+	if got := rP.CommTrace.Total(); got != want {
+		t.Errorf("PGAS backward volume %v, want %v", got, want)
+	}
+	sB, _ := NewSystem(cfg, DefaultHardware())
+	rB, err := sB.Run(&BackwardBaseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rB.CommTrace.Total() < want {
+		t.Errorf("ring baseline volume %v below minimum %v", rB.CommTrace.Total(), want)
+	}
+}

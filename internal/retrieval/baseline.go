@@ -1,0 +1,187 @@
+package retrieval
+
+import (
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/tensor"
+	"pgasemb/internal/trace"
+)
+
+// Component names used in result breakdowns (the bars of Figures 6 and 9).
+const (
+	CompComputation = "Computation"
+	CompComm        = "Communication"
+	CompSyncUnpack  = "Sync+Unpack"
+	CompFused       = "Fused Kernel" // PGAS: compute + overlapped comm + quiet
+)
+
+// Baseline is the paper's §IV reference implementation: an
+// EmbeddingBagCollection forward kernel, a stream synchronisation, an NCCL
+// all_to_all_single, and the unpack/rearrangement of received segments into
+// the data-parallel layout.
+//
+// DirectPlacement is the A1 ablation: the collective is kept, but received
+// data is assumed to land directly in its final location (no unpack step),
+// isolating how much of PGAS's win comes from unpack elimination alone.
+type Baseline struct {
+	DirectPlacement bool
+}
+
+// Name implements Backend.
+func (b *Baseline) Name() string {
+	if b.DirectPlacement {
+		return "baseline-direct-placement"
+	}
+	return "baseline"
+}
+
+func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
+	cfg := s.Cfg
+	dev := s.Devs[g]
+	stream := dev.NewStream("emb")
+	fg := s.LocalTables(g)
+	lo, hi := s.Minibatch(g)
+	mini := hi - lo
+
+	// --- Phase 1: lookup + pooling kernel over the full batch of local
+	// tables, writing every pooled vector into the rank-ordered send buffer.
+	totalIdx := s.localIndexTotal(bd.Summary, g, 0, cfg.BatchSize)
+	readBytes := float64(totalIdx) * float64(cfg.VectorBytes()) // gathered rows
+	streamBytes := float64(totalIdx)*8 +                        // index reads
+		float64(cfg.BatchSize)*float64(fg)*float64(cfg.VectorBytes()) // output stores
+	kernel := dev.GatherKernelCost(readBytes, streamBytes, cfg.BatchSize*fg)
+
+	var outputs *tensor.Tensor
+	if cfg.Functional {
+		// Collection.Forward produces (B, F_local, d) sample-major — with
+		// contiguous minibatches this IS the rank-ordered all-to-all send
+		// layout.
+		outputs = s.Collection(g).Forward(bd.Parts[g])
+	}
+	_, kernelEnd := stream.Launch(p, kernel)
+	p.WaitUntil(kernelEnd)
+	bk.Accumulate(CompComputation, kernel+dev.Params().KernelLaunch)
+
+	// Host-side synchronisation before the collective can be issued.
+	syncStart := p.Now()
+	stream.Synchronize(p)
+	bk.Accumulate(CompSyncUnpack, p.Now()-syncStart)
+
+	if cfg.GPUs == 1 {
+		if cfg.Functional {
+			// Single GPU: outputs are already the final minibatch, just in
+			// (B, F_local, d) layout == (mini, TotalTables, d).
+			bd.Final[g].CopyFrom(outputs.Reshape(mini, cfg.TotalTables, cfg.Dim))
+		}
+		return
+	}
+
+	// --- Phase 2: all_to_all_single. Segment for dst = dst's minibatch
+	// rows of the local outputs.
+	commStart := p.Now()
+	var recvBuf []float32
+	if cfg.Functional {
+		sendSegs := make([][]float32, cfg.GPUs)
+		recvSegs := make([][]float32, cfg.GPUs)
+		out := outputs.Data()
+		rowFloats := fg * cfg.Dim
+		recvBuf = make([]float32, mini*cfg.TotalTables*cfg.Dim)
+		at := 0
+		for peer := 0; peer < cfg.GPUs; peer++ {
+			plo, phi := s.Minibatch(peer)
+			sendSegs[peer] = out[plo*rowFloats : phi*rowFloats]
+			srcFloats := mini * s.LocalTables(peer) * cfg.Dim
+			recvSegs[peer] = recvBuf[at : at+srcFloats]
+			at += srcFloats
+		}
+		s.Comm.AllToAllSingle(p, g, sendSegs, recvSegs)
+	} else {
+		sendBytes := make([]float64, cfg.GPUs)
+		recvBytes := make([]float64, cfg.GPUs)
+		for peer := 0; peer < cfg.GPUs; peer++ {
+			if peer == g {
+				continue
+			}
+			plo, phi := s.Minibatch(peer)
+			sendBytes[peer] = float64(phi-plo) * float64(fg) * float64(cfg.VectorBytes())
+			recvBytes[peer] = float64(mini) * float64(s.LocalTables(peer)) * float64(cfg.VectorBytes())
+		}
+		s.Comm.AllToAllSingleSizes(p, g, sendBytes, recvBytes)
+	}
+	bk.Accumulate(CompComm, p.Now()-commStart)
+
+	// --- Phase 3: unpack the received rank-major segments into the
+	// (mini, TotalTables, d) layout the interaction layer expects.
+	unpackStart := p.Now()
+	if !b.DirectPlacement {
+		remoteBytes := float64(mini) * float64(cfg.TotalTables-fg) * float64(cfg.VectorBytes())
+		unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
+		_, unpackEnd := stream.Launch(p, unpack)
+		p.WaitUntil(unpackEnd)
+		stream.Synchronize(p)
+	}
+	if cfg.Functional {
+		b.functionalUnpack(s, g, mini, recvBuf, bd.Final[g])
+	}
+	bk.Accumulate(CompSyncUnpack, p.Now()-unpackStart)
+}
+
+// functionalUnpack rearranges the received rank-major buffer
+// [src][sample][srcLocalFeature][d] into final[sample][globalFeature][d].
+// In the DirectPlacement ablation this copy models what a scattering NIC
+// would have done; it costs no simulated time there.
+func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, final *tensor.Tensor) {
+	cfg := s.Cfg
+	dst := final.Data()
+	at := 0
+	for src := 0; src < cfg.GPUs; src++ {
+		fsrc := s.LocalTables(src)
+		for smp := 0; smp < mini; smp++ {
+			for fi := 0; fi < fsrc; fi++ {
+				globalFID := s.Plan[src][fi]
+				from := recvBuf[at+(smp*fsrc+fi)*cfg.Dim:]
+				to := dst[(smp*cfg.TotalTables+globalFID)*cfg.Dim:]
+				copy(to[:cfg.Dim], from[:cfg.Dim])
+			}
+		}
+		at += mini * fsrc * cfg.Dim
+	}
+}
+
+// Reference computes the expected per-GPU EMB outputs serially: the full
+// (B, TotalTables, d) result partitioned into per-GPU minibatches. Backends
+// in functional mode must reproduce it bit-exactly.
+func Reference(s *System, batch *sparse.Batch) []*tensor.Tensor {
+	cfg := s.Cfg
+	full := tensor.New(cfg.BatchSize, cfg.TotalTables, cfg.Dim)
+	data := full.Data()
+	if cfg.Sharding == RowWise {
+		coll := s.GlobalCollection()
+		for fi, fid := range coll.FeatureIDs {
+			fb := batch.FeatureByID(fid)
+			tbl := coll.Tables[fi]
+			for smp := 0; smp < cfg.BatchSize; smp++ {
+				off := (smp*cfg.TotalTables + fid) * cfg.Dim
+				tbl.LookupPooled(fb.Bag(smp), coll.Mode, data[off:off+cfg.Dim])
+			}
+		}
+	} else {
+		for g := 0; g < cfg.GPUs; g++ {
+			coll := s.Collection(g)
+			for fi, fid := range s.Plan[g] {
+				fb := batch.FeatureByID(fid)
+				tbl := coll.Tables[fi]
+				for smp := 0; smp < cfg.BatchSize; smp++ {
+					off := (smp*cfg.TotalTables + fid) * cfg.Dim
+					tbl.LookupPooled(fb.Bag(smp), coll.Mode, data[off:off+cfg.Dim])
+				}
+			}
+		}
+	}
+	outs := make([]*tensor.Tensor, cfg.GPUs)
+	for g := 0; g < cfg.GPUs; g++ {
+		lo, hi := s.Minibatch(g)
+		outs[g] = full.Narrow(0, lo, hi-lo).Contiguous()
+	}
+	return outs
+}

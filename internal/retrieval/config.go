@@ -1,0 +1,265 @@
+// Package retrieval implements the paper's contribution and its baseline:
+// the multi-GPU embedding-retrieval (EMB layer) forward pass in two
+// communication schemes —
+//
+//   - Baseline: lookup+pooling CUDA kernel → stream synchronisation → NCCL
+//     all_to_all_single → unpack/rearrangement kernel (§IV's "typical
+//     PyTorch implementation"), and
+//   - PGASFused: a single fused kernel that issues one-sided PGAS stores to
+//     each output's owning GPU as soon as the output vector is pooled,
+//     followed by quiet (§III's proposal),
+//
+// plus the two ablations that isolate the paper's claimed mechanisms
+// (unpack elimination vs. communication/computation overlap).
+//
+// Each backend runs in two modes on the same orchestration path: a
+// timing-only mode at paper scale (batch 16384, millions of rows), where
+// traffic and kernel costs are derived from workload summaries, and a
+// functional mode at test scale, where real embeddings move through real
+// buffers and every backend's output is verified bit-exactly against a
+// serial reference.
+package retrieval
+
+import (
+	"fmt"
+
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/workload"
+)
+
+// Sharding selects how embedding tables are partitioned across GPUs.
+type Sharding int
+
+const (
+	// TableWise gives each GPU whole tables — the paper's "simple table
+	// sharding scheme (partitioning by tables)".
+	TableWise Sharding = iota
+	// RowWise splits every table's rows across all GPUs (RecShard-style,
+	// the scheme the paper's future-work section flags as needing input
+	// partitioning fused into the kernel). Each GPU computes PARTIAL
+	// pooled sums over its row range for every (sample, feature) pair;
+	// partials are reduced across GPUs into the owners' minibatches.
+	RowWise
+)
+
+func (s Sharding) String() string {
+	if s == RowWise {
+		return "row-wise"
+	}
+	return "table-wise"
+}
+
+// Config describes one experiment setup.
+type Config struct {
+	// GPUs is the number of devices (1-4 in the paper).
+	GPUs int
+	// TotalTables is the number of embedding tables across all GPUs,
+	// sharded table-wise. The paper's weak scaling uses 64 per GPU; strong
+	// scaling uses 96 total.
+	TotalTables int
+	// Rows is the hash size M of each table (paper: 1M).
+	Rows int
+	// Dim is the embedding dimension d (paper: 64).
+	Dim int
+	// BatchSize is the global batch size N (paper: 16384).
+	BatchSize int
+	// MinPooling and MaxPooling bound the uniform pooling factor.
+	MinPooling, MaxPooling int
+	// Batches is the number of inference batches to run (paper: 100).
+	Batches int
+	// Seed drives all randomness.
+	Seed uint64
+	// ChunksPerKernel is the granularity at which the fused kernel
+	// interleaves compute and one-sided stores (progress quantum of the
+	// timing model; the real kernel interleaves per warp).
+	ChunksPerKernel int
+	// Functional enables the real data plane (small configs only).
+	Functional bool
+	// Sharding selects table-wise (default) or row-wise partitioning.
+	Sharding Sharding
+	// PerFeatureMaxPooling optionally makes features heterogeneous (len
+	// TotalTables); see workload.Config.
+	PerFeatureMaxPooling []int
+	// GreedyPlan balances table placement by expected pooling load instead
+	// of assigning contiguous blocks — the planner a skewed workload needs
+	// under table-wise sharding.
+	GreedyPlan bool
+	// PerFeatureRows optionally gives each table its own hash size (len
+	// TotalTables; nil = uniform Rows). Table-wise sharding only.
+	PerFeatureRows []int
+	// CustomPlan overrides table placement entirely (table-wise sharding):
+	// CustomPlan[g] lists the global feature IDs on GPU g. Every table must
+	// be assigned exactly once. Takes precedence over GreedyPlan.
+	CustomPlan [][]int
+	// Pooling selects the pooling operation (functional mode).
+	Pooling embedding.PoolingMode
+	// NullProbability, Distribution, ZipfExponent pass through to the
+	// workload generator.
+	NullProbability float64
+	Distribution    workload.IndexDist
+	ZipfExponent    float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.GPUs <= 0:
+		return fmt.Errorf("retrieval: GPUs must be positive")
+	case c.TotalTables < c.GPUs:
+		return fmt.Errorf("retrieval: need at least one table per GPU (%d tables, %d GPUs)", c.TotalTables, c.GPUs)
+	case c.Rows <= 0:
+		return fmt.Errorf("retrieval: Rows must be positive")
+	case c.Dim <= 0:
+		return fmt.Errorf("retrieval: Dim must be positive")
+	case c.BatchSize < c.GPUs:
+		return fmt.Errorf("retrieval: need at least one sample per GPU minibatch")
+	case c.MinPooling < 0 || c.MaxPooling < c.MinPooling:
+		return fmt.Errorf("retrieval: bad pooling range [%d, %d]", c.MinPooling, c.MaxPooling)
+	case c.Batches <= 0:
+		return fmt.Errorf("retrieval: Batches must be positive")
+	case c.ChunksPerKernel <= 0:
+		return fmt.Errorf("retrieval: ChunksPerKernel must be positive")
+	case c.Sharding == RowWise && c.Pooling != embedding.SumPooling:
+		return fmt.Errorf("retrieval: row-wise sharding requires sum pooling (partials of mean/max are undefined)")
+	case c.Sharding == RowWise && c.Rows < c.GPUs:
+		return fmt.Errorf("retrieval: row-wise sharding needs at least one row per GPU")
+	case c.PerFeatureRows != nil && len(c.PerFeatureRows) != c.TotalTables:
+		return fmt.Errorf("retrieval: PerFeatureRows has %d entries for %d tables",
+			len(c.PerFeatureRows), c.TotalTables)
+	case c.PerFeatureRows != nil && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: PerFeatureRows is not supported with row-wise sharding")
+	case c.CustomPlan != nil && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: CustomPlan is not supported with row-wise sharding")
+	case c.CustomPlan != nil && len(c.CustomPlan) != c.GPUs:
+		return fmt.Errorf("retrieval: CustomPlan has %d shards for %d GPUs", len(c.CustomPlan), c.GPUs)
+	}
+	if c.PerFeatureRows != nil {
+		for f, r := range c.PerFeatureRows {
+			if r <= 0 {
+				return fmt.Errorf("retrieval: table %d has non-positive rows %d", f, r)
+			}
+		}
+	}
+	if c.CustomPlan != nil {
+		seen := make(map[int]bool, c.TotalTables)
+		for g, ids := range c.CustomPlan {
+			for _, id := range ids {
+				if id < 0 || id >= c.TotalTables {
+					return fmt.Errorf("retrieval: CustomPlan GPU %d references table %d (have %d)", g, id, c.TotalTables)
+				}
+				if seen[id] {
+					return fmt.Errorf("retrieval: CustomPlan assigns table %d twice", id)
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != c.TotalTables {
+			return fmt.Errorf("retrieval: CustomPlan covers %d of %d tables", len(seen), c.TotalTables)
+		}
+	}
+	return nil
+}
+
+// tableRows returns the hash size of table fid.
+func (c Config) tableRows(fid int) int {
+	if c.PerFeatureRows != nil {
+		return c.PerFeatureRows[fid]
+	}
+	return c.Rows
+}
+
+// VectorBytes returns the wire payload of one output embedding vector.
+func (c Config) VectorBytes() int { return 4 * c.Dim }
+
+// workloadConfig builds the generator configuration for this experiment.
+func (c Config) workloadConfig() workload.Config {
+	return workload.Config{
+		NumFeatures:          c.TotalTables,
+		BatchSize:            c.BatchSize,
+		MinPooling:           c.MinPooling,
+		MaxPooling:           c.MaxPooling,
+		PerFeatureMaxPooling: c.PerFeatureMaxPooling,
+		NullProbability:      c.NullProbability,
+		IndexSpace:           int64(c.Rows),
+		Distribution:         c.Distribution,
+		ZipfExponent:         c.ZipfExponent,
+		NumDense:             13,
+		Seed:                 c.Seed,
+	}
+}
+
+// SkewedPooling returns a per-feature max-pooling vector where hotFraction
+// of the features carry hotMax pooling and the rest keep coldMax — the
+// heterogeneous-feature workload of the sharding experiments.
+func SkewedPooling(totalTables int, hotFraction float64, hotMax, coldMax int) []int {
+	out := make([]int, totalTables)
+	hot := int(float64(totalTables) * hotFraction)
+	for f := range out {
+		if f < hot {
+			out[f] = hotMax
+		} else {
+			out[f] = coldMax
+		}
+	}
+	return out
+}
+
+// WeakScalingConfig returns the paper's §IV-A weak-scaling configuration for
+// the given GPU count: 64 tables per GPU, 1M rows, d=64, batch 16384,
+// pooling U[1,128], 100 batches.
+func WeakScalingConfig(gpus int) Config {
+	return Config{
+		GPUs:            gpus,
+		TotalTables:     64 * gpus,
+		Rows:            1_000_000,
+		Dim:             64,
+		BatchSize:       16384,
+		MinPooling:      1,
+		MaxPooling:      128,
+		Batches:         100,
+		Seed:            2024,
+		ChunksPerKernel: 64,
+	}
+}
+
+// StrongScalingConfig returns the paper's §IV-B strong-scaling
+// configuration: 96 tables total, 1M rows, d=64, batch 16384, pooling
+// U[1,32], 100 batches.
+func StrongScalingConfig(gpus int) Config {
+	cfg := WeakScalingConfig(gpus)
+	cfg.TotalTables = 96
+	cfg.MaxPooling = 32
+	return cfg
+}
+
+// CriteoShapedConfig returns a Criteo-style inference configuration: 26
+// single-valued sparse features (pooling factor 1), 1M-row tables, d=64 —
+// the latency-dominated regime where the EMB layer's cost is overheads,
+// not gather bandwidth.
+func CriteoShapedConfig(gpus int) Config {
+	cfg := WeakScalingConfig(gpus)
+	cfg.TotalTables = 26
+	cfg.MinPooling = 1
+	cfg.MaxPooling = 1
+	return cfg
+}
+
+// TestScaleConfig returns a small functional configuration used by
+// correctness tests and the quickstart example: every backend's outputs are
+// bit-comparable against the serial reference at this scale.
+func TestScaleConfig(gpus int) Config {
+	return Config{
+		GPUs:            gpus,
+		TotalTables:     6,
+		Rows:            128,
+		Dim:             8,
+		BatchSize:       32,
+		MinPooling:      0,
+		MaxPooling:      5,
+		Batches:         3,
+		Seed:            7,
+		ChunksPerKernel: 4,
+		Functional:      true,
+		NullProbability: 0.1,
+	}
+}

@@ -1,0 +1,114 @@
+package retrieval
+
+import (
+	"testing"
+
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/tensor"
+)
+
+// multiNodeHW wires 2 nodes x 2 GPUs with the default thin inter-node
+// links.
+func multiNodeHW() HardwareParams {
+	hw := DefaultHardware()
+	hw.Topology = func(gpus int) nvlink.Topology {
+		if gpus%2 != 0 {
+			// Odd counts fall back to a single chassis.
+			return nvlink.DGXStation(gpus)
+		}
+		return nvlink.MultiNode{Nodes: 2, PerNode: gpus / 2, IntraLinks: 2}
+	}
+	return hw
+}
+
+func TestMultiNodeFunctionalCorrectness(t *testing.T) {
+	// Thin links change timing, never results.
+	s, err := NewSystem(TestScaleConfig(4), multiNodeHW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(&PGASFused{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(s, res.LastBatch)
+	for g := range want {
+		if !tensor.Equal(res.Final[g], want[g]) {
+			t.Fatalf("GPU %d output differs from reference on multi-node fabric", g)
+		}
+	}
+}
+
+func TestMultiNodeSlowerThanSingleChassis(t *testing.T) {
+	cfg := WeakScalingConfig(4)
+	cfg.Batches = 3
+	run := func(hw HardwareParams) sim.Duration {
+		s, err := NewSystem(cfg, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(&PGASFused{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	intra := run(DefaultHardware())
+	inter := run(multiNodeHW())
+	if inter <= intra {
+		t.Fatalf("thin inter-node links should slow the direct PGAS scheme: %v vs %v", inter, intra)
+	}
+}
+
+func TestAggregatorWinsOnMultiNode(t *testing.T) {
+	// The paper's future-work claim: on lower-bandwidth inter-node links,
+	// aggregating small messages (fewer headers) recovers performance with
+	// minimal code change.
+	cfg := WeakScalingConfig(4)
+	cfg.Batches = 3
+	hw := multiNodeHW()
+	run := func(b Backend) sim.Duration {
+		s, err := NewSystem(cfg, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	direct := run(&PGASFused{})
+	agg := run(&PGASFused{Aggregate: &AggregatorConfig{FlushBytes: 64 << 10, MaxWait: 100 * sim.Microsecond}})
+	if agg >= direct {
+		t.Fatalf("aggregation should win on thin links: direct %v vs aggregated %v", direct, agg)
+	}
+}
+
+func TestAggregatorNeutralOnNVLink(t *testing.T) {
+	// On fat intra-node links the headers were already hidden under
+	// compute; aggregation must not hurt (within noise).
+	cfg := WeakScalingConfig(2)
+	cfg.Batches = 3
+	run := func(b Backend) sim.Duration {
+		s, err := NewSystem(cfg, DefaultHardware())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	direct := run(&PGASFused{})
+	agg := run(&PGASFused{Aggregate: &AggregatorConfig{FlushBytes: 64 << 10, MaxWait: 100 * sim.Microsecond}})
+	diff := agg - direct
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02*direct {
+		t.Fatalf("aggregation should be neutral on NVLink: direct %v vs aggregated %v", direct, agg)
+	}
+}

@@ -1,0 +1,176 @@
+package retrieval
+
+import (
+	"pgasemb/internal/pgas"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/trace"
+)
+
+// AggregatorConfig enables the paper's future-work aggregated-store variant
+// (§V): one-sided stores to the same destination are batched into
+// FlushBytes-sized messages, bounded by MaxWait.
+type AggregatorConfig struct {
+	FlushBytes int
+	MaxWait    sim.Duration
+}
+
+// PGASFused is the paper's contribution: a single fused kernel per GPU that
+// pools each output embedding and immediately issues a one-sided PGAS store
+// to the GPU that owns the output's sample (Listing 2), followed by quiet.
+// There is no separate communication phase, no packing into collective
+// buffers, and no unpack step — remote writes land at their final address.
+//
+// StageRemote is the A2 ablation: stores overlap with compute as usual but
+// land in a rank-ordered staging buffer on the destination, so the unpack
+// step returns — isolating how much of the win is overlap alone.
+//
+// Aggregate, when non-nil, routes remote stores through the asynchronous
+// aggregator (future-work variant A3).
+type PGASFused struct {
+	StageRemote bool
+	Aggregate   *AggregatorConfig
+}
+
+// Name implements Backend.
+func (b *PGASFused) Name() string {
+	switch {
+	case b.StageRemote:
+		return "pgas-overlap-only"
+	case b.Aggregate != nil:
+		return "pgas-aggregated"
+	default:
+		return "pgas-fused"
+	}
+}
+
+func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
+	cfg := s.Cfg
+	dev := s.Devs[g]
+	stream := dev.NewStream("emb-fused")
+	pe := s.PGAS.PE(g)
+	fg := s.LocalTables(g)
+	lo, hi := s.Minibatch(g)
+	mini := hi - lo
+	peers := cfg.GPUs - 1
+
+	var agg *pgas.Aggregator
+	if b.Aggregate != nil {
+		agg = pgas.NewAggregator(pe, b.Aggregate.FlushBytes, b.Aggregate.MaxWait)
+	}
+
+	batchStart := p.Now()
+	p.Wait(dev.Params().KernelLaunch)
+
+	vecBytes := cfg.VectorBytes()
+
+	var scratch []float32
+	if cfg.Functional {
+		scratch = make([]float32, cfg.Dim)
+	}
+
+	// The fused kernel walks the batch in sample-range chunks; each chunk
+	// pays its share of compute time, then its remote outputs leave as
+	// one-sided stores while the next chunk computes — the fine-grained
+	// overlap of §III-B.
+	chunks := cfg.ChunksPerKernel
+	for k := 0; k < chunks; k++ {
+		s0 := cfg.BatchSize * k / chunks
+		s1 := cfg.BatchSize * (k + 1) / chunks
+		if s0 == s1 {
+			continue
+		}
+		chunkIdx := s.localIndexTotal(bd.Summary, g, s0, s1)
+		// Local outputs store to HBM; remote outputs leave from registers.
+		localSamples := overlap(s0, s1, lo, hi)
+		remoteSamples := (s1 - s0) - localSamples
+		readBytes := float64(chunkIdx) * float64(vecBytes)
+		streamBytes := float64(chunkIdx)*8 + float64(localSamples*fg)*float64(vecBytes)
+		cost := dev.GatherKernelChunkCost(readBytes, streamBytes, (s1-s0)*fg, cfg.BatchSize*fg) +
+			dev.RemoteIssueCost(remoteSamples*fg) +
+			sim.Duration(peers)*dev.Params().RemotePeerChunkOverhead
+		p.Wait(cost)
+
+		if cfg.Functional {
+			b.functionalChunk(s, p, g, bd, s0, s1, scratch, agg)
+			continue
+		}
+		for peer := 0; peer < cfg.GPUs; peer++ {
+			if peer == g {
+				continue
+			}
+			plo, phi := s.Minibatch(peer)
+			vecs := overlap(s0, s1, plo, phi) * fg
+			if vecs == 0 {
+				continue
+			}
+			if agg != nil {
+				agg.StoreBytes(s.PGAS.PE(peer), vecs*vecBytes)
+			} else {
+				pe.PutVectors(s.PGAS.PE(peer), vecs, vecBytes)
+			}
+		}
+	}
+
+	if agg != nil {
+		agg.FlushAll()
+	}
+	pe.Quiet(p)
+	bk.Accumulate(CompFused, p.Now()-batchStart)
+
+	if b.StageRemote && cfg.GPUs > 1 {
+		// A2 ablation: remote stores landed rank-ordered; rearrange.
+		unpackStart := p.Now()
+		remoteBytes := float64(mini) * float64(cfg.TotalTables-fg) * float64(vecBytes)
+		unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
+		_, unpackEnd := stream.Launch(p, unpack)
+		p.WaitUntil(unpackEnd)
+		bk.Accumulate(CompSyncUnpack, p.Now()-unpackStart)
+	}
+
+	syncStart := p.Now()
+	stream.Synchronize(p)
+	bk.Accumulate(CompSyncUnpack, p.Now()-syncStart)
+}
+
+// functionalChunk pools every (sample, feature) output in [s0, s1) and
+// stores it one-sidedly at its final address on the owning GPU.
+func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, s0, s1 int, scratch []float32, agg *pgas.Aggregator) {
+	cfg := s.Cfg
+	pe := s.PGAS.PE(g)
+	part := bd.Parts[g]
+	coll := s.Collection(g)
+	for smp := s0; smp < s1; smp++ {
+		owner := sparse.OwnerOfSample(cfg.BatchSize, cfg.GPUs, smp)
+		olo, _ := s.Minibatch(owner)
+		dstTensor := bd.Final[owner]
+		dstData := dstTensor.Data()
+		for fi := range part.Features {
+			fb := &part.Features[fi]
+			coll.Tables[fi].LookupPooled(fb.Bag(smp), coll.Mode, scratch)
+			globalFID := fb.FeatureID
+			off := ((smp-olo)*cfg.TotalTables + globalFID) * cfg.Dim
+			dst := dstData[off : off+cfg.Dim]
+			if agg != nil {
+				agg.Store(s.PGAS.PE(owner), dst, scratch)
+			} else {
+				pe.PutFloat32s(s.PGAS.PE(owner), dst, scratch)
+			}
+		}
+	}
+}
+
+// overlap returns |[a0,a1) ∩ [b0,b1)|.
+func overlap(a0, a1, b0, b1 int) int {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,123 @@
+package retrieval
+
+import (
+	"testing"
+
+	"pgasemb/internal/tensor"
+)
+
+// skewedConfig makes 1/8 of the tables 16x hotter than the rest — the
+// heterogeneous feature population real recommenders have.
+func skewedConfig(gpus int) Config {
+	cfg := WeakScalingConfig(gpus)
+	cfg.Batches = 3
+	cfg.PerFeatureMaxPooling = SkewedPooling(cfg.TotalTables, 0.125, 256, 16)
+	return cfg
+}
+
+func TestSkewedPoolingVector(t *testing.T) {
+	v := SkewedPooling(8, 0.25, 100, 10)
+	if len(v) != 8 || v[0] != 100 || v[1] != 100 || v[2] != 10 || v[7] != 10 {
+		t.Fatalf("skew vector wrong: %v", v)
+	}
+}
+
+func runSkew(t *testing.T, cfg Config, b Backend) *Result {
+	t.Helper()
+	s, err := NewSystem(cfg, DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGreedyPlanBeatsBlockPlanUnderSkew(t *testing.T) {
+	// With hot tables clustered at low feature IDs, the block plan dumps
+	// them all on GPU 0, whose kernel becomes the straggler every batch.
+	// The greedy planner spreads them, shrinking the makespan.
+	cfg := skewedConfig(4)
+	block := runSkew(t, cfg, &PGASFused{})
+	cfgG := cfg
+	cfgG.GreedyPlan = true
+	greedy := runSkew(t, cfgG, &PGASFused{})
+	if greedy.TotalTime >= block.TotalTime {
+		t.Fatalf("greedy plan (%v) not faster than block plan (%v) under skew",
+			greedy.TotalTime, block.TotalTime)
+	}
+	improvement := block.TotalTime / greedy.TotalTime
+	if improvement < 1.2 {
+		t.Fatalf("greedy improvement only %.2fx; straggler effect should be large", improvement)
+	}
+}
+
+func TestGreedyPlanNeutralWithoutSkew(t *testing.T) {
+	// Uniform features: both planners produce equally balanced shards.
+	cfg := WeakScalingConfig(2)
+	cfg.Batches = 2
+	block := runSkew(t, cfg, &PGASFused{})
+	cfgG := cfg
+	cfgG.GreedyPlan = true
+	greedy := runSkew(t, cfgG, &PGASFused{})
+	diff := greedy.TotalTime - block.TotalTime
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02*block.TotalTime {
+		t.Fatalf("greedy plan should be neutral without skew: %v vs %v",
+			greedy.TotalTime, block.TotalTime)
+	}
+}
+
+func TestRowWiseImmuneToSkewPlacement(t *testing.T) {
+	// Row-wise sharding splits every table across all GPUs, so the hot
+	// tables' load spreads automatically: per-GPU compute stays balanced
+	// regardless of which features are hot.
+	cfg := skewedConfig(4)
+	cfg.Sharding = RowWise
+	res := runSkew(t, cfg, &RowWisePGAS{})
+	// Per-GPU fused time within 5% of each other.
+	var times []float64
+	for _, bk := range res.PerGPU {
+		times = append(times, bk.Get(CompFused))
+	}
+	for _, v := range times[1:] {
+		ratio := v / times[0]
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("row-wise per-GPU times unbalanced under skew: %v", times)
+		}
+	}
+}
+
+func TestSkewedFunctionalCorrectness(t *testing.T) {
+	// Heterogeneous pooling with the greedy plan still matches the serial
+	// reference bit-exactly.
+	cfg := TestScaleConfig(3)
+	cfg.PerFeatureMaxPooling = SkewedPooling(cfg.TotalTables, 0.34, 9, 2)
+	cfg.GreedyPlan = true
+	s, err := NewSystem(cfg, DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(&PGASFused{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(s, res.LastBatch)
+	for g := range want {
+		if !tensor.Equal(res.Final[g], want[g]) {
+			t.Fatalf("GPU %d differs from reference under skew + greedy plan", g)
+		}
+	}
+}
+
+func TestPerFeaturePoolingValidation(t *testing.T) {
+	cfg := TestScaleConfig(2)
+	cfg.PerFeatureMaxPooling = []int{1, 2} // wrong length
+	if _, err := NewSystem(cfg, DefaultHardware()); err == nil {
+		t.Fatal("wrong-length PerFeatureMaxPooling accepted")
+	}
+}

@@ -1,0 +1,437 @@
+package retrieval
+
+import (
+	"fmt"
+	"io"
+
+	"pgasemb/internal/collective"
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/gpu"
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/pgas"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/tensor"
+	"pgasemb/internal/trace"
+	"pgasemb/internal/workload"
+)
+
+// HardwareParams bundles the device-level models a System runs on.
+type HardwareParams struct {
+	GPU        gpu.Params
+	Link       nvlink.Params
+	Collective collective.Params
+
+	// Topology overrides the interconnect wiring; nil selects the paper's
+	// DGX Station (fully connected, 2 NVLink links per pair). The
+	// multi-node extension passes nvlink.MultiNode here.
+	Topology func(gpus int) nvlink.Topology
+}
+
+// topology resolves the wiring for the given GPU count.
+func (hw HardwareParams) topology(gpus int) nvlink.Topology {
+	if hw.Topology != nil {
+		return hw.Topology(gpus)
+	}
+	return nvlink.DGXStation(gpus)
+}
+
+// DefaultHardware returns the calibrated DGX Station V100 parameter set.
+func DefaultHardware() HardwareParams {
+	return HardwareParams{
+		GPU:        gpu.V100Params(),
+		Link:       nvlink.DefaultParams(),
+		Collective: collective.DefaultParams(),
+	}
+}
+
+// A100Hardware returns an A100-generation machine: faster devices, NVLink
+// 3.0 (double the per-link bandwidth) and a correspondingly faster
+// collective channel. Used to check that the paper's conclusions are not an
+// artifact of the V100 balance point.
+func A100Hardware() HardwareParams {
+	hw := DefaultHardware()
+	hw.GPU = gpu.A100Params()
+	hw.Link.LinkBandwidth = 50e9
+	hw.Collective.ChannelBandwidth = 2 * hw.Collective.ChannelBandwidth
+	return hw
+}
+
+// System is one wired-up simulated machine: devices, fabric, PGAS runtime,
+// NCCL communicator, table shards and the workload generator.
+type System struct {
+	Cfg  Config
+	HW   HardwareParams
+	Env  *sim.Env
+	Devs []*gpu.Device
+	Fab  *nvlink.Fabric
+	PGAS *pgas.Runtime
+	Comm *collective.Comm
+	Plan [][]int // Plan[g] = global feature IDs resident on GPU g
+
+	gen     *workload.Generator
+	gradRng *sim.RNG // upstream gradients for the backward extension
+
+	// Functional state (nil slices in timing mode).
+	colls []*embedding.Collection
+	// globalColl holds the full-row tables shared by all GPUs under
+	// row-wise sharding (each GPU logically owns a row range; the
+	// functional simulation keeps one copy of the truth).
+	globalColl *embedding.Collection
+}
+
+// NewSystem validates the configuration, wires the machine, allocates the
+// table shards on each device (enforcing the 32 GB capacity the paper's
+// strong-scaling configuration was designed around) and, in functional
+// mode, materialises real embedding weights.
+func NewSystem(cfg Config, hw HardwareParams) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(cfg.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	fab := nvlink.NewFabric(env, hw.Link, hw.topology(cfg.GPUs))
+	s := &System{
+		Cfg:     cfg,
+		HW:      hw,
+		Env:     env,
+		Fab:     fab,
+		PGAS:    pgas.New(env, fab),
+		Comm:    collective.New(env, fab, hw.Collective),
+		Plan:    embedding.TableWisePlan(cfg.TotalTables, cfg.GPUs),
+		gen:     gen,
+		gradRng: sim.NewRNG(cfg.Seed ^ 0x6AAD),
+	}
+	switch {
+	case cfg.CustomPlan != nil:
+		s.Plan = cfg.CustomPlan
+	case cfg.GreedyPlan:
+		s.Plan = embedding.GreedyPlan(cfg.workloadConfig().ExpectedPoolingLoad(), cfg.GPUs)
+	}
+	for g := 0; g < cfg.GPUs; g++ {
+		dev := gpu.NewDevice(env, g, hw.GPU)
+		var shardBytes int64
+		for _, fid := range s.Plan[g] {
+			shardBytes += int64(cfg.tableRows(fid)) * int64(cfg.Dim) * 4
+		}
+		if cfg.Sharding == RowWise {
+			rlo, rhi := embedding.RowShardRange(cfg.Rows, cfg.GPUs, g)
+			shardBytes = int64(rhi-rlo) * int64(cfg.Dim) * 4 * int64(cfg.TotalTables)
+		}
+		if _, err := dev.Alloc("embedding-tables", shardBytes); err != nil {
+			return nil, fmt.Errorf("retrieval: GPU %d cannot hold its shard: %w", g, err)
+		}
+		lo, hi := sparse.MinibatchRange(cfg.BatchSize, cfg.GPUs, g)
+		outBytes := int64(hi-lo) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4
+		if _, err := dev.Alloc("emb-output", outBytes); err != nil {
+			return nil, fmt.Errorf("retrieval: GPU %d cannot hold its output minibatch: %w", g, err)
+		}
+		if cfg.Sharding == RowWise {
+			// The partial-sum buffer covers the FULL batch for all tables.
+			partialBytes := int64(cfg.BatchSize) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4
+			if _, err := dev.Alloc("emb-partials", partialBytes); err != nil {
+				return nil, fmt.Errorf("retrieval: GPU %d cannot hold its row-wise partial buffer: %w", g, err)
+			}
+		}
+		s.Devs = append(s.Devs, dev)
+	}
+	if cfg.Functional {
+		wrng := sim.NewRNG(cfg.Seed ^ 0xE3B0)
+		if cfg.Sharding == RowWise {
+			allFeatures := make([]int, cfg.TotalTables)
+			for i := range allFeatures {
+				allFeatures[i] = i
+			}
+			s.globalColl = embedding.NewCollection(allFeatures, cfg.Rows, cfg.Dim, cfg.Pooling, wrng)
+		} else {
+			for g := 0; g < cfg.GPUs; g++ {
+				rowsPer := make([]int, len(s.Plan[g]))
+				for i, fid := range s.Plan[g] {
+					rowsPer[i] = cfg.tableRows(fid)
+				}
+				s.colls = append(s.colls, embedding.NewCollectionWithRows(s.Plan[g], rowsPer, cfg.Dim, cfg.Pooling, wrng))
+			}
+		}
+	}
+	return s, nil
+}
+
+// SaveShard checkpoints GPU g's embedding tables (functional mode only).
+func (s *System) SaveShard(g int, w io.Writer) error {
+	if s.Cfg.Sharding == RowWise {
+		if g != 0 {
+			return fmt.Errorf("retrieval: row-wise tables are shared; checkpoint shard 0")
+		}
+		return embedding.SaveCollection(w, s.GlobalCollection())
+	}
+	return embedding.SaveCollection(w, s.Collection(g))
+}
+
+// LoadShard replaces GPU g's embedding tables from a checkpoint written by
+// SaveShard (functional mode, table-wise sharding). The checkpoint must
+// describe the same feature IDs, rows and dimension.
+func (s *System) LoadShard(g int, r io.Reader) error {
+	if s.Cfg.Sharding == RowWise {
+		return fmt.Errorf("retrieval: LoadShard supports table-wise sharding only")
+	}
+	c, err := embedding.LoadCollection(r)
+	if err != nil {
+		return err
+	}
+	cur := s.Collection(g)
+	if c.Dim != cur.Dim || len(c.Tables) != len(cur.Tables) {
+		return fmt.Errorf("retrieval: checkpoint shape (%d tables, dim %d) does not match shard (%d, %d)",
+			len(c.Tables), c.Dim, len(cur.Tables), cur.Dim)
+	}
+	for i := range c.FeatureIDs {
+		if c.FeatureIDs[i] != cur.FeatureIDs[i] {
+			return fmt.Errorf("retrieval: checkpoint feature %d is table %d, shard has %d",
+				i, c.FeatureIDs[i], cur.FeatureIDs[i])
+		}
+		if c.Tables[i].Rows != cur.Tables[i].Rows {
+			return fmt.Errorf("retrieval: checkpoint table %d has %d rows, shard has %d",
+				i, c.Tables[i].Rows, cur.Tables[i].Rows)
+		}
+	}
+	s.colls[g] = c
+	return nil
+}
+
+// GlobalCollection returns the shared full-row tables (row-wise functional
+// mode only).
+func (s *System) GlobalCollection() *embedding.Collection {
+	if s.globalColl == nil {
+		panic("retrieval: GlobalCollection outside row-wise functional mode")
+	}
+	return s.globalColl
+}
+
+// RowShard returns GPU g's row range under row-wise sharding.
+func (s *System) RowShard(g int) (lo, hi int) {
+	return embedding.RowShardRange(s.Cfg.Rows, s.Cfg.GPUs, g)
+}
+
+// globalIndexTotal returns the pooled-index total across ALL features for
+// samples [lo, hi).
+func (s *System) globalIndexTotal(sum *workload.Summary, lo, hi int) int64 {
+	var total int64
+	for fid := 0; fid < sum.NumFeatures; fid++ {
+		row := sum.Pooling[fid*sum.BatchSize:]
+		for smp := lo; smp < hi; smp++ {
+			total += int64(row[smp])
+		}
+	}
+	return total
+}
+
+// LocalTables returns the number of tables resident on GPU g.
+func (s *System) LocalTables(g int) int { return len(s.Plan[g]) }
+
+// Minibatch returns GPU g's data-parallel sample range.
+func (s *System) Minibatch(g int) (lo, hi int) {
+	return sparse.MinibatchRange(s.Cfg.BatchSize, s.Cfg.GPUs, g)
+}
+
+// Collection returns GPU g's table shard (functional mode only).
+func (s *System) Collection(g int) *embedding.Collection {
+	if s.colls == nil {
+		panic("retrieval: Collection in timing-only mode")
+	}
+	return s.colls[g]
+}
+
+// BatchData carries one batch's inputs through a backend: always the
+// pooling summary (timing), plus real indices and output buffers in
+// functional mode.
+type BatchData struct {
+	// Summary is the pooling structure driving the timing model.
+	Summary *workload.Summary
+	// Sparse is the materialised input batch (nil in timing mode).
+	Sparse *sparse.Batch
+	// Parts are the per-GPU model-parallel partitions of Sparse.
+	Parts []*sparse.Batch
+
+	// Final[g] is GPU g's EMB-layer result: (minibatch, TotalTables, Dim),
+	// features in global ID order — the layout the interaction layer
+	// consumes. Functional mode only.
+	Final []*tensor.Tensor
+
+	// Grads[g] is the upstream gradient arriving at GPU g's EMB output
+	// during the backward pass — same shape as Final[g]. Synthesised
+	// deterministically in functional mode for the backward-pass
+	// extension experiments.
+	Grads []*tensor.Tensor
+}
+
+// NextBatchData draws the next batch in the mode the system was built for.
+func (s *System) NextBatchData() (*BatchData, error) {
+	bd := &BatchData{}
+	if !s.Cfg.Functional {
+		bd.Summary = s.gen.NextSummary()
+		return bd, nil
+	}
+	bd.Sparse = s.gen.NextBatch()
+	// Derive the summary from the materialised batch so timing is identical
+	// to what NextSummary would have produced (same pooling stream).
+	bd.Summary = summaryFromBatch(bd.Sparse)
+	if s.Cfg.Sharding == RowWise {
+		// Row-wise: every GPU sees the full batch of every feature (the
+		// expensive input distribution the paper's future work discusses).
+		bd.Parts = make([]*sparse.Batch, s.Cfg.GPUs)
+		for g := range bd.Parts {
+			bd.Parts[g] = bd.Sparse
+		}
+	} else {
+		parts, err := sparse.PartitionByFeature(bd.Sparse, s.Plan)
+		if err != nil {
+			return nil, err
+		}
+		bd.Parts = parts
+	}
+	for g := 0; g < s.Cfg.GPUs; g++ {
+		lo, hi := s.Minibatch(g)
+		bd.Final = append(bd.Final, tensor.New(hi-lo, s.Cfg.TotalTables, s.Cfg.Dim))
+		grad := tensor.New(hi-lo, s.Cfg.TotalTables, s.Cfg.Dim)
+		grad.RandomUniform(s.gradRng, -0.1, 0.1)
+		bd.Grads = append(bd.Grads, grad)
+	}
+	return bd, nil
+}
+
+func summaryFromBatch(b *sparse.Batch) *workload.Summary {
+	sum := &workload.Summary{
+		BatchSize:   b.Size,
+		NumFeatures: len(b.Features),
+		Pooling:     make([]int32, len(b.Features)*b.Size),
+	}
+	for f := range b.Features {
+		for smp := 0; smp < b.Size; smp++ {
+			sum.Pooling[f*b.Size+smp] = int32(b.Features[f].PoolingFactor(smp))
+		}
+	}
+	return sum
+}
+
+// localIndexTotal returns the pooled-index total across GPU g's features for
+// samples [lo, hi).
+func (s *System) localIndexTotal(sum *workload.Summary, g, lo, hi int) int64 {
+	var total int64
+	for _, fid := range s.Plan[g] {
+		row := sum.Pooling[fid*sum.BatchSize:]
+		for smp := lo; smp < hi; smp++ {
+			total += int64(row[smp])
+		}
+	}
+	return total
+}
+
+// Backend is one EMB-layer retrieval implementation under test.
+type Backend interface {
+	// Name labels the backend in results ("baseline", "pgas-fused", ...).
+	Name() string
+	// RunBatch executes one batch on GPU g's process and records component
+	// times into bk. All GPUs enter at the same simulated time (the caller
+	// barriers between batches).
+	RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown)
+}
+
+// Result summarises one Run.
+type Result struct {
+	Backend string
+	Cfg     Config
+	// TotalTime is the accumulated wall-clock of all batches (barrier to
+	// barrier), the quantity the paper reports.
+	TotalTime sim.Duration
+	// PerGPU holds each GPU's accumulated component breakdown.
+	PerGPU []*trace.Breakdown
+	// Breakdown is the slowest-GPU view (element-wise max), matching the
+	// paper's per-component bars.
+	Breakdown *trace.Breakdown
+	// CommTrace is the machine-wide communication-volume-over-time trace.
+	CommTrace *trace.VolumeTrace
+	// Final holds the last batch's per-GPU outputs (functional mode).
+	Final []*tensor.Tensor
+	// LastBatch is the last batch's inputs (functional mode), for
+	// verification against the reference.
+	LastBatch *sparse.Batch
+}
+
+// Run executes the configured number of batches under the given backend and
+// returns timing results (plus functional outputs in functional mode).
+// Each batch is barrier-synchronised across GPUs, mirroring the paper's
+// measurement of accumulated EMB-layer time over 100 batches.
+func (s *System) Run(b Backend) (*Result, error) {
+	res := &Result{
+		Backend: b.Name(),
+		Cfg:     s.Cfg,
+		PerGPU:  make([]*trace.Breakdown, s.Cfg.GPUs),
+	}
+	for g := range res.PerGPU {
+		res.PerGPU[g] = &trace.Breakdown{}
+	}
+	s.PGAS.ResetCounters()
+	s.Comm.ResetVolume()
+	s.Fab.Reset()
+
+	batches := make([]*BatchData, s.Cfg.Batches)
+	for i := range batches {
+		bd, err := s.NextBatchData()
+		if err != nil {
+			return nil, err
+		}
+		batches[i] = bd
+	}
+
+	barrier := sim.NewBarrier(s.Env, s.Cfg.GPUs)
+	start := s.Env.Now()
+	var runErr error
+	for g := 0; g < s.Cfg.GPUs; g++ {
+		g := g
+		s.Env.Go(fmt.Sprintf("gpu%d", g), func(p *sim.Proc) {
+			defer func() {
+				if r := recover(); r != nil && runErr == nil {
+					runErr = fmt.Errorf("retrieval: GPU %d: %v", g, r)
+				}
+			}()
+			for _, bd := range batches {
+				barrier.Await(p)
+				b.RunBatch(s, p, g, bd, res.PerGPU[g])
+			}
+			barrier.Await(p) // final rendezvous so TotalTime is the makespan
+		})
+	}
+	s.Env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.TotalTime = s.Env.Now() - start
+	res.Breakdown = trace.MergeMax(res.PerGPU...)
+	res.CommTrace = s.commTrace(b)
+	if s.Cfg.Functional && len(batches) > 0 {
+		last := batches[len(batches)-1]
+		res.Final = last.Final
+		res.LastBatch = last.Sparse
+	}
+	return res, nil
+}
+
+// commTrace picks the volume trace that corresponds to the backend's
+// communication path.
+func (s *System) commTrace(b Backend) *trace.VolumeTrace {
+	switch b.(type) {
+	case *Baseline:
+		return s.Comm.Volume()
+	default:
+		merged := &trace.VolumeTrace{}
+		for _, iv := range s.PGAS.TotalTrace().Intervals() {
+			merged.Add(iv.Start, iv.End, iv.Bytes)
+		}
+		for _, iv := range s.Comm.Volume().Intervals() {
+			merged.Add(iv.Start, iv.End, iv.Bytes)
+		}
+		return merged
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEnv()
+		for j := 0; j < 1000; j++ {
+			e.After(Duration(j), func() {})
+		}
+		e.Run()
+	}
+	b.ReportMetric(1000, "events/iter")
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEnv()
+	e.Go("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkPipeOffer(b *testing.B) {
+	e := NewEnv()
+	p := NewPipe(e, "bench", 50e9, 1e-6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Offer(288)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Intn(1_000_000)
+	}
+	_ = sink
+}
+
+func BenchmarkZipfTableNext(b *testing.B) {
+	zt := NewZipfTable(NewRNG(1), 1.1, 1<<20)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= zt.Next()
+	}
+	_ = sink
+}

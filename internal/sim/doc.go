@@ -1,0 +1,15 @@
+// Package sim provides the discrete-event simulation core used by every
+// hardware model in this repository: a virtual clock, an event queue,
+// coroutine-style processes, condition signals, rate-limited fluid pipes
+// (the building block of the NVLink model), and deterministic random-number
+// streams.
+//
+// The engine is strictly deterministic: events fire in (time, insertion
+// order), and processes run one at a time under a handoff protocol, so a
+// given seed always reproduces the same trajectory regardless of GOMAXPROCS.
+//
+// Time is modelled as float64 seconds. Sub-nanosecond resolution is far
+// beyond what the calibrated cost models need, and a float clock makes the
+// fluid-flow bandwidth arithmetic exact where it matters (ratios, not
+// absolute epsilon).
+package sim

@@ -1,0 +1,53 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulated processes:
+// sends never block; receives block until a message is available. It is the
+// channel analogue for Proc-world code (host threads handing work to a
+// driver thread, a progress engine consuming requests, ...).
+type Mailbox[T any] struct {
+	env     *Env
+	queue   []T
+	waiters []*Proc
+}
+
+// NewMailbox returns an empty mailbox bound to e.
+func NewMailbox[T any](e *Env) *Mailbox[T] {
+	return &Mailbox[T]{env: e}
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.queue) }
+
+// Send enqueues v and wakes the longest-waiting receiver, if any. Send may
+// be called from any event context, not only from a Proc.
+func (m *Mailbox[T]) Send(v T) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.env.After(0, func() { w.wake() })
+	}
+}
+
+// Recv blocks the process until a message is available and returns it.
+// Waiting receivers are served FIFO.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryRecv returns the next message without blocking; ok is false when the
+// mailbox is empty.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.queue) == 0 {
+		return v, false
+	}
+	v = m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}

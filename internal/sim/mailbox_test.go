@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+func TestMailboxSendThenRecv(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox[int](e)
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		got = append(got, m.Recv(p), m.Recv(p))
+	})
+	e.Go("send", func(p *Proc) {
+		m.Send(1)
+		p.Wait(5)
+		m.Send(2)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxRecvBlocksUntilSend(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox[string](e)
+	var at Time
+	e.Go("recv", func(p *Proc) {
+		m.Recv(p)
+		at = p.Now()
+	})
+	e.Go("send", func(p *Proc) {
+		p.Wait(7)
+		m.Send("x")
+	})
+	e.Run()
+	if at != 7 {
+		t.Fatalf("receiver resumed at %v, want 7", at)
+	}
+}
+
+func TestMailboxFIFOAmongMessages(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox[int](e)
+	for i := 0; i < 10; i++ {
+		m.Send(i)
+	}
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			got = append(got, m.Recv(p))
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("messages out of order: %v", got)
+		}
+	}
+}
+
+func TestMailboxFIFOAmongReceivers(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox[int](e)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("recv", func(p *Proc) {
+			m.Recv(p)
+			order = append(order, i)
+		})
+	}
+	e.Go("send", func(p *Proc) {
+		p.Wait(1)
+		m.Send(0)
+		p.Wait(1)
+		m.Send(0)
+		p.Wait(1)
+		m.Send(0)
+	})
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("receivers served out of order: %v", order)
+		}
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox[int](e)
+	if _, ok := m.TryRecv(); ok {
+		t.Fatal("TryRecv on empty mailbox succeeded")
+	}
+	m.Send(42)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	v, ok := m.TryRecv()
+	if !ok || v != 42 {
+		t.Fatalf("TryRecv = (%v, %v)", v, ok)
+	}
+	if m.Len() != 0 {
+		t.Fatal("message not consumed")
+	}
+}

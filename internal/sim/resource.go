@@ -1,0 +1,61 @@
+package sim
+
+// Resource is a counting resource with FIFO admission: up to Capacity
+// processes hold a unit at once; further acquirers queue in arrival order.
+// GPU models use it for copy engines and kernel-launch slots.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(e *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: e, capacity: capacity}
+}
+
+// Capacity returns the resource capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of processes waiting to acquire.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// Acquire blocks the process until a unit is available, then holds it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+}
+
+// Release returns a unit, waking the longest-waiting acquirer if any. It
+// panics if nothing is held — a double release is always a model bug.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Hand the unit straight to the waiter; inUse stays constant.
+		r.env.After(0, func() { next.wake() })
+		return
+	}
+	r.inUse--
+}
+
+// Use runs fn while holding one unit of the resource.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}

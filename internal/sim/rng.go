@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a small, fast, deterministic random-number generator based on
+// splitmix64. Every stochastic component of the simulator draws from an RNG
+// seeded explicitly, so simulations replay bit-exactly. RNG is deliberately
+// independent of math/rand so that the stream is stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// well-decorrelated streams (splitmix64 is the recommended seeding function
+// for xoshiro-family generators for exactly this reason).
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new RNG derived from this one, suitable for giving a
+// subsystem its own independent stream.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-light.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call keeps the generator state trajectory simple and reproducible).
+func (r *RNG) NormFloat64() float64 {
+	// Guard against log(0).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// ZipfTable samples from an exact Zipf distribution over [0, n) with any
+// exponent s > 0 via a precomputed cumulative table and binary search.
+// Construction is O(n); sampling is O(log n). The embedding workloads use it
+// for hot-item skew experiments.
+type ZipfTable struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipfTable builds the sampler. It panics for n <= 0 or s <= 0.
+func NewZipfTable(rng *RNG, s float64, n int) *ZipfTable {
+	if n <= 0 || s <= 0 {
+		panic("sim: NewZipfTable requires n > 0 and s > 0")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against float round-off
+	return &ZipfTable{rng: rng, cdf: cdf}
+}
+
+// Next draws the next variate in [0, n).
+func (zt *ZipfTable) Next() int {
+	u := zt.rng.Float64()
+	lo, hi := 0, len(zt.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if zt.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds in 100 draws", same)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// Child stream should not simply replay the parent stream.
+	p2 := NewRNG(7)
+	p2.Uint64() // consume the split draw
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p2.Uint64() {
+			matches++
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("child stream tracks parent stream (%d matches)", matches)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := NewRNG(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates >5 sigma from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRNG(5)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 8)
+		if v < 3 || v > 8 {
+			t.Fatalf("IntRange(3,8) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 8 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("IntRange never produced an endpoint")
+	}
+	// Degenerate single-value range.
+	if v := r.IntRange(4, 4); v != 4 {
+		t.Fatalf("IntRange(4,4) = %d", v)
+	}
+}
+
+func TestIntRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntRange(5,4) did not panic")
+		}
+	}()
+	NewRNG(1).IntRange(5, 4)
+}
+
+func TestFloat64InUnitInterval(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfTableBounds(t *testing.T) {
+	zt := NewZipfTable(NewRNG(17), 1.0, 50)
+	for i := 0; i < 10000; i++ {
+		v := zt.Next()
+		if v < 0 || v >= 50 {
+			t.Fatalf("ZipfTable.Next = %d out of range", v)
+		}
+	}
+}
+
+func TestZipfTableSkew(t *testing.T) {
+	zt := NewZipfTable(NewRNG(19), 1.2, 1000)
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[zt.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("Zipf counts not decreasing: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+	// Rank-0 frequency should be close to 1/H where H = sum k^-1.2.
+	var h float64
+	for k := 1; k <= 1000; k++ {
+		h += math.Pow(float64(k), -1.2)
+	}
+	want := float64(draws) / h
+	if math.Abs(float64(counts[0])-want) > 0.1*want {
+		t.Fatalf("rank-0 count %d deviates >10%% from expected %v", counts[0], want)
+	}
+}
+
+func TestZipfTableInvalidArgs(t *testing.T) {
+	for _, c := range []struct {
+		s float64
+		n int
+	}{{0, 10}, {-1, 10}, {1, 0}, {1, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipfTable(s=%v, n=%d) did not panic", c.s, c.n)
+				}
+			}()
+			NewZipfTable(NewRNG(1), c.s, c.n)
+		}()
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEnvStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("new env clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new env pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final clock = %v, want 3", e.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: position %d has %d", i, v)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEnv()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	e := NewEnv()
+	var hits []Time
+	e.After(1, func() {
+		hits = append(hits, e.Now())
+		e.After(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v, want [1 3]", hits)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEnv()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 10 {
+		t.Fatalf("after Run: fired=%d clock=%v", fired, e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEnv()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventsFiredCount(t *testing.T) {
+	e := NewEnv()
+	for i := 0; i < 7; i++ {
+		e.After(Duration(i), func() {})
+	}
+	e.Run()
+	if e.EventsFired() != 7 {
+		t.Fatalf("EventsFired = %d, want 7", e.EventsFired())
+	}
+}
+
+func TestFormatTime(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{5e-9, "5.0ns"},
+		{2.5e-6, "2.50us"},
+		{1.5e-3, "1.500ms"},
+		{2.25, "2.2500s"},
+	}
+	for _, c := range cases {
+		if got := FormatTime(c.t); got != c.want {
+			t.Errorf("FormatTime(%v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package sparse
+
+import "testing"
+
+// FuzzFeatureBagValidate asserts that Validate fully guards the accessors:
+// any bag it accepts can be walked end to end without panicking.
+func FuzzFeatureBagValidate(f *testing.F) {
+	f.Add([]byte{0, 2, 5}, 5)
+	f.Add([]byte{0}, 0)
+	f.Add([]byte{1, 0}, 3)
+	f.Fuzz(func(t *testing.T, rawOffsets []byte, nIndices int) {
+		if nIndices < 0 || nIndices > 1<<12 {
+			return
+		}
+		offsets := make([]int32, len(rawOffsets))
+		for i, b := range rawOffsets {
+			offsets[i] = int32(b)
+		}
+		fb := &FeatureBag{
+			Offsets: offsets,
+			Indices: make([]int64, nIndices),
+		}
+		if err := fb.Validate(); err != nil {
+			return
+		}
+		// Validated bags must be safely traversable.
+		total := 0
+		for s := 0; s < fb.BatchSize(); s++ {
+			total += len(fb.Bag(s))
+			if fb.PoolingFactor(s) != len(fb.Bag(s)) {
+				t.Fatal("pooling factor disagrees with bag length")
+			}
+		}
+		if total != fb.TotalIndices() {
+			t.Fatalf("bags cover %d of %d indices", total, fb.TotalIndices())
+		}
+	})
+}

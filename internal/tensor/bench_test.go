@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"testing"
+
+	"pgasemb/internal/sim"
+)
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := sim.NewRNG(1)
+	x := New(128, 128).RandomUniform(rng, -1, 1)
+	y := New(128, 128).RandomUniform(rng, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+	b.ReportMetric(2*128*128*128, "flops/op")
+}
+
+func BenchmarkDotInteraction(b *testing.B) {
+	rng := sim.NewRNG(2)
+	feats := New(64, 27, 64).RandomUniform(rng, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotInteraction(feats)
+	}
+}
+
+func BenchmarkReLU(b *testing.B) {
+	x := New(1<<16).RandomUniform(sim.NewRNG(3), -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ReLU()
+	}
+	b.SetBytes(4 << 16)
+}
+
+func BenchmarkClone(b *testing.B) {
+	x := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone()
+	}
+	b.SetBytes(256 * 256 * 4)
+}

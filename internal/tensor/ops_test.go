@@ -1,0 +1,212 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pgasemb/internal/sim"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	if !Equal(c, want) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := sim.NewRNG(1)
+	a := New(4, 4).RandomUniform(rng, -2, 2)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	if !Equal(MatMul(a, id), a) {
+		t.Fatal("A @ I != A")
+	}
+	if !Equal(MatMul(id, a), a) {
+		t.Fatal("I @ A != A")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("inner-dim mismatch did not panic")
+			}
+		}()
+		MatMul(New(2, 3), New(2, 3))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rank mismatch did not panic")
+			}
+		}()
+		MatMul(New(6), New(2, 3))
+	}()
+}
+
+// Property: matmul distributes over addition: (A+B)C = AC + BC.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		m, k, n := rng.IntRange(1, 6), rng.IntRange(1, 6), rng.IntRange(1, 6)
+		a := New(m, k).RandomUniform(rng, -1, 1)
+		b := New(m, k).RandomUniform(rng, -1, 1)
+		c := New(k, n).RandomUniform(rng, -1, 1)
+		left := MatMul(Add(a, b), c)
+		right := Add(MatMul(a, c), MatMul(b, c))
+		return AllClose(left, right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddBias(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	x.AddBias(FromSlice([]float32{10, 20}, 2))
+	want := FromSlice([]float32{11, 22, 13, 24}, 2, 2)
+	if !Equal(x, want) {
+		t.Fatalf("AddBias = %v", x)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bias length mismatch did not panic")
+			}
+		}()
+		x.AddBias(New(3))
+	}()
+}
+
+func TestAddAndAccumulate(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{3, 4}, 2)
+	s := Add(a, b)
+	if !Equal(s, FromSlice([]float32{4, 6}, 2)) {
+		t.Fatalf("Add = %v", s)
+	}
+	if !Equal(a, FromSlice([]float32{1, 2}, 2)) {
+		t.Fatal("Add mutated operand")
+	}
+	a.AccumulateFrom(b)
+	if !Equal(a, FromSlice([]float32{4, 6}, 2)) {
+		t.Fatalf("AccumulateFrom = %v", a)
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := FromSlice([]float32{1, -2, 3}, 3).Scale(2)
+	if !Equal(x, FromSlice([]float32{2, -4, 6}, 3)) {
+		t.Fatalf("Scale = %v", x)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := FromSlice([]float32{-1, 0, 2, -0.5}, 4).ReLU()
+	if !Equal(x, FromSlice([]float32{0, 0, 2, 0}, 4)) {
+		t.Fatalf("ReLU = %v", x)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	x := FromSlice([]float32{0, 100, -100}, 3).Sigmoid()
+	if x.At(0) != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", x.At(0))
+	}
+	if x.At(1) < 0.999 || x.At(2) > 0.001 {
+		t.Fatalf("sigmoid saturation wrong: %v %v", x.At(1), x.At(2))
+	}
+}
+
+func TestConcatCols(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{5, 6}, 2, 1)
+	c := ConcatCols(a, b)
+	want := FromSlice([]float32{1, 2, 5, 3, 4, 6}, 2, 3)
+	if !Equal(c, want) {
+		t.Fatalf("ConcatCols = %v, want %v", c, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("row mismatch did not panic")
+			}
+		}()
+		ConcatCols(a, New(3, 1))
+	}()
+}
+
+func TestDotInteractionKnown(t *testing.T) {
+	// One sample, three features of dim 2.
+	feats := FromSlice([]float32{
+		1, 0, // f0
+		0, 1, // f1
+		1, 1, // f2
+	}, 1, 3, 2)
+	out := DotInteraction(feats)
+	// pairs: (f0·f1)=0, (f0·f2)=1, (f1·f2)=1
+	want := FromSlice([]float32{0, 1, 1}, 1, 3)
+	if !Equal(out, want) {
+		t.Fatalf("DotInteraction = %v, want %v", out, want)
+	}
+}
+
+func TestDotInteractionSymmetryProperty(t *testing.T) {
+	// Dot interaction is invariant to negating all features simultaneously.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b, nf, d := rng.IntRange(1, 4), rng.IntRange(2, 5), rng.IntRange(1, 6)
+		x := New(b, nf, d).RandomUniform(rng, -1, 1)
+		neg := x.Clone()
+		nd := neg.Data()
+		for i := range nd {
+			nd[i] = -nd[i]
+		}
+		return AllClose(DotInteraction(x), DotInteraction(neg), 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomUniformRange(t *testing.T) {
+	rng := sim.NewRNG(5)
+	x := New(1000).RandomUniform(rng, -3, 7)
+	var sum float64
+	for _, v := range x.Data() {
+		if v < -3 || v >= 7 {
+			t.Fatalf("value %v out of [-3,7)", v)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / 1000; math.Abs(mean-2) > 0.5 {
+		t.Fatalf("mean %v far from 2", mean)
+	}
+}
+
+func TestRandomNormalStddev(t *testing.T) {
+	rng := sim.NewRNG(6)
+	x := New(20000).RandomNormal(rng, 0.5)
+	var sumSq float64
+	for _, v := range x.Data() {
+		sumSq += float64(v) * float64(v)
+	}
+	if sd := math.Sqrt(sumSq / 20000); math.Abs(sd-0.5) > 0.02 {
+		t.Fatalf("stddev %v, want ~0.5", sd)
+	}
+}
+
+func TestSum(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, -1}, 4)
+	if s := x.Sum(); s != 5 {
+		t.Fatalf("Sum = %v", s)
+	}
+}

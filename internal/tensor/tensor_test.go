@@ -1,0 +1,287 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasemb/internal/sim"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.NumElems() != 6 {
+		t.Fatalf("bad geometry: shape=%v", x.Shape())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if x.At(i, j) != 0 {
+				t.Fatalf("New not zero-filled at (%d,%d)", i, j)
+			}
+		}
+	}
+	if x.Bytes() != 24 {
+		t.Fatalf("Bytes = %d, want 24", x.Bytes())
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dim did not panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	x.Set(9, 0, 1)
+	if d[1] != 9 {
+		t.Fatal("FromSlice copied instead of wrapping")
+	}
+	if x.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", x.At(1, 0))
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestFull(t *testing.T) {
+	x := Full(2.5, 3)
+	for i := 0; i < 3; i++ {
+		if x.At(i) != 2.5 {
+			t.Fatalf("Full value at %d = %v", i, x.At(i))
+		}
+	}
+}
+
+func TestAtSetBoundsChecked(t *testing.T) {
+	x := New(2, 2)
+	cases := [][]int{{2, 0}, {0, 2}, {-1, 0}, {0}}
+	for _, idx := range cases {
+		idx := idx
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestRowViewAliases(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := x.Row(1)
+	if r.Rank() != 1 || r.Dim(0) != 3 {
+		t.Fatalf("row shape = %v", r.Shape())
+	}
+	if r.At(0) != 4 || r.At(2) != 6 {
+		t.Fatalf("row contents wrong: %v %v", r.At(0), r.At(2))
+	}
+	r.Set(99, 1)
+	if x.At(1, 1) != 99 {
+		t.Fatal("row view does not alias parent")
+	}
+}
+
+func TestRowPanics(t *testing.T) {
+	x := New(2, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Row out of range did not panic")
+			}
+		}()
+		x.Row(2)
+	}()
+	y := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Row on rank-1 did not panic")
+			}
+		}()
+		y.Row(0)
+	}()
+}
+
+func TestNarrowView(t *testing.T) {
+	x := FromSlice([]float32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 4, 3)
+	mid := x.Narrow(0, 1, 2) // rows 1..2
+	if mid.Dim(0) != 2 || mid.Dim(1) != 3 {
+		t.Fatalf("narrow shape %v", mid.Shape())
+	}
+	if mid.At(0, 0) != 3 || mid.At(1, 2) != 8 {
+		t.Fatalf("narrow contents: %v %v", mid.At(0, 0), mid.At(1, 2))
+	}
+	cols := x.Narrow(1, 1, 1)
+	if cols.At(2, 0) != 7 {
+		t.Fatalf("column narrow wrong: %v", cols.At(2, 0))
+	}
+	if cols.IsContiguous() {
+		t.Fatal("column slice should be non-contiguous")
+	}
+	c := cols.Contiguous()
+	if c.At(0, 0) != 1 || c.At(3, 0) != 10 {
+		t.Fatalf("contiguous copy wrong: %v %v", c.At(0, 0), c.At(3, 0))
+	}
+}
+
+func TestNarrowBoundsPanics(t *testing.T) {
+	x := New(4, 3)
+	bad := [][3]int{{0, 3, 2}, {0, -1, 2}, {2, 0, 1}, {1, 0, 4}}
+	for _, b := range bad {
+		b := b
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Narrow(%v) did not panic", b)
+				}
+			}()
+			x.Narrow(b[0], b[1], b[2])
+		}()
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Fatalf("reshape content: %v", y.At(2, 1))
+	}
+	y.Set(42, 0, 0)
+	if x.At(0, 0) != 42 {
+		t.Fatal("reshape should alias")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("volume mismatch did not panic")
+			}
+		}()
+		x.Reshape(4, 2)
+	}()
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Clone()
+	y.Set(100, 0, 0)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Clone aliases source")
+	}
+	if !Equal(x, FromSlice([]float32{1, 2, 3, 4}, 2, 2)) {
+		t.Fatal("source mutated")
+	}
+}
+
+func TestCopyFromAndFill(t *testing.T) {
+	x := New(2, 2)
+	x.CopyFrom(FromSlice([]float32{1, 2, 3, 4}, 2, 2))
+	if x.At(1, 1) != 4 {
+		t.Fatalf("CopyFrom content: %v", x.At(1, 1))
+	}
+	x.Fill(7)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if x.At(i, j) != 7 {
+				t.Fatal("Fill missed an element")
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CopyFrom shape mismatch did not panic")
+			}
+		}()
+		x.CopyFrom(New(4))
+	}()
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2.0005}, 2)
+	if Equal(a, b) {
+		t.Fatal("Equal on differing tensors")
+	}
+	if !AllClose(a, b, 1e-3) {
+		t.Fatal("AllClose rejected within-tolerance pair")
+	}
+	if AllClose(a, b, 1e-5) {
+		t.Fatal("AllClose accepted out-of-tolerance pair")
+	}
+	if Equal(a, New(3)) || AllClose(a, New(3), 1) {
+		t.Fatal("shape mismatch should never compare equal")
+	}
+	if d := MaxAbsDiff(a, b); d < 4e-4 || d > 6e-4 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}
+
+func TestScalarTensor(t *testing.T) {
+	s := New()
+	if s.NumElems() != 1 {
+		t.Fatalf("scalar NumElems = %d", s.NumElems())
+	}
+	s.Set(3)
+	if s.At() != 3 {
+		t.Fatalf("scalar At = %v", s.At())
+	}
+	c := s.Clone()
+	if c.At() != 3 {
+		t.Fatal("scalar clone lost value")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if got := small.String(); got != "Tensor[2] [1 2]" {
+		t.Fatalf("small String = %q", got)
+	}
+	big := New(100)
+	if got := big.String(); got != "Tensor[100]" {
+		t.Fatalf("big String = %q", got)
+	}
+}
+
+// Property: Narrow then Contiguous equals an element-wise manual slice.
+func TestNarrowContiguousProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		rows, cols := rng.IntRange(1, 8), rng.IntRange(1, 8)
+		x := New(rows, cols).RandomUniform(rng, -1, 1)
+		dim := rng.Intn(2)
+		size := x.Dim(dim)
+		start := rng.Intn(size)
+		length := rng.IntRange(0, size-start)
+		v := x.Narrow(dim, start, length).Contiguous()
+		for i := 0; i < v.Dim(0); i++ {
+			for j := 0; j < v.Dim(1); j++ {
+				oi, oj := i, j
+				if dim == 0 {
+					oi += start
+				} else {
+					oj += start
+				}
+				if v.At(i, j) != x.At(oi, oj) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

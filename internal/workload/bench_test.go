@@ -1,0 +1,45 @@
+package workload
+
+import "testing"
+
+func BenchmarkNextSummaryPaperScale(b *testing.B) {
+	// The per-batch cost of the timing-only path at the paper's weak-scaling
+	// size (4 GPUs' worth of features).
+	g, err := NewGenerator(PaperWeakScaling(256, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextSummary()
+	}
+}
+
+func BenchmarkNextBatchSmall(b *testing.B) {
+	g, err := NewGenerator(Config{
+		NumFeatures: 8,
+		BatchSize:   64,
+		MinPooling:  1,
+		MaxPooling:  16,
+		IndexSpace:  1 << 20,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextBatch()
+	}
+}
+
+func BenchmarkSummaryTotals(b *testing.B) {
+	g, _ := NewGenerator(PaperWeakScaling(64, 1))
+	s := g.NextSummary()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.TotalIndices()
+	}
+	_ = sink
+}

@@ -1,0 +1,277 @@
+// Package workload generates the synthetic DLRM inputs of the paper's
+// evaluation: sparse feature bags with uniform-random indices and uniform
+// pooling factors (plus a Zipf option for skew experiments), and dense
+// feature vectors.
+//
+// Generation uses two decoupled random streams — one for pooling factors,
+// one for index values — so that a timing-only experiment can draw exactly
+// the pooling sequence a functional run would see without materialising the
+// (very large) index arrays. This is what lets the paper-scale experiments
+// (batch 16384 × 64+ tables × pooling up to 128) run as pure timing
+// simulations while small-scale tests verify the data plane bit-exactly on
+// the same code path.
+package workload
+
+import (
+	"fmt"
+
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/tensor"
+)
+
+// IndexDist selects the sparse index distribution.
+type IndexDist int
+
+const (
+	// Uniform draws indices uniformly from the index space (the paper's
+	// setting: "generated synthetically with a uniform random distribution").
+	Uniform IndexDist = iota
+	// Zipf draws rank-skewed indices (hot items), the common production
+	// skew RecShard-style sharders exploit.
+	Zipf
+)
+
+// Config describes a synthetic workload.
+type Config struct {
+	// NumFeatures is the number of sparse features (= embedding tables).
+	NumFeatures int
+	// BatchSize is the number of samples per batch.
+	BatchSize int
+	// MinPooling and MaxPooling bound the per-bag pooling factor, drawn
+	// uniformly inclusive. The paper uses [1, 128] (weak scaling) and
+	// [1, 32] (strong scaling).
+	MinPooling, MaxPooling int
+	// PerFeatureMaxPooling optionally overrides MaxPooling per feature
+	// (len NumFeatures). Real DLRM features are heterogeneous — a few hot
+	// features carry most of the lookup load — and this is how the skewed
+	// workloads model it.
+	PerFeatureMaxPooling []int
+	// NullProbability is the chance a (sample, feature) bag is empty — the
+	// NULL inputs of the paper's Figure 3. Applied before pooling draw.
+	NullProbability float64
+	// IndexSpace is the raw categorical cardinality indices are drawn from.
+	IndexSpace int64
+	// Distribution selects Uniform or Zipf indices.
+	Distribution IndexDist
+	// ZipfExponent is the skew parameter when Distribution == Zipf.
+	ZipfExponent float64
+	// NumDense is the dense-feature width for DLRM inputs.
+	NumDense int
+	// Seed makes the workload reproducible.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumFeatures <= 0:
+		return fmt.Errorf("workload: NumFeatures must be positive")
+	case c.BatchSize <= 0:
+		return fmt.Errorf("workload: BatchSize must be positive")
+	case c.MinPooling < 0:
+		return fmt.Errorf("workload: MinPooling must be non-negative")
+	case c.MaxPooling < c.MinPooling:
+		return fmt.Errorf("workload: MaxPooling < MinPooling")
+	case c.PerFeatureMaxPooling != nil && len(c.PerFeatureMaxPooling) != c.NumFeatures:
+		return fmt.Errorf("workload: PerFeatureMaxPooling has %d entries for %d features",
+			len(c.PerFeatureMaxPooling), c.NumFeatures)
+	case c.NullProbability < 0 || c.NullProbability > 1:
+		return fmt.Errorf("workload: NullProbability outside [0,1]")
+	case c.IndexSpace <= 0:
+		return fmt.Errorf("workload: IndexSpace must be positive")
+	case c.Distribution == Zipf && c.ZipfExponent <= 0:
+		return fmt.Errorf("workload: Zipf needs positive exponent")
+	case c.Distribution == Zipf && c.IndexSpace > 1<<24:
+		return fmt.Errorf("workload: Zipf index space too large for exact sampling (max 2^24)")
+	case c.NumDense < 0:
+		return fmt.Errorf("workload: NumDense must be non-negative")
+	}
+	if c.PerFeatureMaxPooling != nil {
+		for f, m := range c.PerFeatureMaxPooling {
+			if m < c.MinPooling {
+				return fmt.Errorf("workload: feature %d max pooling %d below MinPooling %d", f, m, c.MinPooling)
+			}
+		}
+	}
+	return nil
+}
+
+// ExpectedPoolingLoad returns the expected per-sample lookup count of each
+// feature — the load measure sharding planners balance.
+func (c Config) ExpectedPoolingLoad() []float64 {
+	loads := make([]float64, c.NumFeatures)
+	for f := range loads {
+		max := c.MaxPooling
+		if c.PerFeatureMaxPooling != nil {
+			max = c.PerFeatureMaxPooling[f]
+		}
+		loads[f] = (1 - c.NullProbability) * float64(c.MinPooling+max) / 2
+	}
+	return loads
+}
+
+// PaperWeakScaling returns the weak-scaling workload of §IV-A for the given
+// number of local tables per GPU times GPU count: batch 16384, pooling
+// uniform in [1, 128], uniform indices over 1M-row tables.
+func PaperWeakScaling(numTables int, seed uint64) Config {
+	return Config{
+		NumFeatures:  numTables,
+		BatchSize:    16384,
+		MinPooling:   1,
+		MaxPooling:   128,
+		IndexSpace:   1_000_000,
+		Distribution: Uniform,
+		NumDense:     13, // Criteo-style dense width used by the DLRM benchmark
+		Seed:         seed,
+	}
+}
+
+// PaperStrongScaling returns the strong-scaling workload of §IV-B: 96
+// tables total, batch 16384, pooling uniform in [1, 32].
+func PaperStrongScaling(seed uint64) Config {
+	cfg := PaperWeakScaling(96, seed)
+	cfg.MaxPooling = 32
+	return cfg
+}
+
+// CriteoShaped returns a workload shaped like the Criteo click-logs dataset
+// the DLRM benchmark ships with: 26 sparse features, 13 dense features,
+// single-valued bags (pooling factor 1) — the latency-dominated regime
+// where per-batch overheads, not bandwidth, decide the EMB layer's cost.
+func CriteoShaped(seed uint64) Config {
+	return Config{
+		NumFeatures:  26,
+		BatchSize:    16384,
+		MinPooling:   1,
+		MaxPooling:   1,
+		IndexSpace:   1_000_000,
+		Distribution: Uniform,
+		NumDense:     13,
+		Seed:         seed,
+	}
+}
+
+// Generator produces batches (or their timing summaries) deterministically.
+type Generator struct {
+	cfg      Config
+	rngPool  *sim.RNG // pooling factors and null draws
+	rngIdx   *sim.RNG // index values
+	rngDense *sim.RNG // dense features
+	zipf     *sim.ZipfTable
+}
+
+// NewGenerator validates cfg and returns a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:      cfg,
+		rngPool:  sim.NewRNG(cfg.Seed ^ 0xA5A5_0001),
+		rngIdx:   sim.NewRNG(cfg.Seed ^ 0xA5A5_0002),
+		rngDense: sim.NewRNG(cfg.Seed ^ 0xA5A5_0003),
+	}
+	if cfg.Distribution == Zipf {
+		g.zipf = sim.NewZipfTable(g.rngIdx, cfg.ZipfExponent, int(cfg.IndexSpace))
+	}
+	return g, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// drawPooling draws one bag's pooling factor for feature f (0 for a NULL
+// bag).
+func (g *Generator) drawPooling(f int) int {
+	if g.cfg.NullProbability > 0 && g.rngPool.Float64() < g.cfg.NullProbability {
+		return 0
+	}
+	max := g.cfg.MaxPooling
+	if g.cfg.PerFeatureMaxPooling != nil {
+		max = g.cfg.PerFeatureMaxPooling[f]
+	}
+	return g.rngPool.IntRange(g.cfg.MinPooling, max)
+}
+
+func (g *Generator) drawIndex() int64 {
+	if g.zipf != nil {
+		return int64(g.zipf.Next())
+	}
+	if g.cfg.IndexSpace <= 1<<31 {
+		return int64(g.rngIdx.Intn(int(g.cfg.IndexSpace)))
+	}
+	return int64(g.rngIdx.Uint64() % uint64(g.cfg.IndexSpace))
+}
+
+// NextBatch materialises a full sparse batch (pooling + indices).
+func (g *Generator) NextBatch() *sparse.Batch {
+	b := &sparse.Batch{Size: g.cfg.BatchSize, Features: make([]sparse.FeatureBag, g.cfg.NumFeatures)}
+	for f := 0; f < g.cfg.NumFeatures; f++ {
+		offsets := make([]int32, g.cfg.BatchSize+1)
+		var indices []int64
+		for s := 0; s < g.cfg.BatchSize; s++ {
+			p := g.drawPooling(f)
+			for k := 0; k < p; k++ {
+				indices = append(indices, g.drawIndex())
+			}
+			offsets[s+1] = offsets[s] + int32(p)
+		}
+		b.Features[f] = sparse.FeatureBag{FeatureID: f, Offsets: offsets, Indices: indices}
+	}
+	return b
+}
+
+// Summary carries only the pooling structure of a batch — everything the
+// timing model needs, none of the index payload.
+type Summary struct {
+	BatchSize   int
+	NumFeatures int
+	// Pooling is indexed [feature*BatchSize + sample].
+	Pooling []int32
+}
+
+// NextSummary draws the same pooling sequence NextBatch would (identical
+// rngPool trajectory) without touching the index stream.
+func (g *Generator) NextSummary() *Summary {
+	s := &Summary{
+		BatchSize:   g.cfg.BatchSize,
+		NumFeatures: g.cfg.NumFeatures,
+		Pooling:     make([]int32, g.cfg.NumFeatures*g.cfg.BatchSize),
+	}
+	for f := 0; f < g.cfg.NumFeatures; f++ {
+		for smp := 0; smp < g.cfg.BatchSize; smp++ {
+			s.Pooling[f*g.cfg.BatchSize+smp] = int32(g.drawPooling(f))
+		}
+	}
+	return s
+}
+
+// PoolingFactor returns the bag size for (feature, sample).
+func (s *Summary) PoolingFactor(feature, sample int) int {
+	return int(s.Pooling[feature*s.BatchSize+sample])
+}
+
+// TotalIndices returns the pooling sum over all bags.
+func (s *Summary) TotalIndices() int64 {
+	var sum int64
+	for _, p := range s.Pooling {
+		sum += int64(p)
+	}
+	return sum
+}
+
+// FeatureIndices returns the pooling sum for one feature.
+func (s *Summary) FeatureIndices(feature int) int64 {
+	var sum int64
+	for smp := 0; smp < s.BatchSize; smp++ {
+		sum += int64(s.Pooling[feature*s.BatchSize+smp])
+	}
+	return sum
+}
+
+// NextDense returns a (BatchSize, NumDense) tensor of uniform [0,1) dense
+// features.
+func (g *Generator) NextDense() *tensor.Tensor {
+	return tensor.New(g.cfg.BatchSize, g.cfg.NumDense).RandomUniform(g.rngDense, 0, 1)
+}

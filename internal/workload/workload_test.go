@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{
+		NumFeatures: 4,
+		BatchSize:   8,
+		MinPooling:  1,
+		MaxPooling:  5,
+		IndexSpace:  100,
+		NumDense:    3,
+		Seed:        42,
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	muts := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"features", func(c *Config) { c.NumFeatures = 0 }},
+		{"batch", func(c *Config) { c.BatchSize = 0 }},
+		{"minpool", func(c *Config) { c.MinPooling = -1 }},
+		{"maxpool", func(c *Config) { c.MaxPooling = 0; c.MinPooling = 1 }},
+		{"null", func(c *Config) { c.NullProbability = 1.5 }},
+		{"space", func(c *Config) { c.IndexSpace = 0 }},
+		{"zipf exp", func(c *Config) { c.Distribution = Zipf; c.ZipfExponent = 0 }},
+		{"zipf space", func(c *Config) { c.Distribution = Zipf; c.ZipfExponent = 1; c.IndexSpace = 1 << 30 }},
+		{"dense", func(c *Config) { c.NumDense = -1 }},
+	}
+	for _, m := range muts {
+		c := smallCfg()
+		m.mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("%s not rejected", m.name)
+		}
+	}
+	if _, err := NewGenerator(Config{}); err == nil {
+		t.Error("NewGenerator accepted zero config")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	w := PaperWeakScaling(64, 1)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.BatchSize != 16384 || w.MaxPooling != 128 || w.IndexSpace != 1_000_000 {
+		t.Fatalf("weak config wrong: %+v", w)
+	}
+	s := PaperStrongScaling(1)
+	if s.NumFeatures != 96 || s.MaxPooling != 32 {
+		t.Fatalf("strong config wrong: %+v", s)
+	}
+}
+
+func TestNextBatchValid(t *testing.T) {
+	g, err := NewGenerator(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.NextBatch()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Size != 8 || len(b.Features) != 4 {
+		t.Fatalf("batch geometry: size=%d features=%d", b.Size, len(b.Features))
+	}
+	for f := range b.Features {
+		if b.Features[f].FeatureID != f {
+			t.Fatalf("feature %d has ID %d", f, b.Features[f].FeatureID)
+		}
+		for s := 0; s < 8; s++ {
+			p := b.Features[f].PoolingFactor(s)
+			if p < 1 || p > 5 {
+				t.Fatalf("pooling %d outside [1,5]", p)
+			}
+			for _, idx := range b.Features[f].Bag(s) {
+				if idx < 0 || idx >= 100 {
+					t.Fatalf("index %d outside space", idx)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossGenerators(t *testing.T) {
+	g1, _ := NewGenerator(smallCfg())
+	g2, _ := NewGenerator(smallCfg())
+	b1, b2 := g1.NextBatch(), g2.NextBatch()
+	for f := range b1.Features {
+		if len(b1.Features[f].Indices) != len(b2.Features[f].Indices) {
+			t.Fatal("same seed produced different batches")
+		}
+		for i := range b1.Features[f].Indices {
+			if b1.Features[f].Indices[i] != b2.Features[f].Indices[i] {
+				t.Fatal("same seed produced different indices")
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	c2 := smallCfg()
+	c2.Seed = 43
+	g1, _ := NewGenerator(smallCfg())
+	g2, _ := NewGenerator(c2)
+	b1, b2 := g1.NextBatch(), g2.NextBatch()
+	same := true
+	for f := range b1.Features {
+		if len(b1.Features[f].Indices) != len(b2.Features[f].Indices) {
+			same = false
+			break
+		}
+	}
+	if same && b1.TotalIndices() == b2.TotalIndices() {
+		// Extremely unlikely to match on both structure and totals.
+		t.Log("warning: identical totals across seeds (possible but unlikely)")
+	}
+}
+
+func TestSummaryMatchesBatchPooling(t *testing.T) {
+	// The critical invariant for timing/functional consistency: a summary
+	// draws exactly the pooling sequence the full batch would.
+	gBatch, _ := NewGenerator(smallCfg())
+	gSum, _ := NewGenerator(smallCfg())
+	for round := 0; round < 3; round++ {
+		b := gBatch.NextBatch()
+		s := gSum.NextSummary()
+		for f := 0; f < 4; f++ {
+			for smp := 0; smp < 8; smp++ {
+				if b.Features[f].PoolingFactor(smp) != s.PoolingFactor(f, smp) {
+					t.Fatalf("round %d: pooling diverged at (f=%d, s=%d)", round, f, smp)
+				}
+			}
+		}
+		if int64(b.TotalIndices()) != s.TotalIndices() {
+			t.Fatalf("round %d: totals diverged", round)
+		}
+	}
+}
+
+func TestSummaryFeatureIndices(t *testing.T) {
+	g, _ := NewGenerator(smallCfg())
+	s := g.NextSummary()
+	var manual int64
+	for f := 0; f < 4; f++ {
+		manual += s.FeatureIndices(f)
+	}
+	if manual != s.TotalIndices() {
+		t.Fatalf("per-feature sums %d != total %d", manual, s.TotalIndices())
+	}
+}
+
+func TestNullProbability(t *testing.T) {
+	c := smallCfg()
+	c.BatchSize = 2000
+	c.NullProbability = 0.5
+	g, _ := NewGenerator(c)
+	b := g.NextBatch()
+	empty := 0
+	totalBags := 0
+	for f := range b.Features {
+		for s := 0; s < c.BatchSize; s++ {
+			totalBags++
+			if b.Features[f].PoolingFactor(s) == 0 {
+				empty++
+			}
+		}
+	}
+	frac := float64(empty) / float64(totalBags)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("null fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestZipfIndicesSkewed(t *testing.T) {
+	c := smallCfg()
+	c.BatchSize = 4000
+	c.Distribution = Zipf
+	c.ZipfExponent = 1.1
+	g, err := NewGenerator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.NextBatch()
+	counts := make(map[int64]int)
+	for f := range b.Features {
+		for _, idx := range b.Features[f].Indices {
+			counts[idx]++
+		}
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: c0=%d c50=%d", counts[0], counts[50])
+	}
+}
+
+func TestNextDense(t *testing.T) {
+	g, _ := NewGenerator(smallCfg())
+	d := g.NextDense()
+	if d.Dim(0) != 8 || d.Dim(1) != 3 {
+		t.Fatalf("dense shape %v", d.Shape())
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 3; j++ {
+			v := d.At(i, j)
+			if v < 0 || v >= 1 {
+				t.Fatalf("dense value %v outside [0,1)", v)
+			}
+		}
+	}
+}
+
+func TestPoolingBoundsExercised(t *testing.T) {
+	c := smallCfg()
+	c.BatchSize = 2000
+	g, _ := NewGenerator(c)
+	s := g.NextSummary()
+	sawMin, sawMax := false, false
+	for _, p := range s.Pooling {
+		if int(p) == c.MinPooling {
+			sawMin = true
+		}
+		if int(p) == c.MaxPooling {
+			sawMax = true
+		}
+	}
+	if !sawMin || !sawMax {
+		t.Fatalf("pooling bounds never drawn: min=%v max=%v", sawMin, sawMax)
+	}
+}
+
+func TestLargeIndexSpace(t *testing.T) {
+	c := smallCfg()
+	c.IndexSpace = 1 << 40
+	g, _ := NewGenerator(c)
+	b := g.NextBatch()
+	for f := range b.Features {
+		for _, idx := range b.Features[f].Indices {
+			if idx < 0 || idx >= 1<<40 {
+				t.Fatalf("index %d outside 2^40 space", idx)
+			}
+		}
+	}
+}
+
+func TestPerFeatureMaxPooling(t *testing.T) {
+	c := smallCfg()
+	c.NumFeatures = 2
+	c.BatchSize = 500
+	c.PerFeatureMaxPooling = []int{2, 50}
+	g, err := NewGenerator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.NextBatch()
+	max0, max1 := 0, 0
+	for s := 0; s < c.BatchSize; s++ {
+		if p := b.Features[0].PoolingFactor(s); p > max0 {
+			max0 = p
+		}
+		if p := b.Features[1].PoolingFactor(s); p > max1 {
+			max1 = p
+		}
+	}
+	if max0 > 2 {
+		t.Fatalf("cold feature drew pooling %d > 2", max0)
+	}
+	if max1 <= 2 || max1 > 50 {
+		t.Fatalf("hot feature max pooling %d outside (2, 50]", max1)
+	}
+}
+
+func TestPerFeaturePoolingValidation(t *testing.T) {
+	c := smallCfg()
+	c.PerFeatureMaxPooling = []int{1} // wrong length
+	if c.Validate() == nil {
+		t.Fatal("wrong-length vector accepted")
+	}
+	c = smallCfg()
+	c.MinPooling = 3
+	c.PerFeatureMaxPooling = []int{5, 5, 2, 5} // entry below min
+	if c.Validate() == nil {
+		t.Fatal("below-min entry accepted")
+	}
+}
+
+func TestExpectedPoolingLoad(t *testing.T) {
+	c := smallCfg() // min 1, max 5, 4 features
+	loads := c.ExpectedPoolingLoad()
+	if len(loads) != 4 {
+		t.Fatalf("len = %d", len(loads))
+	}
+	for _, l := range loads {
+		if l != 3 { // (1+5)/2
+			t.Fatalf("uniform load = %v, want 3", l)
+		}
+	}
+	c.PerFeatureMaxPooling = []int{5, 5, 99, 5}
+	c.NullProbability = 0.5
+	loads = c.ExpectedPoolingLoad()
+	if loads[2] != 0.5*(1+99)/2 {
+		t.Fatalf("hot feature load = %v", loads[2])
+	}
+	if loads[0] != 0.5*3 {
+		t.Fatalf("null-adjusted load = %v", loads[0])
+	}
+}
+
+func TestSummaryMatchesBatchWithSkew(t *testing.T) {
+	c := smallCfg()
+	c.PerFeatureMaxPooling = []int{1, 3, 9, 27}
+	gb, _ := NewGenerator(c)
+	gs, _ := NewGenerator(c)
+	b := gb.NextBatch()
+	s := gs.NextSummary()
+	for f := 0; f < c.NumFeatures; f++ {
+		for smp := 0; smp < c.BatchSize; smp++ {
+			if b.Features[f].PoolingFactor(smp) != s.PoolingFactor(f, smp) {
+				t.Fatal("summary diverged from batch under per-feature pooling")
+			}
+		}
+	}
+}
