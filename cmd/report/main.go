@@ -1,22 +1,25 @@
 // Command report reproduces the paper's entire evaluation in one run and
 // writes every artifact — Tables 1-2, Figures 5-10, the mechanism
 // ablations, and the multi-seed statistics — to a results directory as
-// aligned-text and CSV files, plus a summary to stdout.
+// aligned-text and CSV files, plus a summary to stdout and a
+// machine-readable bench.json timing record.
 //
 // Usage:
 //
-//	report [-out results] [-batches 100] [-seeds 3]
+//	report [-out results] [-batches 100] [-seeds 3] [-parallel N] [-timeout 0]
 //
-// With the default 100 batches the full run takes a few minutes of real
-// time (it simulates 2×(1+2+3+4) GPU-runs of 100 batches each, twice, plus
-// profiles and ablations).
+// Independent simulation runs within each experiment execute concurrently
+// on -parallel workers (default GOMAXPROCS); the tables and CSVs are
+// byte-identical at any parallelism. -timeout bounds the whole run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"pgasemb"
 )
@@ -25,12 +28,25 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	batches := flag.Int("batches", 100, "batches per run (paper: 100)")
 	seeds := flag.Int("seeds", 3, "workload seeds for the statistics tables (0 = skip)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
+	timeout := flag.Duration("timeout", 0, "abort the whole report after this duration (0 = no limit)")
 	flag.Parse()
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	opts := pgasemb.ExperimentOptions{Batches: *batches}
+	bench := pgasemb.NewBench()
+	opts := pgasemb.ExperimentOptions{Batches: *batches, Parallel: *parallel, Bench: bench}
 
 	write := func(name string, t *pgasemb.RenderedTable) {
 		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(t.Render()), 0o644); err != nil {
@@ -43,7 +59,7 @@ func main() {
 	}
 
 	fmt.Println("== Weak scaling (Table 1, Figures 5-6) ==")
-	weak, err := pgasemb.RunScaling(pgasemb.WeakScaling, opts)
+	weak, err := pgasemb.RunScalingContext(ctx, pgasemb.WeakScaling, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +68,7 @@ func main() {
 	write("fig6_weak_breakdown", weak.BreakdownTable())
 
 	fmt.Println("== Strong scaling (Table 2, Figures 8-9) ==")
-	strong, err := pgasemb.RunScaling(pgasemb.StrongScaling, opts)
+	strong, err := pgasemb.RunScalingContext(ctx, pgasemb.StrongScaling, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +84,9 @@ func main() {
 	if *batches < traceBatches {
 		traceBatches = *batches
 	}
-	fig7, err := pgasemb.RunCommVolume(pgasemb.WeakScaling, 2, 120, pgasemb.ExperimentOptions{Batches: traceBatches})
+	traceOpts := opts
+	traceOpts.Batches = traceBatches
+	fig7, err := pgasemb.RunCommVolumeContext(ctx, pgasemb.WeakScaling, 2, 120, traceOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +95,7 @@ func main() {
 		[]byte(fig7.CommVolumeCharts(10)), 0o644); err != nil {
 		fatal(err)
 	}
-	fig10, err := pgasemb.RunCommVolume(pgasemb.StrongScaling, 4, 120, pgasemb.ExperimentOptions{Batches: traceBatches})
+	fig10, err := pgasemb.RunCommVolumeContext(ctx, pgasemb.StrongScaling, 4, 120, traceOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,7 +106,7 @@ func main() {
 	}
 
 	fmt.Println("== Mechanism ablations ==")
-	ab, err := pgasemb.RunAblations(4, opts)
+	ab, err := pgasemb.RunAblationsContext(ctx, 4, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,13 +115,28 @@ func main() {
 	if *seeds > 0 {
 		fmt.Println("== Multi-seed statistics ==")
 		for _, kind := range []pgasemb.ScalingKind{pgasemb.WeakScaling, pgasemb.StrongScaling} {
-			stats, err := pgasemb.RunScalingStats(kind, *seeds, opts)
+			stats, err := pgasemb.RunScalingStatsContext(ctx, kind, *seeds, opts)
 			if err != nil {
 				fatal(err)
 			}
 			write(fmt.Sprintf("stats_%s", kind), pgasemb.StatsTable(kind, stats))
 		}
 	}
+
+	benchPath := filepath.Join(*out, "bench.json")
+	bf, err := os.Create(benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bench.WriteJSON(bf); err != nil {
+		fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		fatal(err)
+	}
+	rep := bench.Report()
+	fmt.Printf("host timing: %.1fs wall, %.1fs of simulation across %d workers (%s)\n",
+		rep.TotalWallSeconds, rep.TotalRunSeconds, *parallel, benchPath)
 
 	fmt.Printf("artifacts written to %s/\n", *out)
 }

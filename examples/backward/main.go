@@ -55,7 +55,11 @@ func main() {
 		}
 		var all []float32
 		for g := 0; g < fcfg.GPUs; g++ {
-			for _, tbl := range sys.Collection(g).Tables {
+			coll, err := sys.Collection(g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, tbl := range coll.Tables {
 				all = append(all, tbl.Weights.Data()...)
 			}
 		}

@@ -6,8 +6,20 @@ import (
 
 	"pgasemb/internal/retrieval"
 	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
 	"pgasemb/internal/tensor"
 )
+
+// mustReferencePredictions is ReferencePredictions with test-fatal error
+// handling.
+func mustReferencePredictions(t *testing.T, pl *Pipeline, batch *sparse.Batch, dense *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	want, err := ReferencePredictions(pl, batch, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
 
 func TestLinearForwardKnown(t *testing.T) {
 	l := &Linear{In: 2, Out: 2,
@@ -165,7 +177,7 @@ func TestPipelinePredictionsMatchReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := ReferencePredictions(pl, res.LastSparse, res.LastDense)
+			want := mustReferencePredictions(t, pl, res.LastSparse, res.LastDense)
 			at := 0
 			for g := 0; g < gpus; g++ {
 				part := res.Predictions[g]
@@ -269,7 +281,7 @@ func TestPipelineWithDecoratedBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := ReferencePredictions(pl, res.LastSparse, res.LastDense)
+	want := mustReferencePredictions(t, pl, res.LastSparse, res.LastDense)
 	at := 0
 	for g := 0; g < 2; g++ {
 		part := res.Predictions[g]
@@ -293,7 +305,7 @@ func TestPipelineWithRowWiseBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := ReferencePredictions(pl, res.LastSparse, res.LastDense)
+	want := mustReferencePredictions(t, pl, res.LastSparse, res.LastDense)
 	at := 0
 	for g := 0; g < 2; g++ {
 		part := res.Predictions[g]

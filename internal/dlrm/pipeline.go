@@ -1,6 +1,7 @@
 package dlrm
 
 import (
+	"context"
 	"fmt"
 
 	"pgasemb/internal/retrieval"
@@ -29,7 +30,23 @@ type Pipeline struct {
 // backend. The model's NumSparse/EmbDim must agree with the retrieval
 // configuration, so they are derived from it.
 func NewPipeline(cfg retrieval.Config, hw retrieval.HardwareParams, backend retrieval.Backend) (*Pipeline, error) {
-	sys, err := retrieval.NewSystem(cfg, hw)
+	spec, err := retrieval.NewSystemSpec(cfg, hw)
+	if err != nil {
+		return nil, err
+	}
+	return NewPipelineFromSpec(spec, backend)
+}
+
+// NewPipelineFromSpec wires a pipeline run from an existing immutable spec —
+// the entry point for executing many pipeline runs of one configuration
+// concurrently. The backend's configuration constraints are validated here,
+// before any simulated process starts.
+func NewPipelineFromSpec(spec *retrieval.SystemSpec, backend retrieval.Backend) (*Pipeline, error) {
+	cfg := spec.Config()
+	if err := retrieval.ValidateBackend(backend, cfg); err != nil {
+		return nil, err
+	}
+	sys, err := spec.NewRun()
 	if err != nil {
 		return nil, err
 	}
@@ -76,8 +93,18 @@ type PipelineResult struct {
 
 // Run executes the configured number of inference batches.
 func (pl *Pipeline) Run() (*PipelineResult, error) {
+	return pl.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the run stops with ctx.Err() when ctx
+// is cancelled or its deadline passes. A cancelled pipeline is left
+// mid-simulation and must be discarded.
+func (pl *Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 	s := pl.Sys
 	cfg := s.Cfg
+	if err := retrieval.ValidateBackend(pl.Backend, cfg); err != nil {
+		return nil, err
+	}
 	res := &PipelineResult{Backend: pl.Backend.Name()}
 
 	perGPU := make([]*trace.Breakdown, cfg.GPUs)
@@ -92,6 +119,9 @@ func (pl *Pipeline) Run() (*PipelineResult, error) {
 	}
 	batches := make([]batchIn, cfg.Batches)
 	for i := range batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bd, err := s.NextBatchData()
 		if err != nil {
 			return nil, err
@@ -154,7 +184,9 @@ func (pl *Pipeline) Run() (*PipelineResult, error) {
 			barrier.Await(p)
 		})
 	}
-	s.Env.Run()
+	if _, err := s.Env.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("dlrm: %s pipeline run: %w", pl.Backend.Name(), err)
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -176,10 +208,13 @@ func (pl *Pipeline) Run() (*PipelineResult, error) {
 
 // ReferencePredictions computes single-device predictions for a batch:
 // the serial EMB reference feeding the same model. Used to verify the
-// multi-GPU pipeline end to end.
-func ReferencePredictions(pl *Pipeline, batch *sparse.Batch, dense *tensor.Tensor) *tensor.Tensor {
+// multi-GPU pipeline end to end. It errors on a timing-only pipeline.
+func ReferencePredictions(pl *Pipeline, batch *sparse.Batch, dense *tensor.Tensor) (*tensor.Tensor, error) {
 	s := pl.Sys
-	refs := retrieval.Reference(s, batch)
+	refs, err := retrieval.Reference(s, batch)
+	if err != nil {
+		return nil, err
+	}
 	parts := make([]*tensor.Tensor, s.Cfg.GPUs)
 	for g := range refs {
 		lo, hi := s.Minibatch(g)
@@ -194,5 +229,5 @@ func ReferencePredictions(pl *Pipeline, batch *sparse.Batch, dense *tensor.Tenso
 		copy(od[at:], part.Data())
 		at += part.Dim(0)
 	}
-	return out
+	return out, nil
 }

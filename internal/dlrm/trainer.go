@@ -1,6 +1,7 @@
 package dlrm
 
 import (
+	"context"
 	"fmt"
 
 	"pgasemb/internal/retrieval"
@@ -26,7 +27,25 @@ type Trainer struct {
 // and Backward select the EMB communication scheme for each direction
 // (mixing is allowed — e.g. collective forward with PGAS backward).
 func NewTrainer(cfg retrieval.Config, hw retrieval.HardwareParams, fwd, bwd retrieval.Backend) (*Trainer, error) {
-	sys, err := retrieval.NewSystem(cfg, hw)
+	spec, err := retrieval.NewSystemSpec(cfg, hw)
+	if err != nil {
+		return nil, err
+	}
+	return NewTrainerFromSpec(spec, fwd, bwd)
+}
+
+// NewTrainerFromSpec wires a trainer run from an existing immutable spec —
+// the entry point for executing many training runs of one configuration
+// concurrently. Both backends' configuration constraints are validated here.
+func NewTrainerFromSpec(spec *retrieval.SystemSpec, fwd, bwd retrieval.Backend) (*Trainer, error) {
+	cfg := spec.Config()
+	if err := retrieval.ValidateBackend(fwd, cfg); err != nil {
+		return nil, err
+	}
+	if err := retrieval.ValidateBackend(bwd, cfg); err != nil {
+		return nil, err
+	}
+	sys, err := spec.NewRun()
 	if err != nil {
 		return nil, err
 	}
@@ -53,8 +72,21 @@ type TrainResult struct {
 
 // Run executes cfg.Batches training steps.
 func (tr *Trainer) Run() (*TrainResult, error) {
+	return tr.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the run stops with ctx.Err() when ctx
+// is cancelled or its deadline passes. A cancelled trainer is left
+// mid-simulation and must be discarded.
+func (tr *Trainer) RunContext(ctx context.Context) (*TrainResult, error) {
 	s := tr.Sys
 	cfg := s.Cfg
+	if err := retrieval.ValidateBackend(tr.Forward, cfg); err != nil {
+		return nil, err
+	}
+	if err := retrieval.ValidateBackend(tr.Backward, cfg); err != nil {
+		return nil, err
+	}
 	res := &TrainResult{ForwardName: tr.Forward.Name(), BackwardName: tr.Backward.Name()}
 
 	perGPU := make([]*trace.Breakdown, cfg.GPUs)
@@ -66,6 +98,9 @@ func (tr *Trainer) Run() (*TrainResult, error) {
 
 	batches := make([]*retrieval.BatchData, cfg.Batches)
 	for i := range batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bd, err := s.NextBatchData()
 		if err != nil {
 			return nil, err
@@ -125,7 +160,9 @@ func (tr *Trainer) Run() (*TrainResult, error) {
 			barrier.Await(p)
 		})
 	}
-	s.Env.Run()
+	if _, err := s.Env.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("dlrm: %s/%s training run: %w", tr.Forward.Name(), tr.Backward.Name(), err)
+	}
 	if runErr != nil {
 		return nil, runErr
 	}

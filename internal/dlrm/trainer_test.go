@@ -38,15 +38,19 @@ func TestTrainerFunctionalUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	coll, err := tr.Sys.Collection(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var before []float32
-	for _, tbl := range tr.Sys.Collection(0).Tables {
+	for _, tbl := range coll.Tables {
 		before = append(before, tbl.Weights.Data()...)
 	}
 	if _, err := tr.Run(); err != nil {
 		t.Fatal(err)
 	}
 	var after []float32
-	for _, tbl := range tr.Sys.Collection(0).Tables {
+	for _, tbl := range coll.Tables {
 		after = append(after, tbl.Weights.Data()...)
 	}
 	changed := false

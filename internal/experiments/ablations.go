@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pgasemb/internal/retrieval"
@@ -19,8 +20,16 @@ type AblationResult struct {
 // attributes its speedup to two mechanisms; this run shows each mechanism's
 // isolated contribution.
 func RunAblations(gpus int, opts Options) ([]AblationResult, error) {
-	cfg := opts.apply(retrieval.WeakScalingConfig(gpus))
-	hw := opts.hardware()
+	return RunAblationsContext(context.Background(), gpus, opts)
+}
+
+// RunAblationsContext is RunAblations with cancellation; all five backends
+// run concurrently from one shared spec.
+func RunAblationsContext(ctx context.Context, gpus int, opts Options) ([]AblationResult, error) {
+	spec, err := retrieval.NewSystemSpec(opts.apply(retrieval.WeakScalingConfig(gpus)), opts.hardware())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablations: %w", err)
+	}
 	backends := []retrieval.Backend{
 		&retrieval.Baseline{},
 		&retrieval.Baseline{DirectPlacement: true},
@@ -31,17 +40,20 @@ func RunAblations(gpus int, opts Options) ([]AblationResult, error) {
 			MaxWait:    100 * sim.Microsecond,
 		}},
 	}
-	var out []AblationResult
-	for _, b := range backends {
-		sys, err := retrieval.NewSystem(cfg, hw)
+	out := make([]AblationResult, len(backends))
+	stop := opts.Bench.Start(fmt.Sprintf("ablations-%dgpu", gpus), opts.parallel())
+	err = forEach(ctx, opts.parallel(), len(backends), func(i int) error {
+		b := backends[i]
+		r, err := runSpec(ctx, spec, b, spec.Config().Seed, opts.Bench)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablations: %w", err)
+			return fmt.Errorf("experiments: ablations, %s: %w", b.Name(), err)
 		}
-		r, err := sys.Run(b)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablations, %s: %w", b.Name(), err)
-		}
-		out = append(out, AblationResult{Name: r.Backend, TotalTime: r.TotalTime})
+		out[i] = AblationResult{Name: r.Backend, TotalTime: r.TotalTime}
+		return nil
+	})
+	stop()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

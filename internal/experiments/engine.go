@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"pgasemb/internal/retrieval"
+)
+
+// The experiment engine dispatches independent simulation runs across a
+// bounded pool of host goroutines. Every sweep writes its results into
+// index-addressed slices, so the assembled tables are byte-identical
+// whatever the worker count: parallelism changes wall-clock time, never
+// output. The spec/run split makes this safe — all runs of a sweep point
+// share one immutable SystemSpec and own the rest of their state.
+
+// forEach runs fn(0) .. fn(n-1) on at most `workers` goroutines and waits
+// for all of them. The first error cancels the remaining jobs; the error
+// reported is the lowest-index real failure among the jobs that ran
+// (cancellations caused by another job's failure or by ctx are only
+// reported when nothing else failed), so a failing sweep surfaces a real
+// job error, never a bare cancellation. With workers == 1 this is exactly
+// the error a serial loop would hit.
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				if errs[j] == nil {
+					errs[j] = ctx.Err()
+				}
+			}
+			i = n
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && cancelled == nil {
+			cancelled = err
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return cancelled
+}
+
+// runSpec executes one simulation run of the spec with the given backend and
+// seed, recording its host wall-clock time with the bench recorder.
+func runSpec(ctx context.Context, spec *retrieval.SystemSpec, backend retrieval.Backend, seed uint64, bench *Bench) (*retrieval.Result, error) {
+	sys, err := spec.NewRunWithSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := sys.RunContext(ctx, backend)
+	bench.noteRun(time.Since(start))
+	return r, err
+}
+
+func (o Options) parallel() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}

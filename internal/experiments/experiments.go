@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pgasemb/internal/metrics"
@@ -54,6 +55,13 @@ type Options struct {
 	Batches int
 	// HW selects the hardware model (zero value = calibrated defaults).
 	HW *retrieval.HardwareParams
+	// Parallel bounds the number of simulation runs executed concurrently
+	// (0 = GOMAXPROCS). Results are identical for every value; only
+	// wall-clock time changes.
+	Parallel int
+	// Bench, when set, records each experiment's wall-clock time and the
+	// host time of every simulation run.
+	Bench *Bench
 }
 
 func (o Options) maxGPUs() int {
@@ -97,28 +105,50 @@ type ScalingResult struct {
 
 // RunScaling executes the weak- or strong-scaling sweep with both backends.
 func RunScaling(kind ScalingKind, opts Options) (*ScalingResult, error) {
-	res := &ScalingResult{Kind: kind}
+	return RunScalingContext(context.Background(), kind, opts)
+}
+
+// RunScalingContext is RunScaling with cancellation. The sweep's 2×MaxGPUs
+// runs (baseline and PGAS at every GPU count) dispatch onto the worker pool;
+// each GPU count's pair shares one immutable spec.
+func RunScalingContext(ctx context.Context, kind ScalingKind, opts Options) (*ScalingResult, error) {
 	hw := opts.hardware()
-	for gpus := 1; gpus <= opts.maxGPUs(); gpus++ {
-		cfg := opts.apply(kind.Config(gpus))
-		pt := ScalingPoint{GPUs: gpus}
-		for _, backend := range []retrieval.Backend{&retrieval.Baseline{}, &retrieval.PGASFused{}} {
-			sys, err := retrieval.NewSystem(cfg, hw)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s scaling, %d GPUs: %w", kind, gpus, err)
-			}
-			r, err := sys.Run(backend)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s scaling, %d GPUs, %s: %w", kind, gpus, backend.Name(), err)
-			}
-			switch backend.(type) {
-			case *retrieval.Baseline:
-				pt.Baseline = r
-			default:
-				pt.PGAS = r
-			}
+	maxGPUs := opts.maxGPUs()
+	specs := make([]*retrieval.SystemSpec, maxGPUs+1)
+	for gpus := 1; gpus <= maxGPUs; gpus++ {
+		spec, err := retrieval.NewSystemSpec(opts.apply(kind.Config(gpus)), hw)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s scaling, %d GPUs: %w", kind, gpus, err)
 		}
-		res.Points = append(res.Points, pt)
+		specs[gpus] = spec
+	}
+	results := make([]*retrieval.Result, 2*maxGPUs)
+	stop := opts.Bench.Start(fmt.Sprintf("%s-scaling", kind), opts.parallel())
+	err := forEach(ctx, opts.parallel(), len(results), func(i int) error {
+		gpus := i/2 + 1
+		var backend retrieval.Backend = &retrieval.Baseline{}
+		if i%2 == 1 {
+			backend = &retrieval.PGASFused{}
+		}
+		spec := specs[gpus]
+		r, err := runSpec(ctx, spec, backend, spec.Config().Seed, opts.Bench)
+		if err != nil {
+			return fmt.Errorf("experiments: %s scaling, %d GPUs, %s: %w", kind, gpus, backend.Name(), err)
+		}
+		results[i] = r
+		return nil
+	})
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalingResult{Kind: kind}
+	for gpus := 1; gpus <= maxGPUs; gpus++ {
+		res.Points = append(res.Points, ScalingPoint{
+			GPUs:     gpus,
+			Baseline: results[2*(gpus-1)],
+			PGAS:     results[2*(gpus-1)+1],
+		})
 	}
 	return res, nil
 }
@@ -218,36 +248,46 @@ type CommVolumeResult struct {
 // count. The paper plots 2 GPUs for the weak configuration (Figure 7) and
 // 4 GPUs for the strong one (Figure 10).
 func RunCommVolume(kind ScalingKind, gpus, bins int, opts Options) (*CommVolumeResult, error) {
+	return RunCommVolumeContext(context.Background(), kind, gpus, bins, opts)
+}
+
+// RunCommVolumeContext is RunCommVolume with cancellation; the baseline and
+// PGAS runs execute concurrently from one shared spec.
+func RunCommVolumeContext(ctx context.Context, kind ScalingKind, gpus, bins int, opts Options) (*CommVolumeResult, error) {
 	if gpus < 2 {
 		return nil, fmt.Errorf("experiments: communication profiling needs >= 2 GPUs")
 	}
 	if bins <= 0 {
 		bins = 120
 	}
-	cfg := opts.apply(kind.Config(gpus))
-	hw := opts.hardware()
+	spec, err := retrieval.NewSystemSpec(opts.apply(kind.Config(gpus)), opts.hardware())
+	if err != nil {
+		return nil, err
+	}
 	out := &CommVolumeResult{Kind: kind, GPUs: gpus, Bins: bins}
-	for _, pgasRun := range []bool{false, true} {
-		sys, err := retrieval.NewSystem(cfg, hw)
-		if err != nil {
-			return nil, err
-		}
+	stop := opts.Bench.Start(fmt.Sprintf("%s-commvolume-%dgpu", kind, gpus), opts.parallel())
+	err = forEach(ctx, opts.parallel(), 2, func(i int) error {
 		var backend retrieval.Backend = &retrieval.Baseline{}
-		if pgasRun {
+		if i == 1 {
 			backend = &retrieval.PGASFused{}
 		}
-		r, err := sys.Run(backend)
+		r, err := runSpec(ctx, spec, backend, spec.Config().Seed, opts.Bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		series := r.CommTrace.RateSeries(0, r.TotalTime, bins)
-		if pgasRun {
+		if i == 1 {
 			out.PGAS = series
 			out.PGASSpan = r.TotalTime
 		} else {
 			out.Baseline = series
 			out.BaselineSpan = r.TotalTime
 		}
+		return nil
+	})
+	stop()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

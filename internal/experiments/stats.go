@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,29 +25,61 @@ type SpeedupStats struct {
 // input, so at paper scale the spread is small; the statistics quantify
 // exactly how small.
 func RunScalingStats(kind ScalingKind, seeds int, opts Options) ([]SpeedupStats, error) {
+	return RunScalingStatsContext(context.Background(), kind, seeds, opts)
+}
+
+// RunScalingStatsContext is RunScalingStats with cancellation. All
+// seeds × GPU counts × backends runs dispatch onto the worker pool; every
+// seed of a GPU count shares that count's immutable spec (the per-seed RNG
+// streams are derived at run creation).
+func RunScalingStatsContext(ctx context.Context, kind ScalingKind, seeds int, opts Options) ([]SpeedupStats, error) {
 	if seeds <= 0 {
 		return nil, fmt.Errorf("experiments: need at least one seed")
 	}
 	hw := opts.hardware()
 	maxGPUs := opts.maxGPUs()
+	counts := maxGPUs - 1 // GPU counts 2..maxGPUs
+	if counts <= 0 {
+		return nil, fmt.Errorf("experiments: statistics need MaxGPUs >= 2")
+	}
+	specs := make([]*retrieval.SystemSpec, maxGPUs+1)
+	for gpus := 2; gpus <= maxGPUs; gpus++ {
+		spec, err := retrieval.NewSystemSpec(opts.apply(kind.Config(gpus)), hw)
+		if err != nil {
+			return nil, err
+		}
+		specs[gpus] = spec
+	}
+	// Job i covers (seed, gpus, backend); results land indexed so the
+	// assembled statistics are identical at any parallelism.
+	times := make([]float64, seeds*counts*2)
+	stop := opts.Bench.Start(fmt.Sprintf("%s-scaling-stats", kind), opts.parallel())
+	err := forEach(ctx, opts.parallel(), len(times), func(i int) error {
+		s := i / (counts * 2)
+		rem := i % (counts * 2)
+		gpus := 2 + rem/2
+		var backend retrieval.Backend = &retrieval.Baseline{}
+		if rem%2 == 1 {
+			backend = &retrieval.PGASFused{}
+		}
+		spec := specs[gpus]
+		seed := spec.Config().Seed + uint64(s)*1_000_003
+		r, err := runSpec(ctx, spec, backend, seed, opts.Bench)
+		if err != nil {
+			return err
+		}
+		times[i] = r.TotalTime
+		return nil
+	})
+	stop()
+	if err != nil {
+		return nil, err
+	}
 	samples := make([][]float64, maxGPUs+1)
 	for s := 0; s < seeds; s++ {
 		for gpus := 2; gpus <= maxGPUs; gpus++ {
-			cfg := opts.apply(kind.Config(gpus))
-			cfg.Seed = cfg.Seed + uint64(s)*1_000_003
-			var times [2]float64
-			for i, backend := range []retrieval.Backend{&retrieval.Baseline{}, &retrieval.PGASFused{}} {
-				sys, err := retrieval.NewSystem(cfg, hw)
-				if err != nil {
-					return nil, err
-				}
-				r, err := sys.Run(backend)
-				if err != nil {
-					return nil, err
-				}
-				times[i] = r.TotalTime
-			}
-			samples[gpus] = append(samples[gpus], times[0]/times[1])
+			at := s*counts*2 + (gpus-2)*2
+			samples[gpus] = append(samples[gpus], times[at]/times[at+1])
 		}
 	}
 	var out []SpeedupStats

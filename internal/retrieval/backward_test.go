@@ -24,14 +24,15 @@ func referenceBackwardWeights(t *testing.T, gpus int) [][]*tensor.Tensor {
 			applyGradients(s, g, bd)
 		}
 	}
-	return collectWeights(s)
+	return collectWeights(t, s)
 }
 
-func collectWeights(s *System) [][]*tensor.Tensor {
+func collectWeights(t *testing.T, s *System) [][]*tensor.Tensor {
+	t.Helper()
 	var out [][]*tensor.Tensor
 	for g := 0; g < s.Cfg.GPUs; g++ {
 		var tables []*tensor.Tensor
-		for _, tbl := range s.Collection(g).Tables {
+		for _, tbl := range mustCollection(t, s, g).Tables {
 			tables = append(tables, tbl.Weights.Clone())
 		}
 		out = append(out, tables)
@@ -49,7 +50,7 @@ func runBackward(t *testing.T, gpus int, backend Backend) ([][]*tensor.Tensor, *
 	if err != nil {
 		t.Fatal(err)
 	}
-	return collectWeights(s), res
+	return collectWeights(t, s), res
 }
 
 func TestBackwardBaselineUpdatesMatchReference(t *testing.T) {
@@ -87,11 +88,11 @@ func TestBackwardWeightsActuallyChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := collectWeights(s)
+	before := collectWeights(t, s)
 	if _, err := s.Run(&BackwardPGAS{}); err != nil {
 		t.Fatal(err)
 	}
-	after := collectWeights(s)
+	after := collectWeights(t, s)
 	changed := false
 	for g := range before {
 		for ti := range before[g] {

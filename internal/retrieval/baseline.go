@@ -1,6 +1,8 @@
 package retrieval
 
 import (
+	"fmt"
+
 	"pgasemb/internal/sim"
 	"pgasemb/internal/sparse"
 	"pgasemb/internal/tensor"
@@ -35,6 +37,14 @@ func (b *Baseline) Name() string {
 	return "baseline"
 }
 
+// ValidateConfig implements ConfigValidator.
+func (b *Baseline) ValidateConfig(cfg Config) error {
+	if cfg.Sharding != TableWise {
+		return fmt.Errorf("requires table-wise sharding; use RowWiseBaseline for row-wise configurations")
+	}
+	return nil
+}
+
 func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
 	cfg := s.Cfg
 	dev := s.Devs[g]
@@ -55,8 +65,8 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	if cfg.Functional {
 		// Collection.Forward produces (B, F_local, d) sample-major — with
 		// contiguous minibatches this IS the rank-ordered all-to-all send
-		// layout.
-		outputs = s.Collection(g).Forward(bd.Parts[g])
+		// layout. (Mode is validated at run setup, so the shard exists.)
+		outputs = s.colls[g].Forward(bd.Parts[g])
 	}
 	_, kernelEnd := stream.Launch(p, kernel)
 	p.WaitUntil(kernelEnd)
@@ -150,13 +160,17 @@ func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, f
 
 // Reference computes the expected per-GPU EMB outputs serially: the full
 // (B, TotalTables, d) result partitioned into per-GPU minibatches. Backends
-// in functional mode must reproduce it bit-exactly.
-func Reference(s *System, batch *sparse.Batch) []*tensor.Tensor {
+// in functional mode must reproduce it bit-exactly. It errors on a
+// timing-only system, which holds no weights.
+func Reference(s *System, batch *sparse.Batch) ([]*tensor.Tensor, error) {
 	cfg := s.Cfg
+	if !cfg.Functional {
+		return nil, fmt.Errorf("retrieval: Reference needs functional mode (timing-only systems hold no weights)")
+	}
 	full := tensor.New(cfg.BatchSize, cfg.TotalTables, cfg.Dim)
 	data := full.Data()
 	if cfg.Sharding == RowWise {
-		coll := s.GlobalCollection()
+		coll := s.globalColl
 		for fi, fid := range coll.FeatureIDs {
 			fb := batch.FeatureByID(fid)
 			tbl := coll.Tables[fi]
@@ -167,7 +181,7 @@ func Reference(s *System, batch *sparse.Batch) []*tensor.Tensor {
 		}
 	} else {
 		for g := 0; g < cfg.GPUs; g++ {
-			coll := s.Collection(g)
+			coll := s.colls[g]
 			for fi, fid := range s.Plan[g] {
 				fb := batch.FeatureByID(fid)
 				tbl := coll.Tables[fi]
@@ -183,5 +197,5 @@ func Reference(s *System, batch *sparse.Batch) []*tensor.Tensor {
 		lo, hi := s.Minibatch(g)
 		outs[g] = full.Narrow(0, lo, hi-lo).Contiguous()
 	}
-	return outs
+	return outs, nil
 }

@@ -1,0 +1,238 @@
+package retrieval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fingerprint flattens everything a run reports — total time, the ordered
+// component breakdown, the binned communication-volume series, and (in
+// functional mode) the final output tensors — into one comparable string.
+// Two runs of the same (spec, seed) must fingerprint identically.
+func fingerprint(r *Result) string {
+	out := fmt.Sprintf("total=%v\n", r.TotalTime)
+	for _, c := range r.Breakdown.Components() {
+		out += fmt.Sprintf("comp %s=%v\n", c.Name, c.Duration)
+	}
+	for g, bk := range r.PerGPU {
+		for _, c := range bk.Components() {
+			out += fmt.Sprintf("gpu%d %s=%v\n", g, c.Name, c.Duration)
+		}
+	}
+	out += fmt.Sprintf("commtotal=%v\n", r.CommTrace.Total())
+	for _, p := range r.CommTrace.RateSeries(0, r.TotalTime, 32) {
+		out += fmt.Sprintf("bin %v=%v\n", p.T, p.V)
+	}
+	for g, fin := range r.Final {
+		if fin == nil {
+			continue
+		}
+		data := fin.Data()
+		out += fmt.Sprintf("final%d n=%d first=%v last=%v\n", g, len(data), data[0], data[len(data)-1])
+		var sum float64
+		for _, v := range data {
+			sum += float64(v)
+		}
+		out += fmt.Sprintf("final%d sum=%v\n", g, sum)
+	}
+	return out
+}
+
+// concurrencyCases returns (config, backend) pairs covering the functional
+// data plane, the timing-only plane, and both communication schemes.
+func concurrencyCases() []struct {
+	name    string
+	cfg     Config
+	backend func() Backend
+} {
+	timing := WeakScalingConfig(3)
+	timing.Batches = 3
+	return []struct {
+		name    string
+		cfg     Config
+		backend func() Backend
+	}{
+		{"functional-baseline", TestScaleConfig(3), func() Backend { return &Baseline{} }},
+		{"functional-pgas", TestScaleConfig(3), func() Backend { return &PGASFused{} }},
+		{"timing-pgas", timing, func() Backend { return &PGASFused{} }},
+	}
+}
+
+// TestConcurrentRunsBitIdentical executes the same spec many times in
+// parallel from host goroutines and asserts every run's results are
+// bit-identical to a serial run's. Under `go test -race` this doubles as
+// the regression test for shared mutable state between runs: any state a
+// run touches that is not its own would be flagged as a data race.
+func TestConcurrentRunsBitIdentical(t *testing.T) {
+	const runs = 8
+	for _, tc := range concurrencyCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := NewSystemSpec(tc.cfg, DefaultHardware())
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := spec.NewRun()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := serial.Run(tc.backend())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fingerprint(res)
+
+			got := make([]string, runs)
+			errs := make([]error, runs)
+			var wg sync.WaitGroup
+			for i := 0; i < runs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sys, err := spec.NewRun()
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					r, err := sys.Run(tc.backend())
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					got[i] = fingerprint(r)
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < runs; i++ {
+				if errs[i] != nil {
+					t.Fatalf("concurrent run %d: %v", i, errs[i])
+				}
+				if got[i] != want {
+					t.Errorf("concurrent run %d diverges from serial run:\n--- serial\n%s\n--- run %d\n%s",
+						i, want, i, got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSeedsIndependent runs distinct seeds of one spec in
+// parallel and asserts each matches its own serial rerun — seeds must
+// neither share RNG state nor disturb each other.
+func TestConcurrentSeedsIndependent(t *testing.T) {
+	spec, err := NewSystemSpec(TestScaleConfig(2), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 4
+	base := spec.Config().Seed
+	run := func(seed uint64) (string, error) {
+		sys, err := spec.NewRunWithSeed(seed)
+		if err != nil {
+			return "", err
+		}
+		r, err := sys.Run(&PGASFused{})
+		if err != nil {
+			return "", err
+		}
+		return fingerprint(r), nil
+	}
+	want := make([]string, seeds)
+	for s := 0; s < seeds; s++ {
+		fp, err := run(base + uint64(s)*1_000_003)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = fp
+	}
+	for s := 1; s < seeds; s++ {
+		if want[s] == want[0] {
+			t.Fatalf("seed %d produced the same results as seed 0; seeds must differ", s)
+		}
+	}
+	got := make([]string, seeds)
+	errs := make([]error, seeds)
+	var wg sync.WaitGroup
+	for s := 0; s < seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			got[s], errs[s] = run(base + uint64(s)*1_000_003)
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < seeds; s++ {
+		if errs[s] != nil {
+			t.Fatal(errs[s])
+		}
+		if got[s] != want[s] {
+			t.Errorf("seed %d: concurrent result differs from serial result", s)
+		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	spec, err := NewSystemSpec(TestScaleConfig(2), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx, &PGASFused{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestValidateBackendRejectsModeMismatch(t *testing.T) {
+	// Sharding-mode misuse must surface as a setup error, not a mid-run
+	// panic.
+	tableWise, err := NewSystem(TestScaleConfig(2), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tableWise.Run(&RowWisePGAS{}); err == nil {
+		t.Fatal("row-wise backend accepted a table-wise configuration")
+	}
+	if _, err := tableWise.Run(&InputStaged{Inner: &RowWiseBaseline{}}); err == nil {
+		t.Fatal("decorated row-wise backend accepted a table-wise configuration")
+	}
+	rwCfg := TestScaleConfig(2)
+	rwCfg.Sharding = RowWise
+	rowWise, err := NewSystem(rwCfg, DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{&Baseline{}, &PGASFused{}, &BackwardBaseline{}, &BackwardPGAS{}} {
+		if _, err := rowWise.Run(b); err == nil {
+			t.Fatalf("%s accepted a row-wise configuration", b.Name())
+		}
+	}
+}
+
+func TestCollectionAccessorsReturnErrors(t *testing.T) {
+	s, err := NewSystem(TestScaleConfig(2), DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GlobalCollection(); err == nil {
+		t.Fatal("GlobalCollection must error for table-wise sharding")
+	}
+	if _, err := s.Collection(99); err == nil {
+		t.Fatal("Collection must error for an out-of-range GPU")
+	}
+	timing := WeakScalingConfig(2)
+	timing.Batches = 1
+	ts, err := NewSystem(timing, DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Collection(0); err == nil {
+		t.Fatal("Collection must error in timing-only mode")
+	}
+}

@@ -121,7 +121,7 @@ func TestDegradedLinkToleratedByPGAS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(fs, res.LastBatch)
+	want := mustReference(t, fs, res.LastBatch)
 	for g := range want {
 		if res.Final[g].Data()[0] != want[g].Data()[0] {
 			t.Fatal("degraded fabric corrupted results")

@@ -55,7 +55,7 @@ func TestHeterogeneousRowsFunctional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := range want {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("GPU %d differs with heterogeneous table sizes", g)
@@ -93,7 +93,7 @@ func TestCustomPlanFunctionalCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := range want {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("GPU %d differs under custom plan", g)

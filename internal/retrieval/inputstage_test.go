@@ -111,7 +111,7 @@ func TestInputStagedFunctionalUnchanged(t *testing.T) {
 	if !strings.Contains(res.Backend, "fused-input") {
 		t.Fatalf("backend name %q", res.Backend)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := range want {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("GPU %d differs from reference under input staging", g)

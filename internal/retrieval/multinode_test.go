@@ -32,7 +32,7 @@ func TestMultiNodeFunctionalCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := range want {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("GPU %d output differs from reference on multi-node fabric", g)

@@ -1,6 +1,8 @@
 package retrieval
 
 import (
+	"fmt"
+
 	"pgasemb/internal/pgas"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/sparse"
@@ -42,6 +44,14 @@ func (b *PGASFused) Name() string {
 	default:
 		return "pgas-fused"
 	}
+}
+
+// ValidateConfig implements ConfigValidator.
+func (b *PGASFused) ValidateConfig(cfg Config) error {
+	if cfg.Sharding != TableWise {
+		return fmt.Errorf("requires table-wise sharding; use RowWisePGAS for row-wise configurations")
+	}
+	return nil
 }
 
 func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
@@ -139,7 +149,7 @@ func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData
 	cfg := s.Cfg
 	pe := s.PGAS.PE(g)
 	part := bd.Parts[g]
-	coll := s.Collection(g)
+	coll := s.colls[g]
 	for smp := s0; smp < s1; smp++ {
 		owner := sparse.OwnerOfSample(cfg.BatchSize, cfg.GPUs, smp)
 		olo, _ := s.Minibatch(owner)

@@ -6,8 +6,29 @@ import (
 
 	"pgasemb/internal/embedding"
 	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
 	"pgasemb/internal/tensor"
 )
+
+// mustReference is Reference with test-fatal error handling.
+func mustReference(t *testing.T, s *System, batch *sparse.Batch) []*tensor.Tensor {
+	t.Helper()
+	want, err := Reference(s, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// mustCollection is System.Collection with test-fatal error handling.
+func mustCollection(t *testing.T, s *System, g int) *embedding.Collection {
+	t.Helper()
+	coll, err := s.Collection(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll
+}
 
 func TestConfigValidation(t *testing.T) {
 	muts := []struct {
@@ -109,7 +130,7 @@ func verifyBackend(t *testing.T, gpus int, b Backend) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := 0; g < gpus; g++ {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("%s: GPU %d output differs from reference (max diff %g)",
@@ -177,7 +198,7 @@ func TestDifferentPoolingModesMatchReference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := Reference(s, res.LastBatch)
+		want := mustReference(t, s, res.LastBatch)
 		for g := 0; g < 2; g++ {
 			if !tensor.Equal(res.Final[g], want[g]) {
 				t.Fatalf("pooling %v: GPU %d differs from reference", mode, g)
@@ -330,8 +351,9 @@ func TestSaveLoadShardRoundTrip(t *testing.T) {
 		}
 	}
 	for g := 0; g < 2; g++ {
-		for ti := range s1.Collection(g).Tables {
-			if !tensor.Equal(s1.Collection(g).Tables[ti].Weights, s2.Collection(g).Tables[ti].Weights) {
+		c1, c2 := mustCollection(t, s1, g), mustCollection(t, s2, g)
+		for ti := range c1.Tables {
+			if !tensor.Equal(c1.Tables[ti].Weights, c2.Tables[ti].Weights) {
 				t.Fatalf("GPU %d table %d differs after checkpoint round trip", g, ti)
 			}
 		}
@@ -378,7 +400,7 @@ func TestCriteoShapedConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := range want {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("GPU %d differs on criteo-shaped workload", g)

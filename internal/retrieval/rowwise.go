@@ -31,10 +31,14 @@ type RowWiseBaseline struct{}
 // Name implements Backend.
 func (b *RowWiseBaseline) Name() string { return "rowwise-baseline" }
 
-func requireRowWise(s *System, name string) {
-	if s.Cfg.Sharding != RowWise {
-		panic(fmt.Sprintf("retrieval: %s requires Config.Sharding == RowWise", name))
+// ValidateConfig implements ConfigValidator.
+func (b *RowWiseBaseline) ValidateConfig(cfg Config) error { return validateRowWise(cfg) }
+
+func validateRowWise(cfg Config) error {
+	if cfg.Sharding != RowWise {
+		return fmt.Errorf("requires Config.Sharding == RowWise; use the table-wise backends otherwise")
 	}
+	return nil
 }
 
 // rowWiseKernelCost prices the partial-pooling kernel: the GPU scans the
@@ -52,7 +56,6 @@ func rowWiseKernelCost(s *System, g int, bd *BatchData) sim.Duration {
 
 // RunBatch implements Backend.
 func (b *RowWiseBaseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
-	requireRowWise(s, b.Name())
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.NewStream("emb-rowwise")
@@ -101,7 +104,7 @@ func (b *RowWiseBaseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData,
 // shard.
 func (b *RowWiseBaseline) functionalPartials(s *System, g int, bd *BatchData) []float32 {
 	cfg := s.Cfg
-	coll := s.GlobalCollection()
+	coll := s.globalColl
 	rlo, rhi := s.RowShard(g)
 	out := make([]float32, cfg.BatchSize*cfg.TotalTables*cfg.Dim)
 	scratch := make([]float32, cfg.Dim)
@@ -125,9 +128,11 @@ type RowWisePGAS struct{}
 // Name implements Backend.
 func (b *RowWisePGAS) Name() string { return "rowwise-pgas" }
 
+// ValidateConfig implements ConfigValidator.
+func (b *RowWisePGAS) ValidateConfig(cfg Config) error { return validateRowWise(cfg) }
+
 // RunBatch implements Backend.
 func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
-	requireRowWise(s, b.Name())
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.NewStream("emb-rowwise-fused")
@@ -186,7 +191,7 @@ func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk 
 func (b *RowWisePGAS) functionalChunk(s *System, g int, bd *BatchData, s0, s1 int, scratch []float32) {
 	cfg := s.Cfg
 	pe := s.PGAS.PE(g)
-	coll := s.GlobalCollection()
+	coll := s.globalColl
 	rlo, rhi := s.RowShard(g)
 	for smp := s0; smp < s1; smp++ {
 		owner := sparse.OwnerOfSample(cfg.BatchSize, cfg.GPUs, smp)

@@ -46,7 +46,7 @@ func verifyRowWise(t *testing.T, gpus int, b Backend) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := 0; g < gpus; g++ {
 		if !tensor.AllClose(res.Final[g], want[g], 1e-4) {
 			t.Fatalf("%s: GPU %d differs from reference (max diff %g)",

@@ -106,7 +106,7 @@ func TestSkewedFunctionalCorrectness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Reference(s, res.LastBatch)
+	want := mustReference(t, s, res.LastBatch)
 	for g := range want {
 		if !tensor.Equal(res.Final[g], want[g]) {
 			t.Fatalf("GPU %d differs from reference under skew + greedy plan", g)

@@ -1,0 +1,182 @@
+package retrieval
+
+import (
+	"fmt"
+
+	"pgasemb/internal/collective"
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/gpu"
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/pgas"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/workload"
+)
+
+// SystemSpec is the immutable description of a simulated machine: the
+// experiment configuration, the hardware model and the sharding plan. A spec
+// is built (and validated) once and is safe for concurrent use: any number
+// of Runs can be created from the same spec, from any number of host
+// goroutines, and each Run owns all of its mutable state (simulator clock,
+// devices, streams, counters, RNG streams, table weights). Two Runs built
+// from the same spec with the same seed produce bit-identical results.
+//
+// The only caller-supplied code a spec retains is HardwareParams.Topology;
+// when set, it must be a pure function of the GPU count.
+type SystemSpec struct {
+	cfg  Config
+	hw   HardwareParams
+	plan [][]int // plan[g] = global feature IDs resident on GPU g
+}
+
+// NewSystemSpec validates the configuration and hardware, resolves the
+// sharding plan, and checks every GPU's shard against device memory (the
+// 32 GB capacity the paper's strong-scaling configuration was designed
+// around). All misconfiguration — including a topology whose GPU count does
+// not match the configuration, the multi-node divisibility mistake — is
+// reported here as an error, before any run starts.
+func NewSystemSpec(cfg Config, hw HardwareParams) (*SystemSpec, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hw.GPU.Validate(); err != nil {
+		return nil, fmt.Errorf("retrieval: bad GPU parameters: %w", err)
+	}
+	if err := hw.Link.Validate(); err != nil {
+		return nil, fmt.Errorf("retrieval: bad link parameters: %w", err)
+	}
+	if err := hw.Collective.Validate(); err != nil {
+		return nil, fmt.Errorf("retrieval: bad collective parameters: %w", err)
+	}
+	topo := hw.topology(cfg.GPUs)
+	if n := topo.NumGPUs(); n != cfg.GPUs {
+		return nil, fmt.Errorf("retrieval: topology wires %d GPUs but the configuration needs %d "+
+			"(multi-node topologies need a GPU count divisible by the node count)", n, cfg.GPUs)
+	}
+	spec := &SystemSpec{cfg: cfg, hw: hw}
+	switch {
+	case cfg.CustomPlan != nil:
+		spec.plan = cfg.CustomPlan
+	case cfg.GreedyPlan:
+		spec.plan = embedding.GreedyPlan(cfg.workloadConfig().ExpectedPoolingLoad(), cfg.GPUs)
+	default:
+		spec.plan = embedding.TableWisePlan(cfg.TotalTables, cfg.GPUs)
+	}
+	for g := 0; g < cfg.GPUs; g++ {
+		var need int64
+		for _, a := range spec.allocPlan(g) {
+			need += a.bytes
+		}
+		if need > hw.GPU.MemoryCapacity {
+			return nil, fmt.Errorf("retrieval: GPU %d cannot hold its shard: needs %d bytes, capacity %d",
+				g, need, hw.GPU.MemoryCapacity)
+		}
+	}
+	return spec, nil
+}
+
+// Config returns the spec's configuration.
+func (spec *SystemSpec) Config() Config { return spec.cfg }
+
+// Hardware returns the spec's hardware model.
+func (spec *SystemSpec) Hardware() HardwareParams { return spec.hw }
+
+// Plan returns the sharding plan: Plan()[g] lists the global feature IDs
+// resident on GPU g. The returned slices are shared and must not be mutated.
+func (spec *SystemSpec) Plan() [][]int { return spec.plan }
+
+// allocPlan returns GPU g's named device allocations, in allocation order.
+type namedAlloc struct {
+	name  string
+	bytes int64
+}
+
+func (spec *SystemSpec) allocPlan(g int) []namedAlloc {
+	cfg := spec.cfg
+	var shardBytes int64
+	for _, fid := range spec.plan[g] {
+		shardBytes += int64(cfg.tableRows(fid)) * int64(cfg.Dim) * 4
+	}
+	if cfg.Sharding == RowWise {
+		rlo, rhi := embedding.RowShardRange(cfg.Rows, cfg.GPUs, g)
+		shardBytes = int64(rhi-rlo) * int64(cfg.Dim) * 4 * int64(cfg.TotalTables)
+	}
+	lo, hi := sparse.MinibatchRange(cfg.BatchSize, cfg.GPUs, g)
+	outBytes := int64(hi-lo) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4
+	allocs := []namedAlloc{
+		{"embedding-tables", shardBytes},
+		{"emb-output", outBytes},
+	}
+	if cfg.Sharding == RowWise {
+		// The partial-sum buffer covers the FULL batch for all tables.
+		allocs = append(allocs, namedAlloc{
+			"emb-partials",
+			int64(cfg.BatchSize) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4,
+		})
+	}
+	return allocs
+}
+
+// NewRun wires a fresh per-run System from the spec: its own simulator
+// clock, devices, fabric, PGAS runtime, communicator, workload generator and
+// (in functional mode) table weights. Runs are independent; many can execute
+// concurrently from host goroutines.
+func (spec *SystemSpec) NewRun() (*System, error) {
+	return spec.NewRunWithSeed(spec.cfg.Seed)
+}
+
+// NewRunWithSeed is NewRun with the run's random seed overridden — the
+// mechanism behind multi-seed sweeps, which share one spec across all seeds.
+// Every RNG stream in the run (workload draws, table weights, synthetic
+// gradients) derives from this seed, so a (spec, seed) pair identifies a
+// bit-exact result.
+func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
+	cfg := spec.cfg
+	cfg.Seed = seed
+	gen, err := workload.NewGenerator(cfg.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	fab := nvlink.NewFabric(env, spec.hw.Link, spec.hw.topology(cfg.GPUs))
+	s := &System{
+		Spec:    spec,
+		Cfg:     cfg,
+		HW:      spec.hw,
+		Env:     env,
+		Fab:     fab,
+		PGAS:    pgas.New(env, fab),
+		Comm:    collective.New(env, fab, spec.hw.Collective),
+		Plan:    spec.plan,
+		gen:     gen,
+		gradRng: sim.NewRNG(cfg.Seed ^ 0x6AAD),
+	}
+	for g := 0; g < cfg.GPUs; g++ {
+		dev := gpu.NewDevice(env, g, spec.hw.GPU)
+		for _, a := range spec.allocPlan(g) {
+			if _, err := dev.Alloc(a.name, a.bytes); err != nil {
+				return nil, fmt.Errorf("retrieval: GPU %d cannot hold %q: %w", g, a.name, err)
+			}
+		}
+		s.Devs = append(s.Devs, dev)
+	}
+	if cfg.Functional {
+		wrng := sim.NewRNG(cfg.Seed ^ 0xE3B0)
+		if cfg.Sharding == RowWise {
+			allFeatures := make([]int, cfg.TotalTables)
+			for i := range allFeatures {
+				allFeatures[i] = i
+			}
+			s.globalColl = embedding.NewCollection(allFeatures, cfg.Rows, cfg.Dim, cfg.Pooling, wrng)
+		} else {
+			for g := 0; g < cfg.GPUs; g++ {
+				rowsPer := make([]int, len(spec.plan[g]))
+				for i, fid := range spec.plan[g] {
+					rowsPer[i] = cfg.tableRows(fid)
+				}
+				s.colls = append(s.colls, embedding.NewCollectionWithRows(spec.plan[g], rowsPer, cfg.Dim, cfg.Pooling, wrng))
+			}
+		}
+	}
+	return s, nil
+}

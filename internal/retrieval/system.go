@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,9 +58,13 @@ func A100Hardware() HardwareParams {
 	return hw
 }
 
-// System is one wired-up simulated machine: devices, fabric, PGAS runtime,
-// NCCL communicator, table shards and the workload generator.
+// System is one RUN of a wired-up simulated machine: devices, fabric, PGAS
+// runtime, NCCL communicator, table shards and the workload generator. All
+// of this state is mutable and belongs to exactly one run; the immutable
+// part (config, hardware, sharding plan) lives in the Spec, which any number
+// of concurrent Systems may share.
 type System struct {
+	Spec *SystemSpec
 	Cfg  Config
 	HW   HardwareParams
 	Env  *sim.Env
@@ -67,7 +72,7 @@ type System struct {
 	Fab  *nvlink.Fabric
 	PGAS *pgas.Runtime
 	Comm *collective.Comm
-	Plan [][]int // Plan[g] = global feature IDs resident on GPU g
+	Plan [][]int // Plan[g] = global feature IDs resident on GPU g (shared with Spec; read-only)
 
 	gen     *workload.Generator
 	gradRng *sim.RNG // upstream gradients for the backward extension
@@ -80,83 +85,16 @@ type System struct {
 	globalColl *embedding.Collection
 }
 
-// NewSystem validates the configuration, wires the machine, allocates the
-// table shards on each device (enforcing the 32 GB capacity the paper's
-// strong-scaling configuration was designed around) and, in functional
-// mode, materialises real embedding weights.
+// NewSystem builds a spec and wires one run from it — the one-shot entry
+// point. Callers executing the same configuration repeatedly (sweeps, seed
+// statistics, concurrent experiments) should build the SystemSpec once and
+// call NewRun per execution instead.
 func NewSystem(cfg Config, hw HardwareParams) (*System, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewGenerator(cfg.workloadConfig())
+	spec, err := NewSystemSpec(cfg, hw)
 	if err != nil {
 		return nil, err
 	}
-	env := sim.NewEnv()
-	fab := nvlink.NewFabric(env, hw.Link, hw.topology(cfg.GPUs))
-	s := &System{
-		Cfg:     cfg,
-		HW:      hw,
-		Env:     env,
-		Fab:     fab,
-		PGAS:    pgas.New(env, fab),
-		Comm:    collective.New(env, fab, hw.Collective),
-		Plan:    embedding.TableWisePlan(cfg.TotalTables, cfg.GPUs),
-		gen:     gen,
-		gradRng: sim.NewRNG(cfg.Seed ^ 0x6AAD),
-	}
-	switch {
-	case cfg.CustomPlan != nil:
-		s.Plan = cfg.CustomPlan
-	case cfg.GreedyPlan:
-		s.Plan = embedding.GreedyPlan(cfg.workloadConfig().ExpectedPoolingLoad(), cfg.GPUs)
-	}
-	for g := 0; g < cfg.GPUs; g++ {
-		dev := gpu.NewDevice(env, g, hw.GPU)
-		var shardBytes int64
-		for _, fid := range s.Plan[g] {
-			shardBytes += int64(cfg.tableRows(fid)) * int64(cfg.Dim) * 4
-		}
-		if cfg.Sharding == RowWise {
-			rlo, rhi := embedding.RowShardRange(cfg.Rows, cfg.GPUs, g)
-			shardBytes = int64(rhi-rlo) * int64(cfg.Dim) * 4 * int64(cfg.TotalTables)
-		}
-		if _, err := dev.Alloc("embedding-tables", shardBytes); err != nil {
-			return nil, fmt.Errorf("retrieval: GPU %d cannot hold its shard: %w", g, err)
-		}
-		lo, hi := sparse.MinibatchRange(cfg.BatchSize, cfg.GPUs, g)
-		outBytes := int64(hi-lo) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4
-		if _, err := dev.Alloc("emb-output", outBytes); err != nil {
-			return nil, fmt.Errorf("retrieval: GPU %d cannot hold its output minibatch: %w", g, err)
-		}
-		if cfg.Sharding == RowWise {
-			// The partial-sum buffer covers the FULL batch for all tables.
-			partialBytes := int64(cfg.BatchSize) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4
-			if _, err := dev.Alloc("emb-partials", partialBytes); err != nil {
-				return nil, fmt.Errorf("retrieval: GPU %d cannot hold its row-wise partial buffer: %w", g, err)
-			}
-		}
-		s.Devs = append(s.Devs, dev)
-	}
-	if cfg.Functional {
-		wrng := sim.NewRNG(cfg.Seed ^ 0xE3B0)
-		if cfg.Sharding == RowWise {
-			allFeatures := make([]int, cfg.TotalTables)
-			for i := range allFeatures {
-				allFeatures[i] = i
-			}
-			s.globalColl = embedding.NewCollection(allFeatures, cfg.Rows, cfg.Dim, cfg.Pooling, wrng)
-		} else {
-			for g := 0; g < cfg.GPUs; g++ {
-				rowsPer := make([]int, len(s.Plan[g]))
-				for i, fid := range s.Plan[g] {
-					rowsPer[i] = cfg.tableRows(fid)
-				}
-				s.colls = append(s.colls, embedding.NewCollectionWithRows(s.Plan[g], rowsPer, cfg.Dim, cfg.Pooling, wrng))
-			}
-		}
-	}
-	return s, nil
+	return spec.NewRun()
 }
 
 // SaveShard checkpoints GPU g's embedding tables (functional mode only).
@@ -165,9 +103,17 @@ func (s *System) SaveShard(g int, w io.Writer) error {
 		if g != 0 {
 			return fmt.Errorf("retrieval: row-wise tables are shared; checkpoint shard 0")
 		}
-		return embedding.SaveCollection(w, s.GlobalCollection())
+		coll, err := s.GlobalCollection()
+		if err != nil {
+			return err
+		}
+		return embedding.SaveCollection(w, coll)
 	}
-	return embedding.SaveCollection(w, s.Collection(g))
+	coll, err := s.Collection(g)
+	if err != nil {
+		return err
+	}
+	return embedding.SaveCollection(w, coll)
 }
 
 // LoadShard replaces GPU g's embedding tables from a checkpoint written by
@@ -181,7 +127,10 @@ func (s *System) LoadShard(g int, r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	cur := s.Collection(g)
+	cur, err := s.Collection(g)
+	if err != nil {
+		return err
+	}
 	if c.Dim != cur.Dim || len(c.Tables) != len(cur.Tables) {
 		return fmt.Errorf("retrieval: checkpoint shape (%d tables, dim %d) does not match shard (%d, %d)",
 			len(c.Tables), c.Dim, len(cur.Tables), cur.Dim)
@@ -200,13 +149,17 @@ func (s *System) LoadShard(g int, r io.Reader) error {
 	return nil
 }
 
-// GlobalCollection returns the shared full-row tables (row-wise functional
-// mode only).
-func (s *System) GlobalCollection() *embedding.Collection {
+// GlobalCollection returns the shared full-row tables. It errors outside
+// row-wise functional mode (table-wise shards live in Collection; timing-only
+// systems materialise no weights).
+func (s *System) GlobalCollection() (*embedding.Collection, error) {
 	if s.globalColl == nil {
-		panic("retrieval: GlobalCollection outside row-wise functional mode")
+		if s.Cfg.Sharding != RowWise {
+			return nil, fmt.Errorf("retrieval: GlobalCollection is row-wise; use Collection(g) for table-wise systems")
+		}
+		return nil, fmt.Errorf("retrieval: GlobalCollection needs functional mode (timing-only systems hold no weights)")
 	}
-	return s.globalColl
+	return s.globalColl, nil
 }
 
 // RowShard returns GPU g's row range under row-wise sharding.
@@ -235,12 +188,20 @@ func (s *System) Minibatch(g int) (lo, hi int) {
 	return sparse.MinibatchRange(s.Cfg.BatchSize, s.Cfg.GPUs, g)
 }
 
-// Collection returns GPU g's table shard (functional mode only).
-func (s *System) Collection(g int) *embedding.Collection {
+// Collection returns GPU g's table shard. It errors outside table-wise
+// functional mode (row-wise tables are shared, see GlobalCollection;
+// timing-only systems materialise no weights).
+func (s *System) Collection(g int) (*embedding.Collection, error) {
 	if s.colls == nil {
-		panic("retrieval: Collection in timing-only mode")
+		if s.Cfg.Sharding == RowWise {
+			return nil, fmt.Errorf("retrieval: Collection is table-wise; use GlobalCollection for row-wise systems")
+		}
+		return nil, fmt.Errorf("retrieval: Collection needs functional mode (timing-only systems hold no weights)")
 	}
-	return s.colls[g]
+	if g < 0 || g >= len(s.colls) {
+		return nil, fmt.Errorf("retrieval: Collection(%d) out of range for %d GPUs", g, len(s.colls))
+	}
+	return s.colls[g], nil
 }
 
 // BatchData carries one batch's inputs through a backend: always the
@@ -338,6 +299,25 @@ type Backend interface {
 	RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown)
 }
 
+// ConfigValidator is implemented by backends that constrain the
+// configurations they can execute (e.g. the row-wise backends require
+// row-wise sharding). Run setup validates before any simulated process
+// starts, so misuse surfaces as a descriptive error instead of a mid-run
+// panic.
+type ConfigValidator interface {
+	ValidateConfig(cfg Config) error
+}
+
+// ValidateBackend checks b against cfg when b implements ConfigValidator.
+func ValidateBackend(b Backend, cfg Config) error {
+	if v, ok := b.(ConfigValidator); ok {
+		if err := v.ValidateConfig(cfg); err != nil {
+			return fmt.Errorf("retrieval: backend %s: %w", b.Name(), err)
+		}
+	}
+	return nil
+}
+
 // Result summarises one Run.
 type Result struct {
 	Backend string
@@ -364,6 +344,18 @@ type Result struct {
 // Each batch is barrier-synchronised across GPUs, mirroring the paper's
 // measurement of accumulated EMB-layer time over 100 batches.
 func (s *System) Run(b Backend) (*Result, error) {
+	return s.RunContext(context.Background(), b)
+}
+
+// RunContext is Run with cancellation: the run stops (returning ctx.Err())
+// when ctx is cancelled or its deadline passes, checked between batches
+// during input generation and periodically inside the event loop. A
+// cancelled run leaves the System in an undefined mid-simulation state;
+// discard it and build a fresh run from the spec.
+func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
+	if err := ValidateBackend(b, s.Cfg); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Backend: b.Name(),
 		Cfg:     s.Cfg,
@@ -378,6 +370,9 @@ func (s *System) Run(b Backend) (*Result, error) {
 
 	batches := make([]*BatchData, s.Cfg.Batches)
 	for i := range batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bd, err := s.NextBatchData()
 		if err != nil {
 			return nil, err
@@ -403,7 +398,9 @@ func (s *System) Run(b Backend) (*Result, error) {
 			barrier.Await(p) // final rendezvous so TotalTime is the makespan
 		})
 	}
-	s.Env.Run()
+	if _, err := s.Env.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("retrieval: %s run: %w", b.Name(), err)
+	}
 	if runErr != nil {
 		return nil, runErr
 	}

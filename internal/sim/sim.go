@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -116,6 +117,31 @@ func (e *Env) Run() Time {
 	for e.Step() {
 	}
 	return e.now
+}
+
+// ctxCheckInterval is how many events RunContext executes between
+// cancellation checks — large enough that the check is free relative to
+// event dispatch, small enough that cancellation lands promptly.
+const ctxCheckInterval = 1024
+
+// RunContext drains the event queue like Run, but polls ctx every
+// ctxCheckInterval events and stops with ctx.Err() on cancellation or
+// deadline. An abandoned environment may leave parked processes behind;
+// callers must discard it rather than resume it.
+func (e *Env) RunContext(ctx context.Context) (Time, error) {
+	if ctx.Done() == nil { // not cancellable: identical to Run, zero overhead
+		return e.Run(), nil
+	}
+	for {
+		for i := 0; i < ctxCheckInterval; i++ {
+			if !e.Step() {
+				return e.now, nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return e.now, err
+		}
+	}
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the

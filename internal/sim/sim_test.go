@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -127,5 +129,51 @@ func TestFormatTime(t *testing.T) {
 		if got := FormatTime(c.t); got != c.want {
 			t.Errorf("FormatTime(%v) = %q, want %q", c.t, got, c.want)
 		}
+	}
+}
+
+func TestRunContextCompletesLikeRun(t *testing.T) {
+	// A non-cancelled context must not change the simulation: same final
+	// time as Run, all events fired.
+	build := func() *Env {
+		env := NewEnv()
+		for i := 1; i <= 5000; i++ {
+			env.Schedule(Time(i)*Microsecond, func() {})
+		}
+		return env
+	}
+	plain := build()
+	want := plain.Run()
+	env := build()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := env.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunContext ended at %v, Run at %v", got, want)
+	}
+}
+
+func TestRunContextStopsWhenCancelled(t *testing.T) {
+	env := NewEnv()
+	const n = 100_000
+	fired := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 1; i <= n; i++ {
+		env.Schedule(Time(i)*Microsecond, func() {
+			fired++
+			if fired == 10 {
+				cancel()
+			}
+		})
+	}
+	if _, err := env.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired == n {
+		t.Fatal("cancellation did not stop the event loop early")
 	}
 }

@@ -20,7 +20,7 @@
 package pgasemb
 
 import (
-	"fmt"
+	"context"
 
 	"pgasemb/internal/dlrm"
 	"pgasemb/internal/experiments"
@@ -36,7 +36,12 @@ type (
 	Config = retrieval.Config
 	// HardwareParams bundles the GPU, NVLink and collective models.
 	HardwareParams = retrieval.HardwareParams
-	// System is a wired simulated machine ready to run backends.
+	// SystemSpec is the immutable, validated description of a simulated
+	// machine; any number of independent Systems (runs) can be created
+	// from one spec concurrently.
+	SystemSpec = retrieval.SystemSpec
+	// System is one run of a wired simulated machine ready to execute
+	// backends.
 	System = retrieval.System
 	// Result is one run's timing (and, in functional mode, outputs).
 	Result = retrieval.Result
@@ -100,20 +105,30 @@ func A100Hardware() HardwareParams { return retrieval.A100Hardware() }
 
 // MultiNodeHardware returns the default hardware with the interconnect
 // split into `nodes` chassis joined by thin network links — the future-work
-// §V multi-node setting. The experiment's GPU count must equal
-// nodes × perNode.
+// §V multi-node setting. The experiment's GPU count must be divisible by
+// `nodes`; a count that is not is rejected with an error by NewSystemSpec /
+// NewSystem.
 func MultiNodeHardware(nodes int) HardwareParams {
 	hw := retrieval.DefaultHardware()
 	hw.Topology = func(gpus int) nvlink.Topology {
-		if gpus%nodes != 0 {
-			panic(fmt.Sprintf("pgasemb: %d GPUs not divisible across %d nodes", gpus, nodes))
+		if nodes <= 0 || gpus%nodes != 0 {
+			// A topology wiring zero GPUs never matches the configuration,
+			// so spec validation reports the mismatch as an error.
+			return nvlink.MultiNode{Nodes: nodes, PerNode: 0, IntraLinks: 2}
 		}
 		return nvlink.MultiNode{Nodes: nodes, PerNode: gpus / nodes, IntraLinks: 2}
 	}
 	return hw
 }
 
-// NewSystem wires a simulated machine for the configuration.
+// NewSystemSpec validates the configuration and hardware and returns the
+// immutable spec from which runs are created.
+func NewSystemSpec(cfg Config, hw HardwareParams) (*SystemSpec, error) {
+	return retrieval.NewSystemSpec(cfg, hw)
+}
+
+// NewSystem wires a simulated machine for the configuration: shorthand for
+// NewSystemSpec followed by SystemSpec.NewRun.
 func NewSystem(cfg Config, hw HardwareParams) (*System, error) {
 	return retrieval.NewSystem(cfg, hw)
 }
@@ -199,9 +214,21 @@ func RunScaling(kind ScalingKind, opts ExperimentOptions) (*ScalingResult, error
 	return experiments.RunScaling(kind, opts)
 }
 
+// RunScalingContext is RunScaling with cancellation: the sweep's runs
+// dispatch onto a bounded worker pool (ExperimentOptions.Parallel) and stop
+// early when ctx is cancelled.
+func RunScalingContext(ctx context.Context, kind ScalingKind, opts ExperimentOptions) (*ScalingResult, error) {
+	return experiments.RunScalingContext(ctx, kind, opts)
+}
+
 // RunCommVolume profiles communication volume over time (Figures 7/10).
 func RunCommVolume(kind ScalingKind, gpus, bins int, opts ExperimentOptions) (*CommVolumeResult, error) {
 	return experiments.RunCommVolume(kind, gpus, bins, opts)
+}
+
+// RunCommVolumeContext is RunCommVolume with cancellation.
+func RunCommVolumeContext(ctx context.Context, kind ScalingKind, gpus, bins int, opts ExperimentOptions) (*CommVolumeResult, error) {
+	return experiments.RunCommVolumeContext(ctx, kind, gpus, bins, opts)
 }
 
 // Scorecard renders the headline paper-vs-measured comparison.
@@ -218,6 +245,11 @@ func RunScalingStats(kind ScalingKind, seeds int, opts ExperimentOptions) ([]Spe
 	return experiments.RunScalingStats(kind, seeds, opts)
 }
 
+// RunScalingStatsContext is RunScalingStats with cancellation.
+func RunScalingStatsContext(ctx context.Context, kind ScalingKind, seeds int, opts ExperimentOptions) ([]SpeedupStats, error) {
+	return experiments.RunScalingStatsContext(ctx, kind, seeds, opts)
+}
+
 // StatsTable renders speedup statistics.
 func StatsTable(kind ScalingKind, stats []SpeedupStats) *RenderedTable {
 	return experiments.StatsTable(kind, stats)
@@ -231,6 +263,21 @@ type AblationResult = experiments.AblationResult
 func RunAblations(gpus int, opts ExperimentOptions) ([]AblationResult, error) {
 	return experiments.RunAblations(gpus, opts)
 }
+
+// RunAblationsContext is RunAblations with cancellation.
+func RunAblationsContext(ctx context.Context, gpus int, opts ExperimentOptions) ([]AblationResult, error) {
+	return experiments.RunAblationsContext(ctx, gpus, opts)
+}
+
+// Bench records host-side wall-clock timing of experiment runs; attach one
+// via ExperimentOptions.Bench and write its report with WriteJSON.
+type Bench = experiments.Bench
+
+// BenchReport is the machine-readable summary a Bench assembles.
+type BenchReport = experiments.BenchReport
+
+// NewBench returns an empty experiment-timing recorder.
+func NewBench() *Bench { return experiments.NewBench() }
 
 // AblationTable renders ablation results as a table.
 func AblationTable(results []AblationResult) *RenderedTable {

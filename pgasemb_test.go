@@ -97,3 +97,44 @@ func TestPublicAPIAggregated(t *testing.T) {
 		t.Fatalf("backend name %q", res.Backend)
 	}
 }
+
+func TestPublicAPIMultiNodeDivisibility(t *testing.T) {
+	// 3 GPUs cannot split across 2 nodes: rejected at system construction
+	// with an error, never a panic.
+	cfg := pgasemb.TestScaleConfig(3)
+	if _, err := pgasemb.NewSystem(cfg, pgasemb.MultiNodeHardware(2)); err == nil {
+		t.Fatal("indivisible multi-node GPU count accepted")
+	}
+	// Divisible counts still work.
+	cfg4 := pgasemb.TestScaleConfig(4)
+	sys, err := pgasemb.NewSystem(cfg4, pgasemb.MultiNodeHardware(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(pgasemb.NewPGASFused()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISpecReuse(t *testing.T) {
+	// One spec, many runs: the spec/run split behind concurrent sweeps.
+	spec, err := pgasemb.NewSystemSpec(pgasemb.TestScaleConfig(2), pgasemb.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	for i := 0; i < 2; i++ {
+		sys, err := spec.NewRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(pgasemb.NewPGASFused())
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.TotalTime)
+	}
+	if times[0] != times[1] {
+		t.Fatalf("same-spec runs differ: %v vs %v", times[0], times[1])
+	}
+}
