@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20]
+//	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20] [-seed 0] [-timeout 0]
+//
+// A failing backend is reported and skipped, the other still runs, and the
+// command exits non-zero. -timeout bounds host wall-clock time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,8 @@ func main() {
 	gpus := flag.Int("gpus", 4, "GPU count")
 	kind := flag.String("kind", "weak", "workload: weak or strong scaling configuration")
 	batches := flag.Int("batches", 20, "inference batches")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = configuration default)")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
 	var cfg pgasemb.Config
@@ -33,27 +39,45 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Batches = *batches
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
 
-	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches\n\n",
-		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches, seed %d\n\n",
+		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches, cfg.Seed)
 	fmt.Printf("%-12s  %-14s  %-14s  %-10s\n", "backend", "total", "EMB segment", "EMB share")
-	var times []float64
+	results := make(map[string]*pgasemb.PipelineResult)
+	failed := false
 	for _, backend := range []pgasemb.Backend{pgasemb.NewBaseline(), pgasemb.NewPGASFused()} {
 		pl, err := pgasemb.NewPipeline(cfg, pgasemb.DefaultHardware(), backend)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dlrminfer:", err)
-			os.Exit(1)
+		if err == nil {
+			var res *pgasemb.PipelineResult
+			res, err = pl.RunContext(ctx)
+			if err == nil {
+				results[backend.Name()] = res
+				fmt.Printf("%-12s  %12.2fms  %12.2fms  %9.1f%%\n",
+					backend.Name(), res.TotalTime*1e3, res.EMBTime*1e3, 100*res.EMBTime/res.TotalTime)
+				continue
+			}
 		}
-		res, err := pl.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dlrminfer:", err)
-			os.Exit(1)
-		}
-		times = append(times, res.TotalTime)
-		fmt.Printf("%-12s  %12.2fms  %12.2fms  %9.1f%%\n",
-			backend.Name(), res.TotalTime*1e3, res.EMBTime*1e3, 100*res.EMBTime/res.TotalTime)
+		// Keep going: the other backend's numbers are still worth printing,
+		// but the run as a whole must fail.
+		failed = true
+		fmt.Fprintf(os.Stderr, "dlrminfer: %s: %v\n", backend.Name(), err)
 	}
-	if len(times) == 2 {
-		fmt.Printf("\nend-to-end speedup of PGAS fused over baseline: %.2fx\n", times[0]/times[1])
+	base, pgas := results["baseline"], results["pgas-fused"]
+	if base != nil && pgas != nil {
+		fmt.Printf("\nPGAS fused over baseline: %.2fx end-to-end, %.2fx on the EMB segment\n",
+			base.TotalTime/pgas.TotalTime, base.EMBTime/pgas.EMBTime)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -43,14 +43,28 @@ func NewPipeline(cfg retrieval.Config, hw retrieval.HardwareParams, backend retr
 // before any simulated process starts.
 func NewPipelineFromSpec(spec *retrieval.SystemSpec, backend retrieval.Backend) (*Pipeline, error) {
 	cfg := spec.Config()
-	if err := retrieval.ValidateBackend(backend, cfg); err != nil {
-		return nil, err
-	}
-	sys, err := spec.NewRun()
+	model, err := NewModel(DefaultModelConfig(cfg.TotalTables, cfg.Dim), cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	model, err := NewModel(DefaultModelConfig(cfg.TotalTables, cfg.Dim), cfg.Seed)
+	return NewPipelineRun(spec, backend, model, cfg.Seed)
+}
+
+// NewPipelineRun wires one pipeline run with a caller-owned model and an
+// explicit run seed — the serving layer's entry point: one trained model is
+// shared (read-only) across every dispatched request batch, while each
+// dispatch gets its own workload seed. The backend's configuration
+// constraints are validated here, before any simulated process starts.
+func NewPipelineRun(spec *retrieval.SystemSpec, backend retrieval.Backend, model *Model, seed uint64) (*Pipeline, error) {
+	cfg := spec.Config()
+	if err := retrieval.ValidateBackend(backend, cfg); err != nil {
+		return nil, err
+	}
+	if model.Cfg.NumSparse != cfg.TotalTables || model.Cfg.EmbDim != cfg.Dim {
+		return nil, fmt.Errorf("dlrm: model shape (%d sparse, dim %d) does not match configuration (%d, %d)",
+			model.Cfg.NumSparse, model.Cfg.EmbDim, cfg.TotalTables, cfg.Dim)
+	}
+	sys, err := spec.NewRunWithSeed(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +78,7 @@ func NewPipelineFromSpec(spec *retrieval.SystemSpec, backend retrieval.Backend) 
 		MaxPooling:  cfg.MaxPooling,
 		IndexSpace:  int64(cfg.Rows),
 		NumDense:    model.Cfg.DenseFeatures,
-		Seed:        cfg.Seed,
+		Seed:        seed,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/serve"
+	"pgasemb/internal/sim"
+)
+
+// ServingOptions tunes the online-serving sweep: arrival rate × cache
+// fraction × backend, each point one full serving simulation.
+type ServingOptions struct {
+	// Rates are the arrival rates to sweep (requests/second). Required.
+	Rates []float64
+	// CacheFractions are the hot-row cache sizes to sweep, as fractions of
+	// device memory (0 = cache disabled). Required.
+	CacheFractions []float64
+	// Backends defaults to baseline and pgas-fused.
+	Backends []retrieval.Backend
+	// GPUs sizes the serving machine (default 4). Ignored when Base is set.
+	GPUs int
+	// Duration is each point's arrival window (default 2 simulated seconds).
+	Duration sim.Duration
+	// Base overrides the serving workload configuration (default
+	// retrieval.ServingScaleConfig(GPUs)); its CacheFraction is overwritten
+	// by the sweep.
+	Base *retrieval.Config
+	// HW selects the hardware model (nil = calibrated defaults).
+	HW *retrieval.HardwareParams
+	// Serve carries the batching knobs (MaxBatch, MaxWait, QueueCap,
+	// arrival process); Rate and Duration are overwritten by the sweep.
+	Serve serve.Config
+	// Parallel bounds concurrently executed points (0 = GOMAXPROCS).
+	// Results are identical for every value.
+	Parallel int
+	// Bench, when set, records the sweep's wall-clock time.
+	Bench *Bench
+}
+
+func (o ServingOptions) backends() []retrieval.Backend {
+	if len(o.Backends) > 0 {
+		return o.Backends
+	}
+	return []retrieval.Backend{&retrieval.Baseline{}, &retrieval.PGASFused{}}
+}
+
+func (o ServingOptions) base() retrieval.Config {
+	if o.Base != nil {
+		return *o.Base
+	}
+	gpus := o.GPUs
+	if gpus <= 0 {
+		gpus = 4
+	}
+	return retrieval.ServingScaleConfig(gpus)
+}
+
+func (o ServingOptions) duration() sim.Duration {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	return 2 * sim.Second
+}
+
+func (o ServingOptions) hardware() retrieval.HardwareParams {
+	if o.HW != nil {
+		return *o.HW
+	}
+	return retrieval.DefaultHardware()
+}
+
+func (o ServingOptions) parallel() int {
+	return Options{Parallel: o.Parallel}.parallel()
+}
+
+// ServingPoint is one (backend, rate, cache fraction) serving run.
+type ServingPoint struct {
+	Backend       string
+	Rate          float64
+	CacheFraction float64
+	CacheSlots    int
+
+	Offered    int
+	Completed  int
+	Dropped    int
+	Dispatches int
+
+	HitRate float64
+	P50     sim.Duration
+	P95     sim.Duration
+	P99     sim.Duration
+	Goodput float64
+}
+
+// ServingResult is the full sweep, in backend-major, rate-then-fraction
+// order — deterministic for any Parallel.
+type ServingResult struct {
+	Rates          []float64
+	CacheFractions []float64
+	Points         []ServingPoint
+}
+
+// RunServing executes the serving sweep.
+func RunServing(opts ServingOptions) (*ServingResult, error) {
+	return RunServingContext(context.Background(), opts)
+}
+
+// RunServingContext is RunServing with cancellation. Every grid point owns
+// its server (and therefore its cache set), so points are independent and
+// dispatch freely onto the worker pool; results land in an index-addressed
+// slice, byte-identical at any parallelism.
+func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult, error) {
+	if len(opts.Rates) == 0 || len(opts.CacheFractions) == 0 {
+		return nil, fmt.Errorf("experiments: serving sweep needs at least one rate and one cache fraction")
+	}
+	backends := opts.backends()
+	base := opts.base()
+	hw := opts.hardware()
+	res := &ServingResult{Rates: opts.Rates, CacheFractions: opts.CacheFractions}
+	res.Points = make([]ServingPoint, len(backends)*len(opts.Rates)*len(opts.CacheFractions))
+
+	stop := opts.Bench.Start("serving", opts.parallel())
+	err := forEach(ctx, opts.parallel(), len(res.Points), func(i int) error {
+		fi := i % len(opts.CacheFractions)
+		ri := i / len(opts.CacheFractions) % len(opts.Rates)
+		bi := i / (len(opts.CacheFractions) * len(opts.Rates))
+		backend := backends[bi]
+
+		cfg := base
+		cfg.CacheFraction = opts.CacheFractions[fi]
+		scfg := opts.Serve
+		scfg.Rate = opts.Rates[ri]
+		scfg.Duration = opts.duration()
+		srv, err := serve.NewServer(cfg, hw, backend, scfg)
+		if err != nil {
+			return fmt.Errorf("experiments: serving, %s rate %.0f frac %g: %w",
+				backend.Name(), scfg.Rate, cfg.CacheFraction, err)
+		}
+		r, err := srv.RunContext(ctx)
+		if err != nil {
+			return fmt.Errorf("experiments: serving, %s rate %.0f frac %g: %w",
+				backend.Name(), scfg.Rate, cfg.CacheFraction, err)
+		}
+		res.Points[i] = ServingPoint{
+			Backend:       r.Backend,
+			Rate:          r.Rate,
+			CacheFraction: r.CacheFraction,
+			CacheSlots:    cfg.CacheSlots(hw.GPU),
+			Offered:       r.Offered,
+			Completed:     r.Completed,
+			Dropped:       r.Dropped,
+			Dispatches:    r.Dispatches,
+			HitRate:       r.HitRate(),
+			P50:           r.Percentile(50),
+			P95:           r.Percentile(95),
+			P99:           r.Percentile(99),
+			Goodput:       r.Goodput(),
+		}
+		return nil
+	})
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// P99Series returns the p99 latencies (seconds) across cache fractions for
+// one backend at one rate — the sweep's headline curve.
+func (r *ServingResult) P99Series(backend string, rate float64) []float64 {
+	var out []float64
+	for _, p := range r.Points {
+		if p.Backend == backend && p.Rate == rate {
+			out = append(out, float64(p.P99))
+		}
+	}
+	return out
+}
+
+// Table renders the sweep.
+func (r *ServingResult) Table() *Table {
+	t := &Table{
+		Title: "Online serving: tail latency and goodput vs hot-row cache size",
+		Headers: []string{"backend", "rate_rps", "cache_frac", "hit_rate",
+			"p50_ms", "p95_ms", "p99_ms", "goodput_rps", "dropped", "dispatches"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			p.Backend,
+			fmt.Sprintf("%.0f", p.Rate),
+			fmt.Sprintf("%.4f", p.CacheFraction),
+			fmt.Sprintf("%.3f", p.HitRate),
+			fmt.Sprintf("%.3f", float64(p.P50)/float64(sim.Millisecond)),
+			fmt.Sprintf("%.3f", float64(p.P95)/float64(sim.Millisecond)),
+			fmt.Sprintf("%.3f", float64(p.P99)/float64(sim.Millisecond)),
+			fmt.Sprintf("%.1f", p.Goodput),
+			fmt.Sprintf("%d", p.Dropped),
+			fmt.Sprintf("%d", p.Dispatches),
+		})
+	}
+	return t
+}

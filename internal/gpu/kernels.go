@@ -69,6 +69,22 @@ func (d *Device) GatherKernelChunkCost(readBytes, writeBytes float64, chunkItems
 	return (read + write + items) / util
 }
 
+// HotReadEquivalent converts bytes gathered from the hot-row cache into the
+// number of GatherEfficiency-priced bytes that cost the same time, so a
+// kernel serving a mix of cold-table and cached rows can be priced with one
+// GatherKernelCost call: pass tableBytes + HotReadEquivalent(cacheBytes) as
+// readBytes. With HotRowEfficiency unset the conversion is the identity.
+func (d *Device) HotReadEquivalent(bytes float64) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("gpu%d: negative hot-read bytes %g", d.id, bytes))
+	}
+	eff := d.params.HotRowEfficiency
+	if eff <= 0 {
+		return bytes
+	}
+	return bytes * d.params.GatherEfficiency / eff
+}
+
 // RemoteIssueCost returns the extra kernel time for issuing n one-sided
 // remote stores from inside a kernel. This is the PGAS backend's only
 // compute-side overhead relative to the local-only kernel.

@@ -31,6 +31,15 @@ type Params struct {
 	// long contiguous reads/writes (output stores, memcpy-like kernels).
 	StreamEfficiency float64
 
+	// HotRowEfficiency is the fraction of peak bandwidth achieved by
+	// gathers from the serving-side hot-row cache. The cache holds the
+	// most-frequent rows of a skewed stream in a working set small enough
+	// to live mostly in L2 (the HugeCTR HPS argument for per-GPU embedding
+	// caches), so cached reads run far closer to streaming than the
+	// DRAM-row-miss gathers of the full tables. 0 means "no distinct hot
+	// path": cached reads are priced at GatherEfficiency.
+	HotRowEfficiency float64
+
 	// UnpackEfficiency is the fraction of peak bandwidth achieved by the
 	// post-collective unpack/rearrangement step. This is deliberately far
 	// below StreamEfficiency: in the PyTorch baseline the "unpack" is a
@@ -118,6 +127,7 @@ func V100Params() Params {
 		HBMBandwidth:            900e9,
 		GatherEfficiency:        0.49,
 		StreamEfficiency:        0.85,
+		HotRowEfficiency:        0.85,
 		UnpackEfficiency:        0.0256,
 		PeakFLOPS:               14e12,
 		MLPEfficiency:           0.55,
@@ -161,6 +171,8 @@ func (p Params) Validate() error {
 		return paramErr("GatherEfficiency")
 	case p.StreamEfficiency <= 0 || p.StreamEfficiency > 1:
 		return paramErr("StreamEfficiency")
+	case p.HotRowEfficiency < 0 || p.HotRowEfficiency > 1:
+		return paramErr("HotRowEfficiency")
 	case p.UnpackEfficiency <= 0 || p.UnpackEfficiency > 1:
 		return paramErr("UnpackEfficiency")
 	case p.PeakFLOPS <= 0:

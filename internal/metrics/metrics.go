@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Geomean returns the geometric mean of strictly positive values. It panics
@@ -78,6 +79,57 @@ func WithinFactor(got, want, f float64) bool {
 		return false
 	}
 	return got >= want/f && got <= want*f
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of xs by the
+// nearest-rank method on a sorted copy; serving latency tails (p50/p95/p99)
+// use it. It panics on an empty slice or a percentile outside (0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: percentile of nothing")
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %g outside (0, 100]", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// CacheCounters aggregates hot-row cache activity: probe outcomes and the
+// admission/eviction churn behind them. One Cache owns one counter set;
+// Add folds per-GPU sets into a system-wide view.
+type CacheCounters struct {
+	Hits       int64 // probes that found every row of a pooled lookup resident
+	Misses     int64 // probes that fell through to the owning GPU
+	Insertions int64 // rows admitted (including those that evicted a victim)
+	Evictions  int64 // resident rows displaced by an admission
+}
+
+// Accesses returns the total probe count.
+func (c CacheCounters) Accesses() int64 { return c.Hits + c.Misses }
+
+// HitRate returns Hits/Accesses, or 0 when the cache was never probed.
+func (c CacheCounters) HitRate() float64 {
+	if c.Accesses() == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses())
+}
+
+// Add returns the element-wise sum of the two counter sets.
+func (c CacheCounters) Add(o CacheCounters) CacheCounters {
+	return CacheCounters{
+		Hits:       c.Hits + o.Hits,
+		Misses:     c.Misses + o.Misses,
+		Insertions: c.Insertions + o.Insertions,
+		Evictions:  c.Evictions + o.Evictions,
+	}
 }
 
 // Monotone reports whether xs is non-increasing (dir < 0) or non-decreasing

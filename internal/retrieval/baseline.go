@@ -53,13 +53,24 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	lo, hi := s.Minibatch(g)
 	mini := hi - lo
 
+	// Hot-row cache discounts: vectors this owner skips (a hit at their
+	// consumer) and vectors this consumer pools from its own cache. Both are
+	// zero when the cache is disabled (bd.Cache == nil).
+	view := bd.Cache
+	skipVecs, skipIdx := view.SkipFrom(g)
+	hitVecs, hitIdx := view.HitAt(g)
+	vb := float64(cfg.VectorBytes())
+
 	// --- Phase 1: lookup + pooling kernel over the full batch of local
-	// tables, writing every pooled vector into the rank-ordered send buffer.
-	totalIdx := s.localIndexTotal(bd.Summary, g, 0, cfg.BatchSize)
-	readBytes := float64(totalIdx) * float64(cfg.VectorBytes()) // gathered rows
-	streamBytes := float64(totalIdx)*8 +                        // index reads
-		float64(cfg.BatchSize)*float64(fg)*float64(cfg.VectorBytes()) // output stores
-	kernel := dev.GatherKernelCost(readBytes, streamBytes, cfg.BatchSize*fg)
+	// tables, writing every pooled vector into the rank-ordered send buffer —
+	// minus skipped hit vectors, plus the consumer-side cache gathers (which
+	// read the small hot working set at near-streaming efficiency).
+	totalIdx := s.localIndexTotal(bd.Summary, g, 0, cfg.BatchSize) - skipIdx
+	readBytes := float64(totalIdx)*vb + // gathered table rows
+		dev.HotReadEquivalent(float64(hitIdx)*vb) // gathered cached rows
+	streamBytes := float64(totalIdx+hitIdx)*8 + // index reads
+		float64(cfg.BatchSize*fg-skipVecs+hitVecs)*vb // output stores
+	kernel := dev.GatherKernelCost(readBytes, streamBytes, cfg.BatchSize*fg-skipVecs+hitVecs)
 
 	var outputs *tensor.Tensor
 	if cfg.Functional {
@@ -95,14 +106,41 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 		recvSegs := make([][]float32, cfg.GPUs)
 		out := outputs.Data()
 		rowFloats := fg * cfg.Dim
-		recvBuf = make([]float32, mini*cfg.TotalTables*cfg.Dim)
+		recvFloats := 0
+		for src := 0; src < cfg.GPUs; src++ {
+			vecs := mini * s.LocalTables(src)
+			if view != nil {
+				vecs -= view.WireVecs[src][g] // WireVecs[g][g] is always 0
+			}
+			recvFloats += vecs * cfg.Dim
+		}
+		recvBuf = make([]float32, recvFloats)
 		at := 0
 		for peer := 0; peer < cfg.GPUs; peer++ {
 			plo, phi := s.Minibatch(peer)
-			sendSegs[peer] = out[plo*rowFloats : phi*rowFloats]
-			srcFloats := mini * s.LocalTables(peer) * cfg.Dim
-			recvSegs[peer] = recvBuf[at : at+srcFloats]
-			at += srcFloats
+			if view == nil || peer == g {
+				sendSegs[peer] = out[plo*rowFloats : phi*rowFloats]
+			} else {
+				// Pack miss-only vectors in the same sample-major order the
+				// contiguous slice would have carried.
+				seg := make([]float32, 0, ((phi-plo)*fg-view.WireVecs[g][peer])*cfg.Dim)
+				for smp := plo; smp < phi; smp++ {
+					for fi := 0; fi < fg; fi++ {
+						if view.Hit[g][fi*cfg.BatchSize+smp] {
+							continue
+						}
+						off := (smp*fg + fi) * cfg.Dim
+						seg = append(seg, out[off:off+cfg.Dim]...)
+					}
+				}
+				sendSegs[peer] = seg
+			}
+			vecs := mini * s.LocalTables(peer)
+			if view != nil {
+				vecs -= view.WireVecs[peer][g]
+			}
+			recvSegs[peer] = recvBuf[at : at+vecs*cfg.Dim]
+			at += vecs * cfg.Dim
 		}
 		s.Comm.AllToAllSingle(p, g, sendSegs, recvSegs)
 	} else {
@@ -113,8 +151,14 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 				continue
 			}
 			plo, phi := s.Minibatch(peer)
-			sendBytes[peer] = float64(phi-plo) * float64(fg) * float64(cfg.VectorBytes())
-			recvBytes[peer] = float64(mini) * float64(s.LocalTables(peer)) * float64(cfg.VectorBytes())
+			sendVecs := (phi - plo) * fg
+			recvVecs := mini * s.LocalTables(peer)
+			if view != nil {
+				sendVecs -= view.WireVecs[g][peer]
+				recvVecs -= view.WireVecs[peer][g]
+			}
+			sendBytes[peer] = float64(sendVecs) * vb
+			recvBytes[peer] = float64(recvVecs) * vb
 		}
 		s.Comm.AllToAllSingleSizes(p, g, sendBytes, recvBytes)
 	}
@@ -124,37 +168,46 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	// (mini, TotalTables, d) layout the interaction layer expects.
 	unpackStart := p.Now()
 	if !b.DirectPlacement {
-		remoteBytes := float64(mini) * float64(cfg.TotalTables-fg) * float64(cfg.VectorBytes())
+		remoteBytes := float64(mini*(cfg.TotalTables-fg)-hitVecs) * vb
 		unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
 		_, unpackEnd := stream.Launch(p, unpack)
 		p.WaitUntil(unpackEnd)
 		stream.Synchronize(p)
 	}
 	if cfg.Functional {
-		b.functionalUnpack(s, g, mini, recvBuf, bd.Final[g])
+		b.functionalUnpack(s, g, mini, recvBuf, view, bd.Final[g])
 	}
 	bk.Accumulate(CompSyncUnpack, p.Now()-unpackStart)
 }
 
 // functionalUnpack rearranges the received rank-major buffer
-// [src][sample][srcLocalFeature][d] into final[sample][globalFeature][d].
-// In the DirectPlacement ablation this copy models what a scattering NIC
-// would have done; it costs no simulated time there.
-func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, final *tensor.Tensor) {
+// [src][sample][srcLocalFeature][d] into final[sample][globalFeature][d],
+// consuming the buffer sequentially and skipping cache-hit vectors (which
+// never travelled — their final slots were pooled from the cache at
+// classification time). In the DirectPlacement ablation this copy models
+// what a scattering NIC would have done; it costs no simulated time there.
+func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, view *CacheView, final *tensor.Tensor) {
 	cfg := s.Cfg
+	lo, _ := s.Minibatch(g)
 	dst := final.Data()
 	at := 0
 	for src := 0; src < cfg.GPUs; src++ {
 		fsrc := s.LocalTables(src)
+		var hitRow []bool
+		if view != nil && src != g {
+			hitRow = view.Hit[src]
+		}
 		for smp := 0; smp < mini; smp++ {
 			for fi := 0; fi < fsrc; fi++ {
+				if hitRow != nil && hitRow[fi*cfg.BatchSize+lo+smp] {
+					continue
+				}
 				globalFID := s.Plan[src][fi]
-				from := recvBuf[at+(smp*fsrc+fi)*cfg.Dim:]
 				to := dst[(smp*cfg.TotalTables+globalFID)*cfg.Dim:]
-				copy(to[:cfg.Dim], from[:cfg.Dim])
+				copy(to[:cfg.Dim], recvBuf[at:at+cfg.Dim])
+				at += cfg.Dim
 			}
 		}
-		at += mini * fsrc * cfg.Dim
 	}
 }
 

@@ -1,0 +1,291 @@
+package retrieval
+
+import (
+	"fmt"
+
+	"pgasemb/internal/cache"
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/workload"
+)
+
+// Hot-row cache integration. Each GPU g may hold a software-managed cache of
+// embedding rows owned by OTHER GPUs (internal/cache). A pooled output
+// vector (table fid on owner p, sample smp consumed by g≠p) is a CACHE HIT
+// when every hashed row of its bag is resident in g's cache: the owner skips
+// gathering and sending that vector entirely, and the consumer pools it from
+// local HBM instead — the serving-side mechanism of HugeCTR's Hierarchical
+// Parameter Server, which pays off exactly on the skewed streams
+// internal/workload generates.
+//
+// Classification (probe → hit/miss → admission) happens host-side in
+// NextBatchData, in one canonical order (consumer, then owner, then local
+// table, then sample), so outcomes are a pure function of the workload seed
+// and cache capacity — never of simulated-process interleaving. The refill
+// path (admitting missed rows) models HPS-style lazy asynchronous insertion:
+// it rides along with the miss traffic the system already pays for and is
+// not charged to batch latency. Cache-hit gathers are priced through
+// gpu.HotReadEquivalent (the hot working set mostly lives in L2).
+
+// cacheEnabled reports whether this run classifies batches against a
+// hot-row cache. Single-GPU systems have no remote rows to cache.
+func (s *System) cacheEnabled() bool {
+	return s.Cfg.CacheFraction > 0 && s.Cfg.Sharding == TableWise && s.Cfg.GPUs > 1
+}
+
+// ensureCaches lazily builds the run-owned cache set sized by the
+// configuration. AttachCaches preempts it with a caller-owned set.
+func (s *System) ensureCaches() {
+	if s.Caches == nil {
+		s.Caches = cache.NewSet(s.Cfg.GPUs, s.Cfg.CacheSlots(s.HW.GPU), s.Cfg.Dim, s.Cfg.Functional)
+	}
+}
+
+// AttachCaches installs a caller-owned cache set, so cache state (residency,
+// counters) persists across runs — the serving layer attaches one warm set
+// to every dispatched batch's run. It must be called before the first batch
+// is generated and the set's shape must match the configuration.
+func (s *System) AttachCaches(set *cache.Set) error {
+	if !s.cacheEnabled() {
+		return fmt.Errorf("retrieval: AttachCaches needs CacheFraction > 0, table-wise sharding and >1 GPU")
+	}
+	switch {
+	case set == nil:
+		return fmt.Errorf("retrieval: AttachCaches of nil set")
+	case set.NumGPUs() != s.Cfg.GPUs:
+		return fmt.Errorf("retrieval: cache set spans %d GPUs, system has %d", set.NumGPUs(), s.Cfg.GPUs)
+	case set.Dim() != s.Cfg.Dim:
+		return fmt.Errorf("retrieval: cache set dim %d, system dim %d", set.Dim(), s.Cfg.Dim)
+	case set.Functional() != s.Cfg.Functional:
+		return fmt.Errorf("retrieval: cache set functional=%v, system functional=%v", set.Functional(), s.Cfg.Functional)
+	case set.Slots() != s.Cfg.CacheSlots(s.HW.GPU):
+		return fmt.Errorf("retrieval: cache set has %d slots, configuration implies %d",
+			set.Slots(), s.Cfg.CacheSlots(s.HW.GPU))
+	}
+	s.Caches = set
+	return nil
+}
+
+// CacheView is one batch's classification result: which output vectors are
+// cache hits, and the per-(owner, consumer) totals the timing model needs.
+type CacheView struct {
+	// Hit[p][fi*BatchSize+smp] marks the vector (owner p, p-local table fi,
+	// sample smp) as a hit at smp's consumer. Vectors of p's own minibatch
+	// never appear (they are local either way).
+	Hit [][]bool
+	// WireVecs[src][dst] counts hit vectors owned by src and consumed by
+	// dst; WireIdx totals their bag sizes (pooled index counts).
+	WireVecs [][]int
+	WireIdx  [][]int64
+}
+
+// SkipFrom returns the vectors (and their pooled indices) that work-owner g
+// does NOT gather or send this batch. Nil-safe.
+func (v *CacheView) SkipFrom(g int) (vecs int, idx int64) {
+	if v == nil {
+		return 0, 0
+	}
+	for dst, n := range v.WireVecs[g] {
+		vecs += n
+		idx += v.WireIdx[g][dst]
+	}
+	return vecs, idx
+}
+
+// HitAt returns the vectors (and their pooled indices) that consumer g pools
+// from its own cache this batch. Nil-safe.
+func (v *CacheView) HitAt(g int) (vecs int, idx int64) {
+	if v == nil {
+		return 0, 0
+	}
+	for src := range v.WireVecs {
+		vecs += v.WireVecs[src][g]
+		idx += v.WireIdx[src][g]
+	}
+	return vecs, idx
+}
+
+// classifyCache probes every remote-owned output vector of the batch against
+// the consumer's cache, admits missed rows, and (in functional mode) pools
+// hit vectors into bd.Final immediately — with the cache contents as of this
+// classification, so later evictions cannot corrupt earlier batches.
+func (s *System) classifyCache(bd *BatchData) *CacheView {
+	s.ensureCaches()
+	cfg := s.Cfg
+	B := cfg.BatchSize
+	view := &CacheView{
+		Hit:      make([][]bool, cfg.GPUs),
+		WireVecs: make([][]int, cfg.GPUs),
+		WireIdx:  make([][]int64, cfg.GPUs),
+	}
+	for p := 0; p < cfg.GPUs; p++ {
+		view.Hit[p] = make([]bool, len(s.Plan[p])*B)
+		view.WireVecs[p] = make([]int, cfg.GPUs)
+		view.WireIdx[p] = make([]int64, cfg.GPUs)
+	}
+	var rowScratch []int32
+	for g := 0; g < cfg.GPUs; g++ {
+		c := s.Caches.GPU(g)
+		lo, hi := s.Minibatch(g)
+		for p := 0; p < cfg.GPUs; p++ {
+			if p == g {
+				continue
+			}
+			for fi, fid := range s.Plan[p] {
+				rows := cfg.tableRows(fid)
+				fb := bd.Sparse.FeatureByID(fid)
+				var w []float32
+				if cfg.Functional {
+					w = s.colls[p].Tables[fi].Weights.Data()
+				}
+				for smp := lo; smp < hi; smp++ {
+					bag := fb.Bag(smp)
+					if len(bag) == 0 {
+						continue // zero vector; nothing to gather or send
+					}
+					rowScratch = rowScratch[:0]
+					hit := true
+					for _, raw := range bag {
+						row := int32(embedding.HashIndex(raw, rows))
+						rowScratch = append(rowScratch, row)
+						if !c.Touch(cache.Key{Feature: int32(fid), Row: row}) {
+							hit = false
+						}
+					}
+					if !hit {
+						// Lazy refill: admit the whole bag (resident rows are
+						// refreshed, missing ones inserted), off the critical
+						// path alongside the miss fetch the batch pays anyway.
+						for _, row := range rowScratch {
+							var vec []float32
+							if cfg.Functional {
+								vec = w[int(row)*cfg.Dim : (int(row)+1)*cfg.Dim]
+							}
+							c.Admit(cache.Key{Feature: int32(fid), Row: row}, vec)
+						}
+						continue
+					}
+					view.Hit[p][fi*B+smp] = true
+					view.WireVecs[p][g]++
+					view.WireIdx[p][g] += int64(len(bag))
+					if cfg.Functional {
+						off := ((smp-lo)*cfg.TotalTables + fid) * cfg.Dim
+						out := bd.Final[g].Data()[off : off+cfg.Dim]
+						poolFromCache(c, int32(fid), rowScratch, cfg.Pooling, out)
+					}
+				}
+			}
+		}
+	}
+	return view
+}
+
+// poolFromCache reproduces embedding.Table.LookupPooled bit-exactly from
+// cached rows: same accumulation order (bag order), same mean scaling, same
+// max copy-then-compare. rows holds the bag's hashed row indices, which the
+// classifier has just verified resident.
+func poolFromCache(c *cache.Cache, fid int32, rows []int32, mode embedding.PoolingMode, out []float32) {
+	for i := range out {
+		out[i] = 0
+	}
+	switch mode {
+	case embedding.SumPooling, embedding.MeanPooling:
+		for _, row := range rows {
+			vec := c.Row(cache.Key{Feature: fid, Row: row})
+			if vec == nil {
+				panic(fmt.Sprintf("retrieval: hit-classified row %d of table %d not resident", row, fid))
+			}
+			for i, v := range vec {
+				out[i] += v
+			}
+		}
+		if mode == embedding.MeanPooling {
+			inv := 1 / float32(len(rows))
+			for i := range out {
+				out[i] *= inv
+			}
+		}
+	case embedding.MaxPooling:
+		first := true
+		for _, row := range rows {
+			vec := c.Row(cache.Key{Feature: fid, Row: row})
+			if vec == nil {
+				panic(fmt.Sprintf("retrieval: hit-classified row %d of table %d not resident", row, fid))
+			}
+			if first {
+				copy(out, vec)
+				first = false
+				continue
+			}
+			for i, v := range vec {
+				if v > out[i] {
+					out[i] = v
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("retrieval: unknown pooling mode %d", mode))
+	}
+}
+
+// cacheChunkOwner returns the hit vectors (and pooled indices) that
+// work-owner g skips within sample range [s0, s1) — the fused kernel's
+// per-chunk discount. When perPeer is non-nil it additionally tallies the
+// skipped vectors by consuming GPU (for the timing put loop); entries must
+// be zeroed by the caller.
+func (s *System) cacheChunkOwner(view *CacheView, sum *workload.Summary, g, s0, s1 int, perPeer []int) (vecs int, idx int64) {
+	if view == nil {
+		return 0, 0
+	}
+	B := s.Cfg.BatchSize
+	for fi, fid := range s.Plan[g] {
+		hitRow := view.Hit[g][fi*B:]
+		pool := sum.Pooling[fid*B:]
+		for smp := s0; smp < s1; smp++ {
+			if !hitRow[smp] {
+				continue
+			}
+			vecs++
+			idx += int64(pool[smp])
+			if perPeer != nil {
+				perPeer[sparse.OwnerOfSample(B, s.Cfg.GPUs, smp)]++
+			}
+		}
+	}
+	return vecs, idx
+}
+
+// cacheChunkConsumer returns the hit vectors (and pooled indices) that
+// consumer g pools from its cache for its minibatch samples within [s0, s1).
+func (s *System) cacheChunkConsumer(view *CacheView, sum *workload.Summary, g, s0, s1 int) (vecs int, idx int64) {
+	if view == nil {
+		return 0, 0
+	}
+	B := s.Cfg.BatchSize
+	lo, hi := s.Minibatch(g)
+	if s0 < lo {
+		s0 = lo
+	}
+	if s1 > hi {
+		s1 = hi
+	}
+	if s1 <= s0 {
+		return 0, 0
+	}
+	for p := 0; p < s.Cfg.GPUs; p++ {
+		if p == g {
+			continue
+		}
+		for fi, fid := range s.Plan[p] {
+			hitRow := view.Hit[p][fi*B:]
+			pool := sum.Pooling[fid*B:]
+			for smp := s0; smp < s1; smp++ {
+				if hitRow[smp] {
+					vecs++
+					idx += int64(pool[smp])
+				}
+			}
+		}
+	}
+	return vecs, idx
+}

@@ -1,0 +1,283 @@
+package retrieval
+
+import (
+	"testing"
+
+	"pgasemb/internal/tensor"
+	"pgasemb/internal/workload"
+)
+
+// cacheTestConfig returns a small functional configuration with a skewed
+// index stream, so the hot-row cache sees real hits at test scale.
+func cacheTestConfig(gpus int) Config {
+	cfg := TestScaleConfig(gpus)
+	cfg.Batches = 5
+	cfg.Distribution = workload.Zipf
+	cfg.ZipfExponent = 1.5
+	return cfg
+}
+
+// cacheTestHardware shrinks device memory so a small CacheFraction yields a
+// partial cache (evictions happen) while still holding the tables.
+func cacheTestHardware() HardwareParams {
+	hw := DefaultHardware()
+	hw.GPU.MemoryCapacity = 1 << 20
+	return hw
+}
+
+// The headline acceptance test: with the cache enabled — including real
+// evictions — every backend's gathered embeddings are bit-identical to the
+// uncached run and to the serial reference.
+func TestCachedRetrievalBitExact(t *testing.T) {
+	for _, gpus := range []int{2, 3} {
+		for _, mkBackend := range []func() Backend{
+			func() Backend { return &Baseline{} },
+			func() Backend { return &PGASFused{} },
+			func() Backend { return &PGASFused{StageRemote: true} },
+			func() Backend { return &Baseline{DirectPlacement: true} },
+		} {
+			cached := cacheTestConfig(gpus)
+			cached.CacheFraction = 0.003
+			hw := cacheTestHardware()
+
+			cachedSys, err := NewSystem(cached, hw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cachedRes, err := cachedSys.Run(mkBackend())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			uncached := cached
+			uncached.CacheFraction = 0
+			uncachedSys, err := NewSystem(uncached, hw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uncachedRes, err := uncachedSys.Run(mkBackend())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			name := cachedRes.Backend
+			stats := cachedSys.Caches.Stats()
+			if stats.Hits == 0 {
+				t.Fatalf("%s@%dgpu: cache saw no hits; test exercises nothing", name, gpus)
+			}
+			if stats.Evictions == 0 {
+				t.Fatalf("%s@%dgpu: cache saw no evictions; capacity not stressed", name, gpus)
+			}
+
+			ref, err := Reference(cachedSys, cachedRes.LastBatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := 0; g < gpus; g++ {
+				if !tensor.Equal(cachedRes.Final[g], uncachedRes.Final[g]) {
+					t.Fatalf("%s@%dgpu: GPU %d cached output differs from uncached", name, gpus, g)
+				}
+				if !tensor.Equal(cachedRes.Final[g], ref[g]) {
+					t.Fatalf("%s@%dgpu: GPU %d cached output differs from reference", name, gpus, g)
+				}
+			}
+		}
+	}
+}
+
+// Timing-only and functional runs of the same cached configuration must
+// report the same simulated times (to the 1e-9 tolerance the uncached
+// invariant test uses — per-vector vs aggregated pipe offers accumulate in
+// different float orders) — the cache must preserve the repo's
+// one-code-path-two-modes invariant.
+func TestCachedTimingMatchesFunctional(t *testing.T) {
+	for _, mkBackend := range []func() Backend{
+		func() Backend { return &Baseline{} },
+		func() Backend { return &PGASFused{} },
+	} {
+		cfg := cacheTestConfig(2)
+		cfg.CacheFraction = 0.003
+		hw := cacheTestHardware()
+
+		var times []float64
+		var hits []int64
+		for _, functional := range []bool{true, false} {
+			c := cfg
+			c.Functional = functional
+			sys, err := NewSystem(c, hw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run(mkBackend())
+			if err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, float64(res.TotalTime))
+			hits = append(hits, sys.Caches.Stats().Hits)
+		}
+		diff := times[0] - times[1]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9 {
+			t.Fatalf("%s: functional time %g != timing-only time %g", mkBackend().Name(), times[0], times[1])
+		}
+		if hits[0] != hits[1] {
+			t.Fatalf("%s: functional hits %d != timing-only hits %d", mkBackend().Name(), hits[0], hits[1])
+		}
+	}
+}
+
+// cacheSpeedConfig returns a timing-only skewed configuration where gather
+// reads dominate, so the cache's effect on simulated time is visible.
+func cacheSpeedConfig() Config {
+	return Config{
+		GPUs:            2,
+		TotalTables:     8,
+		Rows:            4096,
+		Dim:             64,
+		BatchSize:       256,
+		MinPooling:      1,
+		MaxPooling:      64,
+		Batches:         3,
+		Seed:            2024,
+		ChunksPerKernel: 4,
+		Distribution:    workload.Zipf,
+		ZipfExponent:    1.2,
+	}
+}
+
+// On a skewed stream the cache must make the PGAS backend strictly faster
+// and never slow the baseline down.
+func TestCacheReducesSimulatedTime(t *testing.T) {
+	run := func(fraction float64, b Backend) float64 {
+		cfg := cacheSpeedConfig()
+		cfg.CacheFraction = fraction
+		sys, err := NewSystem(cfg, DefaultHardware())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.TotalTime)
+	}
+
+	pgasCold := run(0, &PGASFused{})
+	pgasWarm := run(0.0001, &PGASFused{})
+	if pgasWarm >= pgasCold {
+		t.Fatalf("pgas-fused: cached time %g >= uncached %g", pgasWarm, pgasCold)
+	}
+	baseCold := run(0, &Baseline{})
+	baseWarm := run(0.0001, &Baseline{})
+	if baseWarm > baseCold {
+		t.Fatalf("baseline: cached time %g > uncached %g", baseWarm, baseCold)
+	}
+}
+
+// Two same-seed cached runs must agree bit-exactly (determinism of the
+// classification path), and CacheSlots must respect its caps.
+func TestCacheDeterminismAndSlots(t *testing.T) {
+	cfg := cacheTestConfig(2)
+	cfg.CacheFraction = 0.003
+	hw := cacheTestHardware()
+	var totals []float64
+	var stats []int64
+	for i := 0; i < 2; i++ {
+		sys, err := NewSystem(cfg, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(&PGASFused{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals = append(totals, float64(res.TotalTime))
+		stats = append(stats, sys.Caches.Stats().Hits)
+	}
+	if totals[0] != totals[1] || stats[0] != stats[1] {
+		t.Fatalf("same-seed cached runs diverged: times %v, hits %v", totals, stats)
+	}
+
+	// Slots derived from fraction × capacity, capped at the row population.
+	small := cfg
+	if got := small.CacheSlots(hw.GPU); got <= 0 {
+		t.Fatalf("CacheSlots = %d for enabled cache", got)
+	}
+	big := cfg
+	big.CacheFraction = 0.9
+	population := big.TotalTables * big.Rows
+	if got := big.CacheSlots(hw.GPU); got != population {
+		t.Fatalf("CacheSlots = %d, want population cap %d", got, population)
+	}
+	off := cfg
+	off.CacheFraction = 0
+	if got := off.CacheSlots(hw.GPU); got != 0 {
+		t.Fatalf("CacheSlots = %d for disabled cache", got)
+	}
+}
+
+// Misconfigurations must be rejected at validation time.
+func TestCacheConfigValidation(t *testing.T) {
+	cfg := TestScaleConfig(2)
+	cfg.CacheFraction = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("CacheFraction 1.0 accepted")
+	}
+	cfg.CacheFraction = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CacheFraction accepted")
+	}
+}
+
+// AttachCaches must reject shape mismatches and carry residency (warm
+// caches) across runs when shapes agree.
+func TestAttachCachesWarm(t *testing.T) {
+	cfg := cacheTestConfig(2)
+	cfg.CacheFraction = 0.003
+	hw := cacheTestHardware()
+	spec, err := NewSystemSpec(cfg, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := spec.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Run(&PGASFused{}); err != nil {
+		t.Fatal(err)
+	}
+	coldHits := cold.Caches.Stats().Hits
+
+	warm, err := spec.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.AttachCaches(cold.Caches); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Run(&PGASFused{}); err != nil {
+		t.Fatal(err)
+	}
+	warmHits := warm.Caches.Stats().Hits - coldHits
+	if warmHits <= coldHits {
+		t.Fatalf("warm run hits %d not above cold run hits %d", warmHits, coldHits)
+	}
+
+	// Mismatched shapes are rejected.
+	other := cfg
+	other.Dim = 16
+	otherSpec, err := NewSystemSpec(other, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherSys, err := otherSpec.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherSys.AttachCaches(cold.Caches); err == nil {
+		t.Fatal("AttachCaches accepted a dim-mismatched set")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"pgasemb/internal/embedding"
+	"pgasemb/internal/gpu"
 	"pgasemb/internal/workload"
 )
 
@@ -98,6 +99,11 @@ type Config struct {
 	NullProbability float64
 	Distribution    workload.IndexDist
 	ZipfExponent    float64
+	// CacheFraction enables the serving-side hot-row cache: each GPU
+	// dedicates this fraction of its memory capacity to caching embedding
+	// rows owned by OTHER GPUs, short-circuiting their remote fetches on a
+	// hit. 0 disables the cache. Table-wise sharding only.
+	CacheFraction float64
 }
 
 // Validate reports configuration errors.
@@ -132,6 +138,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("retrieval: CustomPlan is not supported with row-wise sharding")
 	case c.CustomPlan != nil && len(c.CustomPlan) != c.GPUs:
 		return fmt.Errorf("retrieval: CustomPlan has %d shards for %d GPUs", len(c.CustomPlan), c.GPUs)
+	case c.CacheFraction < 0 || c.CacheFraction >= 1:
+		return fmt.Errorf("retrieval: CacheFraction %g outside [0, 1)", c.CacheFraction)
+	case c.CacheFraction > 0 && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: the hot-row cache requires table-wise sharding (row-wise lookups are partial sums, not rows)")
 	}
 	if c.PerFeatureRows != nil {
 		for f, r := range c.PerFeatureRows {
@@ -170,6 +180,32 @@ func (c Config) tableRows(fid int) int {
 
 // VectorBytes returns the wire payload of one output embedding vector.
 func (c Config) VectorBytes() int { return 4 * c.Dim }
+
+// cacheSlotBytes is the per-cached-row device memory footprint: the row
+// values plus index/metadata overhead (key, slot bookkeeping).
+func (c Config) cacheSlotBytes() int { return c.Dim*4 + 16 }
+
+// CacheSlots returns the per-GPU hot-row cache capacity in rows implied by
+// CacheFraction against the device's memory capacity, capped at the total
+// row population (a cache bigger than the tables is pointless) and floored
+// at one slot when the cache is enabled at all. 0 means disabled.
+func (c Config) CacheSlots(g gpu.Params) int {
+	if c.CacheFraction <= 0 {
+		return 0
+	}
+	slots := int(c.CacheFraction * float64(g.MemoryCapacity) / float64(c.cacheSlotBytes()))
+	var population int64
+	for fid := 0; fid < c.TotalTables; fid++ {
+		population += int64(c.tableRows(fid))
+	}
+	if int64(slots) > population {
+		slots = int(population)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
 
 // workloadConfig builds the generator configuration for this experiment.
 func (c Config) workloadConfig() workload.Config {
@@ -242,6 +278,28 @@ func CriteoShapedConfig(gpus int) Config {
 	cfg.MinPooling = 1
 	cfg.MaxPooling = 1
 	return cfg
+}
+
+// ServingScaleConfig returns the online-serving configuration: a read-heavy,
+// Zipf-skewed stream (the regime "Dissecting Embedding Bag Performance in
+// DLRM Inference" measures) over a machine-sized table population, with a
+// serving-sized device batch. High pooling keeps gather reads — the cost the
+// hot-row cache removes — the dominant EMB term.
+func ServingScaleConfig(gpus int) Config {
+	return Config{
+		GPUs:            gpus,
+		TotalTables:     32,
+		Rows:            262_144,
+		Dim:             64,
+		BatchSize:       1024,
+		MinPooling:      1,
+		MaxPooling:      64,
+		Batches:         1,
+		Seed:            2024,
+		ChunksPerKernel: 8,
+		Distribution:    workload.Zipf,
+		ZipfExponent:    1.05,
+	}
 }
 
 // TestScaleConfig returns a small functional configuration used by

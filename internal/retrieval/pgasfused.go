@@ -74,6 +74,18 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 
 	vecBytes := cfg.VectorBytes()
 
+	// Hot-row cache discounts (zero when bd.Cache is nil): the kernel's
+	// occupancy is set by the whole batch's real item count — skipped hit
+	// vectors removed, consumer-side cache gathers added.
+	view := bd.Cache
+	batchSkipVecs, _ := view.SkipFrom(g)
+	batchHitVecs, _ := view.HitAt(g)
+	kernelItems := cfg.BatchSize*fg - batchSkipVecs + batchHitVecs
+	var perPeer []int
+	if view != nil && !cfg.Functional {
+		perPeer = make([]int, cfg.GPUs)
+	}
+
 	var scratch []float32
 	if cfg.Functional {
 		scratch = make([]float32, cfg.Dim)
@@ -90,19 +102,25 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		if s0 == s1 {
 			continue
 		}
-		chunkIdx := s.localIndexTotal(bd.Summary, g, s0, s1)
+		for i := range perPeer {
+			perPeer[i] = 0
+		}
+		skipVecs, skipIdx := s.cacheChunkOwner(view, bd.Summary, g, s0, s1, perPeer)
+		hitVecs, hitIdx := s.cacheChunkConsumer(view, bd.Summary, g, s0, s1)
+		chunkIdx := s.localIndexTotal(bd.Summary, g, s0, s1) - skipIdx
 		// Local outputs store to HBM; remote outputs leave from registers.
 		localSamples := overlap(s0, s1, lo, hi)
 		remoteSamples := (s1 - s0) - localSamples
-		readBytes := float64(chunkIdx) * float64(vecBytes)
-		streamBytes := float64(chunkIdx)*8 + float64(localSamples*fg)*float64(vecBytes)
-		cost := dev.GatherKernelChunkCost(readBytes, streamBytes, (s1-s0)*fg, cfg.BatchSize*fg) +
-			dev.RemoteIssueCost(remoteSamples*fg) +
+		readBytes := float64(chunkIdx)*float64(vecBytes) +
+			dev.HotReadEquivalent(float64(hitIdx)*float64(vecBytes))
+		streamBytes := float64(chunkIdx+hitIdx)*8 + float64(localSamples*fg+hitVecs)*float64(vecBytes)
+		cost := dev.GatherKernelChunkCost(readBytes, streamBytes, (s1-s0)*fg-skipVecs+hitVecs, kernelItems) +
+			dev.RemoteIssueCost(remoteSamples*fg-skipVecs) +
 			sim.Duration(peers)*dev.Params().RemotePeerChunkOverhead
 		p.Wait(cost)
 
 		if cfg.Functional {
-			b.functionalChunk(s, p, g, bd, s0, s1, scratch, agg)
+			b.functionalChunk(s, p, g, bd, view, s0, s1, scratch, agg)
 			continue
 		}
 		for peer := 0; peer < cfg.GPUs; peer++ {
@@ -111,6 +129,9 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 			}
 			plo, phi := s.Minibatch(peer)
 			vecs := overlap(s0, s1, plo, phi) * fg
+			if perPeer != nil {
+				vecs -= perPeer[peer]
+			}
 			if vecs == 0 {
 				continue
 			}
@@ -131,7 +152,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	if b.StageRemote && cfg.GPUs > 1 {
 		// A2 ablation: remote stores landed rank-ordered; rearrange.
 		unpackStart := p.Now()
-		remoteBytes := float64(mini) * float64(cfg.TotalTables-fg) * float64(vecBytes)
+		remoteBytes := float64(mini*(cfg.TotalTables-fg)-batchHitVecs) * float64(vecBytes)
 		unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
 		_, unpackEnd := stream.Launch(p, unpack)
 		p.WaitUntil(unpackEnd)
@@ -144,8 +165,9 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 }
 
 // functionalChunk pools every (sample, feature) output in [s0, s1) and
-// stores it one-sidedly at its final address on the owning GPU.
-func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, s0, s1 int, scratch []float32, agg *pgas.Aggregator) {
+// stores it one-sidedly at its final address on the owning GPU — except
+// cache-hit vectors, which the consumer already pooled locally.
+func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, view *CacheView, s0, s1 int, scratch []float32, agg *pgas.Aggregator) {
 	cfg := s.Cfg
 	pe := s.PGAS.PE(g)
 	part := bd.Parts[g]
@@ -156,6 +178,9 @@ func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData
 		dstTensor := bd.Final[owner]
 		dstData := dstTensor.Data()
 		for fi := range part.Features {
+			if view != nil && view.Hit[g][fi*cfg.BatchSize+smp] {
+				continue
+			}
 			fb := &part.Features[fi]
 			coll.Tables[fi].LookupPooled(fb.Bag(smp), coll.Mode, scratch)
 			globalFID := fb.FeatureID

@@ -114,6 +114,12 @@ func (spec *SystemSpec) allocPlan(g int) []namedAlloc {
 			int64(cfg.BatchSize) * int64(cfg.TotalTables) * int64(cfg.Dim) * 4,
 		})
 	}
+	if slots := cfg.CacheSlots(spec.hw.GPU); slots > 0 {
+		allocs = append(allocs, namedAlloc{
+			"hot-row-cache",
+			int64(slots) * int64(cfg.cacheSlotBytes()),
+		})
+	}
 	return allocs
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"pgasemb/internal/cache"
 	"pgasemb/internal/collective"
 	"pgasemb/internal/embedding"
 	"pgasemb/internal/gpu"
@@ -73,6 +74,11 @@ type System struct {
 	PGAS *pgas.Runtime
 	Comm *collective.Comm
 	Plan [][]int // Plan[g] = global feature IDs resident on GPU g (shared with Spec; read-only)
+
+	// Caches is the per-GPU hot-row cache set, built lazily on the first
+	// batch when Cfg.CacheFraction > 0 (or installed warm via AttachCaches).
+	// Nil when the cache is disabled.
+	Caches *cache.Set
 
 	gen     *workload.Generator
 	gradRng *sim.RNG // upstream gradients for the backward extension
@@ -225,12 +231,28 @@ type BatchData struct {
 	// deterministically in functional mode for the backward-pass
 	// extension experiments.
 	Grads []*tensor.Tensor
+
+	// Cache is the batch's hot-row classification (nil when the cache is
+	// disabled): which vectors each backend may skip sending and each
+	// consumer pools locally.
+	Cache *CacheView
 }
 
 // NextBatchData draws the next batch in the mode the system was built for.
 func (s *System) NextBatchData() (*BatchData, error) {
 	bd := &BatchData{}
 	if !s.Cfg.Functional {
+		if s.cacheEnabled() {
+			// The cache needs real indices to probe; materialise the batch,
+			// classify, then drop it — timing runs keep no data plane. The
+			// pooling stream (and so all timing inputs) is identical to what
+			// NextSummary would have produced.
+			bd.Sparse = s.gen.NextBatch()
+			bd.Summary = summaryFromBatch(bd.Sparse)
+			bd.Cache = s.classifyCache(bd)
+			bd.Sparse = nil
+			return bd, nil
+		}
 		bd.Summary = s.gen.NextSummary()
 		return bd, nil
 	}
@@ -258,6 +280,10 @@ func (s *System) NextBatchData() (*BatchData, error) {
 		grad := tensor.New(hi-lo, s.Cfg.TotalTables, s.Cfg.Dim)
 		grad.RandomUniform(s.gradRng, -0.1, 0.1)
 		bd.Grads = append(bd.Grads, grad)
+	}
+	if s.cacheEnabled() {
+		// After Final is allocated: classification pools hit vectors into it.
+		bd.Cache = s.classifyCache(bd)
 	}
 	return bd, nil
 }

@@ -1,0 +1,329 @@
+// Package serve is the online inference serving layer: an open-loop request
+// generator (Poisson or bursty arrivals on the simulated clock), a bounded
+// admission queue, and a dynamic batcher that coalesces pending requests
+// into device batches under a max-latency/max-batch policy and dispatches
+// them through the DLRM pipeline on either retrieval backend. The per-GPU
+// hot-row embedding cache (internal/cache) stays attached — and warm —
+// across dispatches, so a skewed request stream builds up cache residency
+// exactly as a production parameter server would.
+//
+// Two clocks are involved: the MACRO simulation carries arrivals, queueing
+// and batching; each dispatched batch then runs the existing micro-level
+// pipeline simulation to obtain its service time, which the macro clock
+// advances by. Requests complete when their batch's pipeline run does;
+// latency = completion − arrival.
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"pgasemb/internal/cache"
+	"pgasemb/internal/dlrm"
+	"pgasemb/internal/metrics"
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/sim"
+)
+
+// Config tunes the serving layer around a base retrieval configuration.
+type Config struct {
+	// Arrival selects Poisson (default) or Bursty arrivals.
+	Arrival Arrival
+	// Rate is the mean request arrival rate in requests/second. Required.
+	Rate float64
+	// BurstFactor scales the on-window rate of Bursty arrivals (default 4).
+	BurstFactor float64
+	// BurstCycle is the Bursty on/off period (default 100ms).
+	BurstCycle sim.Duration
+	// Duration is the arrival-generation window; requests stop arriving
+	// after it and the queue drains. Required.
+	Duration sim.Duration
+	// MaxBatch caps how many requests one dispatch coalesces (default: the
+	// base configuration's BatchSize, which is also the largest device
+	// batch shape).
+	MaxBatch int
+	// MaxWait bounds how long the oldest queued request may wait before a
+	// partial batch dispatches anyway (default 5ms) — the latency half of
+	// the dynamic batching policy.
+	MaxWait sim.Duration
+	// QueueCap bounds the admission queue; arrivals beyond it are dropped
+	// (default 4 × MaxBatch).
+	QueueCap int
+	// Seed drives the arrival process (default: the base configuration's
+	// Seed). Dispatched batches draw their workload from per-dispatch
+	// seeds derived from the base seed.
+	Seed uint64
+}
+
+// withDefaults resolves the zero-value knobs against the base configuration.
+func (c Config) withDefaults(base retrieval.Config) Config {
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 4
+	}
+	if c.BurstCycle <= 0 {
+		c.BurstCycle = 100 * sim.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = base.BatchSize
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 5 * sim.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	if c.Seed == 0 {
+		c.Seed = base.Seed
+	}
+	return c
+}
+
+// Server owns the immutable pieces of a serving run: the bucketed system
+// specs (one per device batch shape), the shared model, and the persistent
+// hot-row cache set.
+type Server struct {
+	base    retrieval.Config
+	hw      retrieval.HardwareParams
+	backend retrieval.Backend
+	cfg     Config
+	shapes  []int // ascending device batch shapes (halving buckets)
+	specs   map[int]*retrieval.SystemSpec
+	model   *dlrm.Model
+	caches  *cache.Set
+}
+
+// NewServer validates and wires a serving setup. The base configuration's
+// BatchSize is the largest device batch; dispatches smaller than it run on
+// halving bucket shapes (BatchSize, BatchSize/2, ... down to the GPU count)
+// so short queues are not padded to the full batch.
+func NewServer(base retrieval.Config, hw retrieval.HardwareParams, backend retrieval.Backend, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults(base)
+	switch {
+	case cfg.Rate <= 0:
+		return nil, fmt.Errorf("serve: Rate must be positive")
+	case cfg.Duration <= 0:
+		return nil, fmt.Errorf("serve: Duration must be positive")
+	case cfg.MaxBatch > base.BatchSize:
+		return nil, fmt.Errorf("serve: MaxBatch %d exceeds the base batch size %d", cfg.MaxBatch, base.BatchSize)
+	case cfg.MaxWait <= 0:
+		return nil, fmt.Errorf("serve: MaxWait must be positive")
+	}
+	base.Batches = 1 // each dispatch is one batch
+
+	srv := &Server{base: base, hw: hw, backend: backend, cfg: cfg}
+	for shape := base.BatchSize; shape >= base.GPUs; shape /= 2 {
+		srv.shapes = append([]int{shape}, srv.shapes...)
+	}
+	srv.specs = make(map[int]*retrieval.SystemSpec, len(srv.shapes))
+	for _, shape := range srv.shapes {
+		b := base
+		b.BatchSize = shape
+		spec, err := retrieval.NewSystemSpec(b, hw)
+		if err != nil {
+			return nil, err
+		}
+		srv.specs[shape] = spec
+	}
+	model, err := dlrm.NewModel(dlrm.DefaultModelConfig(base.TotalTables, base.Dim), base.Seed)
+	if err != nil {
+		return nil, err
+	}
+	srv.model = model
+	if slots := base.CacheSlots(hw.GPU); slots > 0 && base.GPUs > 1 && base.Sharding == retrieval.TableWise {
+		srv.caches = cache.NewSet(base.GPUs, slots, base.Dim, base.Functional)
+	}
+	return srv, nil
+}
+
+// Shapes returns the ascending device batch shapes the batcher buckets into.
+func (s *Server) Shapes() []int { return s.shapes }
+
+// Result summarises one serving run.
+type Result struct {
+	Backend       string
+	CacheFraction float64
+	Rate          float64
+	Duration      sim.Duration
+
+	Offered   int // requests generated
+	Admitted  int // requests that entered the queue
+	Dropped   int // requests rejected at a full queue
+	Completed int // requests whose batch finished
+
+	Dispatches    int // device batches executed
+	PaddedSamples int // bucket slack: shape minus real requests, summed
+
+	// Latencies holds each completed request's arrival-to-completion time,
+	// in completion order.
+	Latencies []sim.Duration
+	// Makespan is when the last dispatch completed (≥ Duration when the
+	// queue drained after the arrival window).
+	Makespan sim.Duration
+	// CacheStats aggregates the hot-row cache counters across GPUs (zero
+	// when the cache is disabled).
+	CacheStats metrics.CacheCounters
+}
+
+// Percentile returns the p-th latency percentile (nearest rank), or 0 when
+// no request completed.
+func (r *Result) Percentile(p float64) sim.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.Latencies))
+	for i, l := range r.Latencies {
+		xs[i] = float64(l)
+	}
+	return sim.Duration(metrics.Percentile(xs, p))
+}
+
+// Goodput returns completed requests per second over the run's span.
+func (r *Result) Goodput() float64 {
+	span := r.Makespan
+	if r.Duration > span {
+		span = r.Duration
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(span)
+}
+
+// HitRate returns the aggregate cache hit rate (0 without a cache).
+func (r *Result) HitRate() float64 { return r.CacheStats.HitRate() }
+
+// Run executes the serving simulation.
+func (s *Server) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation; both the macro serving clock and
+// every dispatched pipeline run stop when ctx is cancelled.
+func (s *Server) RunContext(ctx context.Context) (*Result, error) {
+	env := sim.NewEnv()
+	res := &Result{
+		Backend:       s.backend.Name(),
+		CacheFraction: s.base.CacheFraction,
+		Rate:          s.cfg.Rate,
+		Duration:      s.cfg.Duration,
+	}
+
+	var (
+		queue        []sim.Time // arrival times of admitted, undispatched requests
+		arrivalsDone bool
+		newWork      = sim.NewSignal(env)
+		runErr       error
+	)
+	kick := func() {
+		old := newWork
+		newWork = sim.NewSignal(env)
+		old.Fire()
+	}
+
+	env.Go("arrivals", func(p *sim.Proc) {
+		rng := sim.NewRNG(s.cfg.Seed ^ 0x5E17E)
+		var t sim.Time
+		for {
+			t = s.cfg.nextArrival(rng, t)
+			if sim.Duration(t) >= s.cfg.Duration {
+				break
+			}
+			p.WaitUntil(t)
+			res.Offered++
+			if len(queue) >= s.cfg.QueueCap {
+				res.Dropped++
+				continue
+			}
+			queue = append(queue, t)
+			res.Admitted++
+			kick()
+		}
+		p.WaitUntil(sim.Time(s.cfg.Duration))
+		arrivalsDone = true
+		kick()
+	})
+
+	env.Go("dispatcher", func(p *sim.Proc) {
+		for {
+			if len(queue) == 0 {
+				if arrivalsDone {
+					return
+				}
+				p.WaitSignal(newWork)
+				continue
+			}
+			// Dynamic batching: wait for more work until the batch fills or
+			// the oldest request's patience runs out.
+			deadline := queue[0] + sim.Time(s.cfg.MaxWait)
+			for len(queue) < s.cfg.MaxBatch && !arrivalsDone && p.Now() < deadline {
+				waitWork(p, env, newWork, deadline)
+			}
+			n := len(queue)
+			if n > s.cfg.MaxBatch {
+				n = s.cfg.MaxBatch
+			}
+			taken := make([]sim.Time, n)
+			copy(taken, queue[:n])
+			queue = append(queue[:0], queue[n:]...)
+
+			shape := s.shapes[len(s.shapes)-1]
+			for _, b := range s.shapes {
+				if b >= n {
+					shape = b
+					break
+				}
+			}
+			seed := s.base.Seed + uint64(res.Dispatches+1)*1_000_003
+			pl, err := dlrm.NewPipelineRun(s.specs[shape], s.backend, s.model, seed)
+			if err == nil && s.caches != nil {
+				err = pl.Sys.AttachCaches(s.caches)
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+			plRes, err := pl.RunContext(ctx)
+			if err != nil {
+				runErr = err
+				return
+			}
+			p.Wait(plRes.TotalTime)
+			done := p.Now()
+			for _, arr := range taken {
+				res.Latencies = append(res.Latencies, sim.Duration(done-arr))
+			}
+			res.Completed += n
+			res.Dispatches++
+			res.PaddedSamples += shape - n
+		}
+	})
+
+	if _, err := env.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("serve: %s run: %w", s.backend.Name(), err)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("serve: %s run: %w", s.backend.Name(), runErr)
+	}
+	res.Makespan = sim.Duration(env.Now())
+	if s.caches != nil {
+		res.CacheStats = s.caches.Stats()
+	}
+	return res, nil
+}
+
+// waitWork parks p until more work is signalled or the deadline passes,
+// whichever is first.
+func waitWork(p *sim.Proc, env *sim.Env, sig *sim.Signal, deadline sim.Time) {
+	if deadline <= p.Now() {
+		return
+	}
+	wake := sim.NewSignal(env)
+	fire := func() {
+		if !wake.Fired() {
+			wake.Fire()
+		}
+	}
+	sig.OnFire(fire)
+	env.Schedule(deadline, fire)
+	p.WaitSignal(wake)
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/workload"
+)
+
+// serveTestConfig returns a small timing-only skewed configuration that a
+// serving test can dispatch many batches of quickly.
+func serveTestConfig() retrieval.Config {
+	cfg := retrieval.TestScaleConfig(2)
+	cfg.Functional = false
+	cfg.NullProbability = 0
+	cfg.MinPooling = 1
+	cfg.Distribution = workload.Zipf
+	cfg.ZipfExponent = 1.2
+	return cfg
+}
+
+func serveTestServeConfig() Config {
+	return Config{
+		Rate:     2000,
+		Duration: 50 * sim.Millisecond,
+		MaxBatch: 32,
+		MaxWait:  2 * sim.Millisecond,
+	}
+}
+
+func runOnce(t *testing.T, base retrieval.Config, cfg Config, backend retrieval.Backend) *Result {
+	t.Helper()
+	srv, err := NewServer(base, retrieval.DefaultHardware(), backend, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Same seed, same configuration: two serving runs must agree bit-exactly on
+// every count and every latency sample.
+func TestServingDeterminism(t *testing.T) {
+	a := runOnce(t, serveTestConfig(), serveTestServeConfig(), &retrieval.PGASFused{})
+	b := runOnce(t, serveTestConfig(), serveTestServeConfig(), &retrieval.PGASFused{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed serving runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Completed == 0 {
+		t.Fatal("serving run completed no requests; test exercises nothing")
+	}
+}
+
+// Every generated request must be accounted for: admitted or dropped at
+// arrival, and every admitted request completed once the queue drains.
+func TestServingCountConservation(t *testing.T) {
+	for _, arrival := range []Arrival{Poisson, Bursty} {
+		cfg := serveTestServeConfig()
+		cfg.Arrival = arrival
+		cfg.QueueCap = 48 // tight enough that bursty load can overflow it
+		res := runOnce(t, serveTestConfig(), cfg, &retrieval.PGASFused{})
+		if res.Offered != res.Admitted+res.Dropped {
+			t.Fatalf("%s: offered %d != admitted %d + dropped %d",
+				arrival, res.Offered, res.Admitted, res.Dropped)
+		}
+		if res.Completed != res.Admitted {
+			t.Fatalf("%s: completed %d != admitted %d after drain",
+				arrival, res.Completed, res.Admitted)
+		}
+		if len(res.Latencies) != res.Completed {
+			t.Fatalf("%s: %d latency samples for %d completions",
+				arrival, len(res.Latencies), res.Completed)
+		}
+		for _, l := range res.Latencies {
+			if l <= 0 {
+				t.Fatalf("%s: non-positive latency %g", arrival, float64(l))
+			}
+		}
+		if res.Makespan < res.Duration {
+			t.Fatalf("%s: makespan %g below arrival window %g",
+				arrival, float64(res.Makespan), float64(res.Duration))
+		}
+	}
+}
+
+// Both arrival processes must realise the configured MEAN rate: bursty
+// arrivals redistribute load inside each cycle but preserve its total.
+func TestArrivalMeanRate(t *testing.T) {
+	for _, arrival := range []Arrival{Poisson, Bursty} {
+		cfg := Config{Arrival: arrival, Rate: 5000, BurstFactor: 4, BurstCycle: 10 * sim.Millisecond}
+		rng := sim.NewRNG(99)
+		const horizon = 20.0 // simulated seconds
+		var t0 sim.Time
+		n := 0
+		for {
+			t0 = cfg.nextArrival(rng, t0)
+			if float64(t0) >= horizon {
+				break
+			}
+			n++
+		}
+		got := float64(n) / horizon
+		if math.Abs(got-cfg.Rate)/cfg.Rate > 0.15 {
+			t.Fatalf("%s: empirical rate %.0f rps, want %.0f ±15%%", arrival, got, cfg.Rate)
+		}
+	}
+}
+
+// With a hot-row cache configured, residency must persist across dispatches:
+// the cache fills early and later batches hit it.
+func TestServingCacheWarmsAcrossDispatches(t *testing.T) {
+	base := serveTestConfig()
+	base.CacheFraction = 0.003
+	hw := retrieval.DefaultHardware()
+	hw.GPU.MemoryCapacity = 1 << 20
+
+	srv, err := NewServer(base, hw, &retrieval.PGASFused{}, serveTestServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatches < 2 {
+		t.Fatalf("only %d dispatches; cache persistence not exercised", res.Dispatches)
+	}
+	if res.CacheStats.Hits == 0 {
+		t.Fatal("cache saw no hits across dispatches")
+	}
+	if res.CacheStats.Insertions == 0 {
+		t.Fatal("cache saw no insertions")
+	}
+	if res.HitRate() <= 0 {
+		t.Fatalf("hit rate %g not positive", res.HitRate())
+	}
+}
+
+// The batcher must bucket partial batches onto smaller device shapes rather
+// than padding everything to the full batch size.
+func TestServingBucketsPartialBatches(t *testing.T) {
+	base := serveTestConfig()
+	cfg := serveTestServeConfig()
+	cfg.Rate = 300 // sparse arrivals: most dispatches time out well short of MaxBatch
+	srv, err := NewServer(base, retrieval.DefaultHardware(), &retrieval.PGASFused{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := srv.Shapes()
+	if len(shapes) < 2 || shapes[0] != base.GPUs || shapes[len(shapes)-1] != base.BatchSize {
+		t.Fatalf("bucket shapes %v, want %d..%d halving", shapes, base.GPUs, base.BatchSize)
+	}
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatches == 0 {
+		t.Fatal("no dispatches")
+	}
+	// If every dispatch padded to the full batch, slack would average
+	// MaxBatch minus the mean batch fill; bucketing must do better than
+	// half the full shape per dispatch.
+	if float64(res.PaddedSamples)/float64(res.Dispatches) >= float64(cfg.MaxBatch)/2 {
+		t.Fatalf("mean pad %g ≥ half the max batch; bucketing not effective",
+			float64(res.PaddedSamples)/float64(res.Dispatches))
+	}
+}
+
+// Misconfigured servers must be rejected up front.
+func TestServerValidation(t *testing.T) {
+	base := serveTestConfig()
+	hw := retrieval.DefaultHardware()
+	if _, err := NewServer(base, hw, &retrieval.PGASFused{}, Config{Duration: sim.Millisecond}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewServer(base, hw, &retrieval.PGASFused{}, Config{Rate: 100}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := NewServer(base, hw, &retrieval.PGASFused{}, Config{Rate: 100, Duration: sim.Millisecond, MaxBatch: base.BatchSize * 2}); err == nil {
+		t.Fatal("MaxBatch above base batch size accepted")
+	}
+}

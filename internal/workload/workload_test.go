@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math"
+	"reflect"
 	"testing"
 )
 
@@ -322,6 +324,90 @@ func TestSummaryMatchesBatchWithSkew(t *testing.T) {
 			if b.Features[f].PoolingFactor(smp) != s.PoolingFactor(f, smp) {
 				t.Fatal("summary diverged from batch under per-feature pooling")
 			}
+		}
+	}
+}
+
+// zipfAnalyticMass returns the exact probability mass of the top-k ranks
+// under Zipf(s) over n items: H_{k,s} / H_{n,s}.
+func zipfAnalyticMass(k, n int, s float64) float64 {
+	var hk, hn float64
+	for r := 1; r <= n; r++ {
+		p := math.Pow(float64(r), -s)
+		hn += p
+		if r <= k {
+			hk += p
+		}
+	}
+	return hk / hn
+}
+
+// The skew knob must mean what it says: the empirical mass landing on the
+// hottest keys has to match the analytic Zipf CDF at every configured
+// exponent, within sampling tolerance.
+func TestZipfHotKeyMassMatchesAnalyticCDF(t *testing.T) {
+	for _, s := range []float64{1.05, 1.2, 1.5} {
+		c := smallCfg()
+		c.NumFeatures = 1
+		c.BatchSize = 1024
+		c.MinPooling = 4
+		c.MaxPooling = 4
+		c.IndexSpace = 1024
+		c.Distribution = Zipf
+		c.ZipfExponent = s
+		g, err := NewGenerator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const hotKeys = 16
+		var total, hot int
+		for b := 0; b < 25; b++ { // 25 batches × 1024 samples × 4 = 102400 draws
+			batch := g.NextBatch()
+			for _, idx := range batch.Features[0].Indices {
+				total++
+				if idx < hotKeys {
+					hot++
+				}
+			}
+		}
+		got := float64(hot) / float64(total)
+		want := zipfAnalyticMass(hotKeys, int(c.IndexSpace), s)
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("s=%g: top-%d mass %.4f, analytic %.4f (tolerance 0.03, %d draws)",
+				s, hotKeys, got, want, total)
+		}
+	}
+}
+
+// Two same-seed generators must be byte-identical across every stream they
+// expose — batches, summaries, and dense inputs — for several batches, not
+// just the first.
+func TestSameSeedGeneratorsByteIdentical(t *testing.T) {
+	mk := func() Config {
+		c := smallCfg()
+		c.BatchSize = 64
+		c.IndexSpace = 512
+		c.Distribution = Zipf
+		c.ZipfExponent = 1.2
+		return c
+	}
+	g1, err := NewGenerator(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !reflect.DeepEqual(g1.NextBatch(), g2.NextBatch()) {
+			t.Fatalf("batch %d: same-seed generators produced different batches", i)
+		}
+		if !reflect.DeepEqual(g1.NextSummary(), g2.NextSummary()) {
+			t.Fatalf("batch %d: same-seed generators produced different summaries", i)
+		}
+		if !reflect.DeepEqual(g1.NextDense(), g2.NextDense()) {
+			t.Fatalf("batch %d: same-seed generators produced different dense inputs", i)
 		}
 	}
 }

@@ -22,10 +22,13 @@ package pgasemb
 import (
 	"context"
 
+	"pgasemb/internal/cache"
 	"pgasemb/internal/dlrm"
 	"pgasemb/internal/experiments"
+	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/retrieval"
+	"pgasemb/internal/serve"
 )
 
 // Core experiment types.
@@ -303,4 +306,63 @@ type (
 // backward EMB communication schemes.
 func NewTrainer(cfg Config, hw HardwareParams, fwd, bwd Backend) (*Trainer, error) {
 	return dlrm.NewTrainer(cfg, hw, fwd, bwd)
+}
+
+// Online serving types.
+type (
+	// ServeConfig tunes the serving layer: arrival process and rate,
+	// dynamic-batching policy (MaxBatch, MaxWait), and queue capacity.
+	ServeConfig = serve.Config
+	// Server is an online serving setup: open-loop arrivals, admission
+	// queue, dynamic batcher, and a persistent hot-row cache, dispatching
+	// device batches through the DLRM pipeline.
+	Server = serve.Server
+	// ServeResult is one serving run's counters and latency samples.
+	ServeResult = serve.Result
+	// Arrival selects the request arrival process.
+	Arrival = serve.Arrival
+	// CacheCounters aggregates hot-row cache hit/miss/eviction counts.
+	CacheCounters = metrics.CacheCounters
+	// CacheSet is the per-GPU hot-row embedding cache array; one set can
+	// stay attached — warm — across many pipeline runs.
+	CacheSet = cache.Set
+)
+
+// Arrival processes (ServeConfig.Arrival).
+const (
+	PoissonArrivals = serve.Poisson
+	BurstyArrivals  = serve.Bursty
+)
+
+// NewServer validates and wires an online serving setup around the given
+// base configuration and retrieval backend. Set Config.CacheFraction on the
+// base to enable the hot-row cache.
+func NewServer(base Config, hw HardwareParams, backend Backend, cfg ServeConfig) (*Server, error) {
+	return serve.NewServer(base, hw, backend, cfg)
+}
+
+// ServingScaleConfig returns the serving workload configuration: a skewed
+// (Zipf) index stream on a machine one device batch fits comfortably.
+func ServingScaleConfig(gpus int) Config { return retrieval.ServingScaleConfig(gpus) }
+
+// Serving sweep types.
+type (
+	// ServingOptions tunes the rate × cache-fraction × backend sweep.
+	ServingOptions = experiments.ServingOptions
+	// ServingResult is the sweep's point grid.
+	ServingResult = experiments.ServingResult
+	// ServingPoint is one (backend, rate, cache fraction) serving run.
+	ServingPoint = experiments.ServingPoint
+)
+
+// RunServing executes the online-serving sweep: every (backend, arrival
+// rate, cache fraction) point is a full serving simulation reporting tail
+// latency, goodput, drops, and cache hit rate.
+func RunServing(opts ServingOptions) (*ServingResult, error) {
+	return experiments.RunServing(opts)
+}
+
+// RunServingContext is RunServing with cancellation.
+func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult, error) {
+	return experiments.RunServingContext(ctx, opts)
 }
