@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke report fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates results/bench.json: the experiment wall-clock records
+# plus the per-batch hot-path benchmarks (ns/op, allocs/op) future PRs diff
+# against for regressions.
+bench:
+	$(GO) run ./cmd/report -bench -batches 10 -seeds 0 -out .bench-tmp >/dev/null
+	@mkdir -p results
+	@cp .bench-tmp/bench.json results/bench.json && rm -rf .bench-tmp
+	@echo "wrote results/bench.json"
+
+# bench-smoke compiles and runs every Go benchmark once — the CI guard that
+# keeps the bench harness from bit-rotting.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime=1x ./...
+
+report:
+	$(GO) run ./cmd/report
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20] [-seed 0] [-timeout 0]
+//	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20] [-dedup] [-seed 0]
+//	          [-timeout 0]
 //
+// -dedup enables batch-level index deduplication on both backends (unique
+// rows are shipped once per destination shard and expanded locally).
 // A failing backend is reported and skipped, the other still runs, and the
 // command exits non-zero. -timeout bounds host wall-clock time.
 package main
@@ -24,6 +27,7 @@ func main() {
 	gpus := flag.Int("gpus", 4, "GPU count")
 	kind := flag.String("kind", "weak", "workload: weak or strong scaling configuration")
 	batches := flag.Int("batches", 20, "inference batches")
+	dedup := flag.Bool("dedup", false, "enable batch-level index deduplication")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = configuration default)")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
@@ -39,6 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Batches = *batches
+	cfg.Dedup = *dedup
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}

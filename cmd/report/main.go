@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	report [-out results] [-batches 100] [-seeds 3] [-parallel N] [-timeout 0]
+//	report [-out results] [-batches 100] [-seeds 3] [-dedup] [-bench]
+//	       [-parallel N] [-timeout 0]
+//
+// -dedup adds the batch-level index-deduplication axis to the scaling
+// sweeps (each backend runs with dedup off and on; the tables grow the
+// dedup columns). -bench additionally measures the per-batch retrieval hot
+// paths with Go benchmarks and records them in bench.json.
 //
 // Independent simulation runs within each experiment execute concurrently
 // on -parallel workers (default GOMAXPROCS); the tables and CSVs are
@@ -28,6 +34,8 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	batches := flag.Int("batches", 100, "batches per run (paper: 100)")
 	seeds := flag.Int("seeds", 3, "workload seeds for the statistics tables (0 = skip)")
+	dedup := flag.Bool("dedup", false, "add the index-deduplication axis to the scaling sweeps")
+	benchHot := flag.Bool("bench", false, "measure the per-batch hot paths and record them in bench.json")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
 	timeout := flag.Duration("timeout", 0, "abort the whole report after this duration (0 = no limit)")
 	flag.Parse()
@@ -46,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 	bench := pgasemb.NewBench()
-	opts := pgasemb.ExperimentOptions{Batches: *batches, Parallel: *parallel, Bench: bench}
+	opts := pgasemb.ExperimentOptions{Batches: *batches, Dedup: *dedup, Parallel: *parallel, Bench: bench}
 
 	write := func(name string, t *pgasemb.RenderedTable) {
 		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(t.Render()), 0o644); err != nil {
@@ -120,6 +128,17 @@ func main() {
 				fatal(err)
 			}
 			write(fmt.Sprintf("stats_%s", kind), pgasemb.StatsTable(kind, stats))
+		}
+	}
+
+	if *benchHot {
+		fmt.Println("== Hot-path benchmarks ==")
+		if err := pgasemb.RunHotPaths(bench); err != nil {
+			fatal(err)
+		}
+		for _, h := range bench.Report().HotPaths {
+			fmt.Printf("%-36s %10.0f ns/op  %6d B/op  %4d allocs/op\n",
+				h.Name, h.NsPerOp, h.BytesPerOp, h.AllocsPerOp)
 		}
 	}
 

@@ -8,13 +8,15 @@
 // Usage:
 //
 //	serve [-rate 4000,8000] [-cache 0,0.01,0.05] [-duration 2s] [-gpus 4]
-//	      [-backend both] [-arrival poisson] [-seed 0] [-parallel N]
+//	      [-backend both] [-arrival poisson] [-dedup] [-seed 0] [-parallel N]
 //	      [-out results] [-timeout 0]
 //
 // -rate and -cache take comma-separated sweeps; -duration is SIMULATED
-// time (the arrival window of each point). Independent points execute
-// concurrently on -parallel workers; the table is byte-identical at any
-// parallelism. -timeout bounds host wall-clock time.
+// time (the arrival window of each point). -dedup adds the batch-level
+// index-deduplication axis: every point runs with dedup off and on, and the
+// table grows the dedup/uniq_frac/wire_saved_mb columns. Independent points
+// execute concurrently on -parallel workers; the table is byte-identical at
+// any parallelism. -timeout bounds host wall-clock time.
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	gpus := flag.Int("gpus", 4, "GPUs in the serving machine")
 	backend := flag.String("backend", "both", "backend to sweep: baseline, pgas, or both")
 	arrival := flag.String("arrival", "poisson", "arrival process: poisson or bursty")
+	dedup := flag.Bool("dedup", false, "add the batch-level index-deduplication axis (each point runs with dedup off and on)")
 	seed := flag.Uint64("seed", 0, "arrival-process seed (0 = workload default)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points")
 	out := flag.String("out", "results", "output directory")
@@ -83,6 +86,9 @@ func main() {
 		Duration:       duration.Seconds(),
 		Serve:          pgasemb.ServeConfig{Arrival: arr, Seed: *seed},
 		Parallel:       *parallel,
+	}
+	if *dedup {
+		opts.Dedups = []bool{false, true}
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -75,14 +75,18 @@ type Comm struct {
 
 	volume *trace.VolumeTrace
 
-	// Rendezvous state for the in-flight collective.
+	// Rendezvous state for the in-flight collective. Op descriptors are
+	// refcounted and recycled through opFree, and the entry barrier reuses
+	// its waiter list, so a steady-state collective allocates nothing.
 	arrived int
 	op      *pendingOp
-	gate    *sim.Signal
+	barrier *sim.Barrier
+	opFree  []*pendingOp
 }
 
 type pendingOp struct {
 	kind    string
+	users   int           // ranks still inside the collective call
 	sends   [][][]float32 // [rank][dst] -> segment
 	recvs   [][][]float32 // [rank][src] -> segment
 	reduceA [][]float32   // [rank] -> full buffer (allreduce)
@@ -94,10 +98,11 @@ func New(env *sim.Env, fabric *nvlink.Fabric, params Params) *Comm {
 		panic(err)
 	}
 	return &Comm{
-		env:    env,
-		fabric: fabric,
-		params: params,
-		volume: &trace.VolumeTrace{},
+		env:     env,
+		fabric:  fabric,
+		params:  params,
+		volume:  &trace.VolumeTrace{},
+		barrier: sim.NewBarrier(env, fabric.NumGPUs()),
 	}
 }
 
@@ -163,31 +168,47 @@ func (c *Comm) occupyWire(p *sim.Proc, src, dst int, bytes float64, protocol sim
 func (c *Comm) rendezvous(p *sim.Proc, rank int, kind string, install func(op *pendingOp)) *pendingOp {
 	n := c.NumRanks()
 	if c.op == nil {
-		c.op = &pendingOp{
-			kind:  kind,
-			sends: make([][][]float32, n),
-			recvs: make([][][]float32, n),
+		if k := len(c.opFree); k > 0 {
+			c.op = c.opFree[k-1]
+			c.opFree = c.opFree[:k-1]
+			c.op.kind = kind
+		} else {
+			c.op = &pendingOp{
+				kind:    kind,
+				sends:   make([][][]float32, n),
+				recvs:   make([][][]float32, n),
+				reduceA: make([][]float32, n),
+			}
 		}
-		c.op.reduceA = make([][]float32, n)
-		c.gate = sim.NewSignal(c.env)
 	}
 	if c.op.kind != kind {
 		panic(fmt.Sprintf("collective: rank %d called %s while %s is in flight", rank, kind, c.op.kind))
 	}
 	install(c.op)
+	c.op.users++
 	c.arrived++
 	op := c.op
 	if c.arrived == n {
 		c.arrived = 0
 		c.op = nil
-		gate := c.gate
-		c.gate = nil
-		gate.Fire()
-		return op
 	}
-	gate := c.gate
-	p.WaitSignal(gate)
+	c.barrier.Await(p)
 	return op
+}
+
+// release drops one rank's hold on an op descriptor; the last release clears
+// the caller-supplied buffer references and recycles the descriptor. Every
+// collective releases its op on return, so a descriptor outlives the call
+// of no rank — recycling never races a straggler still reading it.
+func (c *Comm) release(op *pendingOp) {
+	op.users--
+	if op.users > 0 {
+		return
+	}
+	for i := range op.sends {
+		op.sends[i], op.recvs[i], op.reduceA[i] = nil, nil, nil
+	}
+	c.opFree = append(c.opFree, op)
 }
 
 // AllToAllSingle exchanges per-destination segments: sendSegs[dst] travels
@@ -211,6 +232,7 @@ func (c *Comm) AllToAllSingle(p *sim.Proc, rank int, sendSegs, recvSegs [][]floa
 		op.sends[rank] = sendSegs
 		op.recvs[rank] = recvSegs
 	})
+	defer c.release(op)
 	// All ranks released at the same instant; copies are globally consistent
 	// to perform once, by rank 0's process (functional state only).
 	if rank == 0 {
@@ -263,7 +285,7 @@ func (c *Comm) AllToAllSingleSizes(p *sim.Proc, rank int, sendBytes, recvBytes [
 		panic(fmt.Sprintf("collective: rank %d alltoall-sizes with %d send / %d recv entries, want %d",
 			rank, len(sendBytes), len(recvBytes), n))
 	}
-	c.rendezvous(p, rank, "alltoall-sizes", func(op *pendingOp) {})
+	c.release(c.rendezvous(p, rank, "alltoall-sizes", func(op *pendingOp) {}))
 	p.Wait(c.params.LaunchOverhead)
 	start := p.Now()
 	var worst sim.Duration
@@ -308,6 +330,7 @@ func (c *Comm) AllGather(p *sim.Proc, rank int, shard []float32, out [][]float32
 		op.sends[rank] = [][]float32{shard}
 		op.recvs[rank] = out
 	})
+	defer c.release(op)
 	if rank == 0 {
 		for src := 0; src < n; src++ {
 			for dst := 0; dst < n; dst++ {
@@ -343,6 +366,7 @@ func (c *Comm) ReduceScatter(p *sim.Proc, rank int, contrib []float32, out []flo
 		op.reduceA[rank] = contrib
 		op.recvs[rank] = [][]float32{out}
 	})
+	defer c.release(op)
 	if rank == 0 {
 		shard := len(out)
 		for dst := 0; dst < n; dst++ {
@@ -394,6 +418,7 @@ func (c *Comm) ReduceScatterV(p *sim.Proc, rank int, contrib []float32, out []fl
 		op.reduceA[rank] = contrib
 		op.recvs[rank] = [][]float32{out}
 	})
+	defer c.release(op)
 	if rank == 0 {
 		at := 0
 		for dst := 0; dst < n; dst++ {
@@ -435,7 +460,7 @@ func (c *Comm) ReduceScatterV(p *sim.Proc, rank int, contrib []float32, out []fl
 // ReduceScatter, driven by the per-rank shard size in bytes.
 func (c *Comm) ReduceScatterSizes(p *sim.Proc, rank int, shardBytes float64) {
 	n := c.NumRanks()
-	c.rendezvous(p, rank, "reducescatter-sizes", func(op *pendingOp) {})
+	c.release(c.rendezvous(p, rank, "reducescatter-sizes", func(op *pendingOp) {}))
 	p.Wait(c.params.LaunchOverhead)
 	if n == 1 {
 		return
@@ -461,6 +486,7 @@ func (c *Comm) Broadcast(p *sim.Proc, rank, root int, buf []float32) {
 	op := c.rendezvous(p, rank, "broadcast", func(op *pendingOp) {
 		op.reduceA[rank] = buf
 	})
+	defer c.release(op)
 	if rank == 0 {
 		src := op.reduceA[root]
 		for r := 0; r < n; r++ {
@@ -515,6 +541,7 @@ func (c *Comm) Gather(p *sim.Proc, rank, root int, shard []float32, out [][]floa
 			op.recvs[rank] = out
 		}
 	})
+	defer c.release(op)
 	if rank == 0 {
 		for src := 0; src < n; src++ {
 			copySeg(op.recvs[root][src], op.sends[src][0], src, root)
@@ -554,6 +581,7 @@ func (c *Comm) AllReduce(p *sim.Proc, rank int, buf []float32) {
 	op := c.rendezvous(p, rank, "allreduce", func(op *pendingOp) {
 		op.reduceA[rank] = buf
 	})
+	defer c.release(op)
 	if rank == 0 {
 		m := len(op.reduceA[0])
 		for _, b := range op.reduceA {

@@ -53,8 +53,16 @@ type Options struct {
 	MaxGPUs int
 	// Batches overrides the per-run batch count (0 = paper's 100).
 	Batches int
+	// BatchSize overrides the per-run batch size (0 = the configuration's).
+	// Mainly for tests: the paper-scale batch makes index-level passes
+	// (dedup classification) expensive.
+	BatchSize int
 	// HW selects the hardware model (zero value = calibrated defaults).
 	HW *retrieval.HardwareParams
+	// Dedup adds the batch-level index-deduplication axis: every scaling
+	// point runs each backend twice, with deduplication off and on, and the
+	// rendered tables grow the dedup columns.
+	Dedup bool
 	// Parallel bounds the number of simulation runs executed concurrently
 	// (0 = GOMAXPROCS). Results are identical for every value; only
 	// wall-clock time changes.
@@ -82,14 +90,23 @@ func (o Options) apply(cfg retrieval.Config) retrieval.Config {
 	if o.Batches > 0 {
 		cfg.Batches = o.Batches
 	}
+	if o.BatchSize > 0 {
+		cfg.BatchSize = o.BatchSize
+	}
 	return cfg
 }
 
-// ScalingPoint holds one GPU count's pair of runs.
+// ScalingPoint holds one GPU count's pair of runs. When the sweep carries
+// the dedup axis (Options.Dedup), the dedup-enabled runs ride along.
 type ScalingPoint struct {
 	GPUs     int
 	Baseline *retrieval.Result
 	PGAS     *retrieval.Result
+
+	// BaselineDedup / PGASDedup are the same runs with batch-level index
+	// deduplication enabled; nil unless Options.Dedup was set.
+	BaselineDedup *retrieval.Result
+	PGASDedup     *retrieval.Result
 }
 
 // Speedup returns baseline/PGAS total time.
@@ -97,9 +114,17 @@ func (p ScalingPoint) Speedup() float64 {
 	return metrics.Speedup(p.Baseline.TotalTime, p.PGAS.TotalTime)
 }
 
+// DedupSpeedup returns baseline/PGAS total time with deduplication enabled
+// on both sides. It panics unless the sweep carried the dedup axis.
+func (p ScalingPoint) DedupSpeedup() float64 {
+	return metrics.Speedup(p.BaselineDedup.TotalTime, p.PGASDedup.TotalTime)
+}
+
 // ScalingResult is a full sweep over GPU counts.
 type ScalingResult struct {
-	Kind   ScalingKind
+	Kind ScalingKind
+	// Dedup reports whether the sweep carried the dedup on/off axis.
+	Dedup  bool
 	Points []ScalingPoint
 }
 
@@ -108,29 +133,49 @@ func RunScaling(kind ScalingKind, opts Options) (*ScalingResult, error) {
 	return RunScalingContext(context.Background(), kind, opts)
 }
 
-// RunScalingContext is RunScaling with cancellation. The sweep's 2×MaxGPUs
-// runs (baseline and PGAS at every GPU count) dispatch onto the worker pool;
-// each GPU count's pair shares one immutable spec.
+// RunScalingContext is RunScaling with cancellation. The sweep's runs
+// (baseline and PGAS at every GPU count, ×2 when the dedup axis is on)
+// dispatch onto the worker pool; each (GPU count, dedup) combination shares
+// one immutable spec, and results land in an index-addressed slice so the
+// tables are byte-identical at any Parallel.
 func RunScalingContext(ctx context.Context, kind ScalingKind, opts Options) (*ScalingResult, error) {
 	hw := opts.hardware()
 	maxGPUs := opts.maxGPUs()
+	perPoint := 2
+	if opts.Dedup {
+		perPoint = 4
+	}
 	specs := make([]*retrieval.SystemSpec, maxGPUs+1)
+	dedupSpecs := make([]*retrieval.SystemSpec, maxGPUs+1)
 	for gpus := 1; gpus <= maxGPUs; gpus++ {
-		spec, err := retrieval.NewSystemSpec(opts.apply(kind.Config(gpus)), hw)
+		cfg := opts.apply(kind.Config(gpus))
+		spec, err := retrieval.NewSystemSpec(cfg, hw)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s scaling, %d GPUs: %w", kind, gpus, err)
 		}
 		specs[gpus] = spec
+		if opts.Dedup {
+			cfg.Dedup = true
+			dspec, err := retrieval.NewSystemSpec(cfg, hw)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s scaling, %d GPUs, dedup: %w", kind, gpus, err)
+			}
+			dedupSpecs[gpus] = dspec
+		}
 	}
-	results := make([]*retrieval.Result, 2*maxGPUs)
+	results := make([]*retrieval.Result, perPoint*maxGPUs)
 	stop := opts.Bench.Start(fmt.Sprintf("%s-scaling", kind), opts.parallel())
 	err := forEach(ctx, opts.parallel(), len(results), func(i int) error {
-		gpus := i/2 + 1
+		gpus := i/perPoint + 1
+		slot := i % perPoint
 		var backend retrieval.Backend = &retrieval.Baseline{}
-		if i%2 == 1 {
+		if slot%2 == 1 {
 			backend = &retrieval.PGASFused{}
 		}
 		spec := specs[gpus]
+		if slot >= 2 {
+			spec = dedupSpecs[gpus]
+		}
 		r, err := runSpec(ctx, spec, backend, spec.Config().Seed, opts.Bench)
 		if err != nil {
 			return fmt.Errorf("experiments: %s scaling, %d GPUs, %s: %w", kind, gpus, backend.Name(), err)
@@ -142,13 +187,18 @@ func RunScalingContext(ctx context.Context, kind ScalingKind, opts Options) (*Sc
 	if err != nil {
 		return nil, err
 	}
-	res := &ScalingResult{Kind: kind}
+	res := &ScalingResult{Kind: kind, Dedup: opts.Dedup}
 	for gpus := 1; gpus <= maxGPUs; gpus++ {
-		res.Points = append(res.Points, ScalingPoint{
+		p := ScalingPoint{
 			GPUs:     gpus,
-			Baseline: results[2*(gpus-1)],
-			PGAS:     results[2*(gpus-1)+1],
-		})
+			Baseline: results[perPoint*(gpus-1)],
+			PGAS:     results[perPoint*(gpus-1)+1],
+		}
+		if opts.Dedup {
+			p.BaselineDedup = results[perPoint*(gpus-1)+2]
+			p.PGASDedup = results[perPoint*(gpus-1)+3]
+		}
+		res.Points = append(res.Points, p)
 	}
 	return res, nil
 }

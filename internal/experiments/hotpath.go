@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/serve"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/workload"
+)
+
+// hotPathConfig mirrors the internal/retrieval benchmark configuration: a
+// timing-only mid-scale batch, big enough that the per-batch arenas matter.
+func hotPathConfig() retrieval.Config {
+	return retrieval.Config{
+		GPUs:            4,
+		TotalTables:     16,
+		Rows:            4096,
+		Dim:             64,
+		BatchSize:       1024,
+		MinPooling:      1,
+		MaxPooling:      8,
+		Batches:         1,
+		Seed:            2024,
+		ChunksPerKernel: 4,
+		Distribution:    workload.Zipf,
+		ZipfExponent:    1.2,
+	}
+}
+
+// hotPathCases enumerates the per-batch hot paths tracked in bench.json.
+func hotPathCases() []struct {
+	name    string
+	cfg     retrieval.Config
+	backend retrieval.Backend
+} {
+	base := hotPathConfig()
+	dedup := base
+	dedup.Dedup = true
+	cached := base
+	cached.CacheFraction = 0.0001
+	return []struct {
+		name    string
+		cfg     retrieval.Config
+		backend retrieval.Backend
+	}{
+		{"retrieval/baseline-batch", base, &retrieval.Baseline{}},
+		{"retrieval/baseline-batch-dedup", dedup, &retrieval.Baseline{}},
+		{"retrieval/pgas-fused-batch", base, &retrieval.PGASFused{}},
+		{"retrieval/pgas-fused-batch-dedup", dedup, &retrieval.PGASFused{}},
+		{"retrieval/pgas-fused-batch-cached", cached, &retrieval.PGASFused{}},
+	}
+}
+
+// RunHotPaths measures the per-batch retrieval hot paths and a short
+// serving run with testing.Benchmark, recording each as a HotPathBenchmark
+// on b. Each measurement drives retrieval.BenchLoop — batch generation and
+// classification sit outside the measured loop, so ns/op and allocs/op
+// describe exactly the steady-state RunBatch path.
+func RunHotPaths(b *Bench) error {
+	hw := retrieval.DefaultHardware()
+	var firstErr error
+	for _, c := range hotPathCases() {
+		c := c
+		r := testing.Benchmark(func(tb *testing.B) {
+			sys, err := retrieval.NewSystem(c.cfg, hw)
+			if err != nil {
+				firstErr = fmt.Errorf("experiments: hot path %s: %w", c.name, err)
+				tb.SkipNow()
+			}
+			tb.ReportAllocs()
+			tb.ResetTimer()
+			if err := retrieval.BenchLoop(sys, c.backend, tb.N); err != nil {
+				firstErr = fmt.Errorf("experiments: hot path %s: %w", c.name, err)
+				tb.SkipNow()
+			}
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+		b.NoteHotPath(HotPathBenchmark{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	// One end-to-end serving measurement: arrivals, batching and dispatch
+	// over a short window, dedup enabled so the counter path is exercised.
+	scfg := hotPathConfig()
+	scfg.GPUs = 2
+	scfg.TotalTables = 8
+	scfg.Dedup = true
+	srv, err := serve.NewServer(scfg, hw, &retrieval.PGASFused{}, serve.Config{
+		Rate:     8000,
+		Duration: 20 * sim.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: hot path serve/dispatch: %w", err)
+	}
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := srv.Run(); err != nil {
+				firstErr = fmt.Errorf("experiments: hot path serve/dispatch: %w", err)
+				tb.SkipNow()
+			}
+		}
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	b.NoteHotPath(HotPathBenchmark{
+		Name:        "serve/dispatch-20ms-dedup",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+	return nil
+}

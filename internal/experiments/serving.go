@@ -17,6 +17,10 @@ type ServingOptions struct {
 	// CacheFractions are the hot-row cache sizes to sweep, as fractions of
 	// device memory (0 = cache disabled). Required.
 	CacheFractions []float64
+	// Dedups sweeps batch-level index deduplication on/off (default:
+	// {false}). It is the innermost axis, so each (backend, rate, fraction)
+	// combination's dedup variants render adjacently.
+	Dedups []bool
 	// Backends defaults to baseline and pgas-fused.
 	Backends []retrieval.Backend
 	// GPUs sizes the serving machine (default 4). Ignored when Base is set.
@@ -71,16 +75,24 @@ func (o ServingOptions) hardware() retrieval.HardwareParams {
 	return retrieval.DefaultHardware()
 }
 
+func (o ServingOptions) dedups() []bool {
+	if len(o.Dedups) > 0 {
+		return o.Dedups
+	}
+	return []bool{false}
+}
+
 func (o ServingOptions) parallel() int {
 	return Options{Parallel: o.Parallel}.parallel()
 }
 
-// ServingPoint is one (backend, rate, cache fraction) serving run.
+// ServingPoint is one (backend, rate, cache fraction, dedup) serving run.
 type ServingPoint struct {
 	Backend       string
 	Rate          float64
 	CacheFraction float64
 	CacheSlots    int
+	Dedup         bool
 
 	Offered    int
 	Completed  int
@@ -88,17 +100,23 @@ type ServingPoint struct {
 	Dispatches int
 
 	HitRate float64
-	P50     sim.Duration
-	P95     sim.Duration
-	P99     sim.Duration
-	Goodput float64
+	// UniqueFrac is the batch-level dedup ratio across every dispatched
+	// batch (0 when dedup is off).
+	UniqueFrac float64
+	// WireSavedMB is the modeled wire traffic dedup avoided, in MB.
+	WireSavedMB float64
+	P50         sim.Duration
+	P95         sim.Duration
+	P99         sim.Duration
+	Goodput     float64
 }
 
-// ServingResult is the full sweep, in backend-major, rate-then-fraction
-// order — deterministic for any Parallel.
+// ServingResult is the full sweep, in backend-major,
+// rate-then-fraction-then-dedup order — deterministic for any Parallel.
 type ServingResult struct {
 	Rates          []float64
 	CacheFractions []float64
+	Dedups         []bool
 	Points         []ServingPoint
 }
 
@@ -116,43 +134,49 @@ func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult
 		return nil, fmt.Errorf("experiments: serving sweep needs at least one rate and one cache fraction")
 	}
 	backends := opts.backends()
+	dedups := opts.dedups()
 	base := opts.base()
 	hw := opts.hardware()
-	res := &ServingResult{Rates: opts.Rates, CacheFractions: opts.CacheFractions}
-	res.Points = make([]ServingPoint, len(backends)*len(opts.Rates)*len(opts.CacheFractions))
+	res := &ServingResult{Rates: opts.Rates, CacheFractions: opts.CacheFractions, Dedups: dedups}
+	res.Points = make([]ServingPoint, len(backends)*len(opts.Rates)*len(opts.CacheFractions)*len(dedups))
 
 	stop := opts.Bench.Start("serving", opts.parallel())
 	err := forEach(ctx, opts.parallel(), len(res.Points), func(i int) error {
-		fi := i % len(opts.CacheFractions)
-		ri := i / len(opts.CacheFractions) % len(opts.Rates)
-		bi := i / (len(opts.CacheFractions) * len(opts.Rates))
+		di := i % len(dedups)
+		fi := i / len(dedups) % len(opts.CacheFractions)
+		ri := i / (len(dedups) * len(opts.CacheFractions)) % len(opts.Rates)
+		bi := i / (len(dedups) * len(opts.CacheFractions) * len(opts.Rates))
 		backend := backends[bi]
 
 		cfg := base
 		cfg.CacheFraction = opts.CacheFractions[fi]
+		cfg.Dedup = dedups[di]
 		scfg := opts.Serve
 		scfg.Rate = opts.Rates[ri]
 		scfg.Duration = opts.duration()
 		srv, err := serve.NewServer(cfg, hw, backend, scfg)
 		if err != nil {
-			return fmt.Errorf("experiments: serving, %s rate %.0f frac %g: %w",
-				backend.Name(), scfg.Rate, cfg.CacheFraction, err)
+			return fmt.Errorf("experiments: serving, %s rate %.0f frac %g dedup %v: %w",
+				backend.Name(), scfg.Rate, cfg.CacheFraction, cfg.Dedup, err)
 		}
 		r, err := srv.RunContext(ctx)
 		if err != nil {
-			return fmt.Errorf("experiments: serving, %s rate %.0f frac %g: %w",
-				backend.Name(), scfg.Rate, cfg.CacheFraction, err)
+			return fmt.Errorf("experiments: serving, %s rate %.0f frac %g dedup %v: %w",
+				backend.Name(), scfg.Rate, cfg.CacheFraction, cfg.Dedup, err)
 		}
 		res.Points[i] = ServingPoint{
 			Backend:       r.Backend,
 			Rate:          r.Rate,
 			CacheFraction: r.CacheFraction,
 			CacheSlots:    cfg.CacheSlots(hw.GPU),
+			Dedup:         cfg.Dedup,
 			Offered:       r.Offered,
 			Completed:     r.Completed,
 			Dropped:       r.Dropped,
 			Dispatches:    r.Dispatches,
 			HitRate:       r.HitRate(),
+			UniqueFrac:    r.DedupStats.UniqueFraction(),
+			WireSavedMB:   r.DedupStats.WireSavedBytes / 1e6,
 			P50:           r.Percentile(50),
 			P95:           r.Percentile(95),
 			P99:           r.Percentile(99),
@@ -179,15 +203,24 @@ func (r *ServingResult) P99Series(backend string, rate float64) []float64 {
 	return out
 }
 
-// Table renders the sweep.
+// Table renders the sweep. The dedup columns appear only when the sweep
+// actually carried a dedup-enabled point, so default sweeps render as
+// before.
 func (r *ServingResult) Table() *Table {
+	hasDedup := false
+	for _, d := range r.Dedups {
+		hasDedup = hasDedup || d
+	}
 	t := &Table{
 		Title: "Online serving: tail latency and goodput vs hot-row cache size",
 		Headers: []string{"backend", "rate_rps", "cache_frac", "hit_rate",
 			"p50_ms", "p95_ms", "p99_ms", "goodput_rps", "dropped", "dispatches"},
 	}
+	if hasDedup {
+		t.Headers = append(t.Headers, "dedup", "uniq_frac", "wire_saved_mb")
+	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
+		row := []string{
 			p.Backend,
 			fmt.Sprintf("%.0f", p.Rate),
 			fmt.Sprintf("%.4f", p.CacheFraction),
@@ -198,7 +231,15 @@ func (r *ServingResult) Table() *Table {
 			fmt.Sprintf("%.1f", p.Goodput),
 			fmt.Sprintf("%d", p.Dropped),
 			fmt.Sprintf("%d", p.Dispatches),
-		})
+		}
+		if hasDedup {
+			row = append(row,
+				fmt.Sprintf("%v", p.Dedup),
+				fmt.Sprintf("%.3f", p.UniqueFrac),
+				fmt.Sprintf("%.2f", p.WireSavedMB),
+			)
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t
 }

@@ -119,6 +119,20 @@ func (d *Device) NewStream(name string) *Stream {
 	return s
 }
 
+// Stream returns the named stream, creating it on first use. Backends call
+// it once per batch: reusing the in-order queue across batches models a
+// long-lived CUDA stream and keeps the per-batch hot path allocation-free
+// (a fresh stream per batch would also grow the device's stream list
+// without bound over a long serving run).
+func (d *Device) Stream(name string) *Stream {
+	for _, s := range d.streams {
+		if s.name == name {
+			return s
+		}
+	}
+	return d.NewStream(name)
+}
+
 // Stream is an in-order work queue on a device. Work items enqueue
 // host-side (costing launch overhead on the caller) and run back-to-back on
 // the device; Synchronize blocks the calling process until the queue drains,

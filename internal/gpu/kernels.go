@@ -85,6 +85,53 @@ func (d *Device) HotReadEquivalent(bytes float64) float64 {
 	return bytes * d.params.GatherEfficiency / eff
 }
 
+// ExpandKernelCost prices the inverse-expansion kernel of the dedup path:
+// refs pooled-index references are resolved against a small staged buffer of
+// unique rows (received over the wire or staged by the gather kernel) and
+// pooled into outItems output vectors of vecBytes each. Unlike the gather
+// kernel there is no index hashing, bag walking or remote issuing per item —
+// expansion streams a precomputed int32 position map and accumulates
+// vectors, so it is a pure bandwidth-bound kernel (like copy and unpack):
+// the staged working set — one batch's unique rows — is L2-resident, so
+// re-reads are priced at the hot-row efficiency (falling back to the gather
+// efficiency when no hot path is modeled); outputs and the position map
+// stream at the streaming efficiency.
+func (d *Device) ExpandKernelCost(refs int64, outItems, vecBytes int) sim.Duration {
+	if refs < 0 || outItems < 0 {
+		panic(fmt.Sprintf("gpu%d: negative expand inputs (%d, %d)", d.id, refs, outItems))
+	}
+	readEff := d.params.HotRowEfficiency
+	if readEff <= 0 {
+		readEff = d.params.GatherEfficiency
+	}
+	read := float64(refs) * float64(vecBytes) / (d.params.HBMBandwidth * readEff)
+	write := (float64(outItems)*float64(vecBytes) + float64(refs)*4) /
+		(d.params.HBMBandwidth * d.params.StreamEfficiency)
+	return sim.Duration(read) + sim.Duration(write)
+}
+
+// GatherDedupWins reports whether a gather over refs pooled-index references
+// that hit only uniq distinct rows is cheaper when each distinct row is read
+// from the table once, staged in a (L2-resident) scratch buffer, and the
+// remaining refs-uniq references re-read it hot — versus gathering every
+// reference at random-access efficiency. The vector size cancels, so the
+// decision depends only on the duplication factor and the efficiency
+// parameters; without a hot-row efficiency the staged path has no advantage
+// and the answer is always false.
+func (d *Device) GatherDedupWins(uniq, refs int64) bool {
+	if uniq < 0 || refs < 0 {
+		panic(fmt.Sprintf("gpu%d: negative dedup inputs (%d, %d)", d.id, uniq, refs))
+	}
+	he := d.params.HotRowEfficiency
+	if he <= 0 || uniq >= refs {
+		return false
+	}
+	ge, se := d.params.GatherEfficiency, d.params.StreamEfficiency
+	dense := float64(refs) / ge
+	staged := float64(uniq)/ge + float64(uniq)/se + float64(refs-uniq)/he
+	return staged < dense
+}
+
 // RemoteIssueCost returns the extra kernel time for issuing n one-sided
 // remote stores from inside a kernel. This is the PGAS backend's only
 // compute-side overhead relative to the local-only kernel.

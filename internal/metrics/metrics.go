@@ -132,6 +132,45 @@ func (c CacheCounters) Add(o CacheCounters) CacheCounters {
 	}
 }
 
+// DedupCounters aggregates batch-level index-deduplication activity on the
+// cross-GPU wire paths: how many pooled references and vectors were eligible
+// (off-diagonal, cache-miss traffic), how many distinct rows they collapsed
+// to, and what actually went over the wire. One System owns one counter set;
+// Add folds per-run sets into sweep-level views.
+type DedupCounters struct {
+	Batches      int64 // batches classified with dedup enabled
+	EligibleIdx  int64 // pooled index references on off-diagonal pairs (cache misses only)
+	EligibleVecs int64 // dense-scheme output vectors those pairs would ship
+	UniqueRows   int64 // distinct (table, row) keys among EligibleIdx
+	WireRows     int64 // unique rows actually shipped (pairs where dedup won)
+	WireVecs     int64 // dense vectors shipped on pairs where dedup lost
+	// WireSavedBytes is the modeled wire traffic avoided: for each pair
+	// where dedup won, (dense vectors - unique rows) × vector bytes.
+	WireSavedBytes float64
+}
+
+// UniqueFraction returns UniqueRows/EligibleIdx — the batch-level dedup
+// ratio — or 0 when nothing was eligible.
+func (c DedupCounters) UniqueFraction() float64 {
+	if c.EligibleIdx == 0 {
+		return 0
+	}
+	return float64(c.UniqueRows) / float64(c.EligibleIdx)
+}
+
+// Add returns the element-wise sum of the two counter sets.
+func (c DedupCounters) Add(o DedupCounters) DedupCounters {
+	return DedupCounters{
+		Batches:        c.Batches + o.Batches,
+		EligibleIdx:    c.EligibleIdx + o.EligibleIdx,
+		EligibleVecs:   c.EligibleVecs + o.EligibleVecs,
+		UniqueRows:     c.UniqueRows + o.UniqueRows,
+		WireRows:       c.WireRows + o.WireRows,
+		WireVecs:       c.WireVecs + o.WireVecs,
+		WireSavedBytes: c.WireSavedBytes + o.WireSavedBytes,
+	}
+}
+
 // Monotone reports whether xs is non-increasing (dir < 0) or non-decreasing
 // (dir > 0) within slack tolerance (absolute).
 func Monotone(xs []float64, dir int, slack float64) bool {

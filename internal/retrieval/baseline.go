@@ -48,7 +48,8 @@ func (b *Baseline) ValidateConfig(cfg Config) error {
 func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
 	cfg := s.Cfg
 	dev := s.Devs[g]
-	stream := dev.NewStream("emb")
+	stream := dev.Stream("emb")
+	sc := &s.scratch[g]
 	fg := s.LocalTables(g)
 	lo, hi := s.Minibatch(g)
 	mini := hi - lo
@@ -57,6 +58,7 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	// consumer) and vectors this consumer pools from its own cache. Both are
 	// zero when the cache is disabled (bd.Cache == nil).
 	view := bd.Cache
+	dv := bd.Dedup
 	skipVecs, skipIdx := view.SkipFrom(g)
 	hitVecs, hitIdx := view.HitAt(g)
 	vb := float64(cfg.VectorBytes())
@@ -66,11 +68,43 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	// minus skipped hit vectors, plus the consumer-side cache gathers (which
 	// read the small hot working set at near-streaming efficiency).
 	totalIdx := s.localIndexTotal(bd.Summary, g, 0, cfg.BatchSize) - skipIdx
-	readBytes := float64(totalIdx)*vb + // gathered table rows
-		dev.HotReadEquivalent(float64(hitIdx)*vb) // gathered cached rows
-	streamBytes := float64(totalIdx+hitIdx)*8 + // index reads
-		float64(cfg.BatchSize*fg-skipVecs+hitVecs)*vb // output stores
-	kernel := dev.GatherKernelCost(readBytes, streamBytes, cfg.BatchSize*fg-skipVecs+hitVecs)
+	var kernel sim.Duration
+	if dv == nil {
+		readBytes := float64(totalIdx)*vb + // gathered table rows
+			dev.HotReadEquivalent(float64(hitIdx)*vb) // gathered cached rows
+		streamBytes := float64(totalIdx+hitIdx)*8 + // index reads
+			float64(cfg.BatchSize*fg-skipVecs+hitVecs)*vb // output stores
+		kernel = dev.GatherKernelCost(readBytes, streamBytes, cfg.BatchSize*fg-skipVecs+hitVecs)
+	} else {
+		// Deduplicated: decompose the kernel per destination pair. Wire pairs
+		// gather and stage each unique row once (no pooling — the consumer
+		// expands); gather-dedup pairs stage unique rows and serve duplicate
+		// references from the hot working set; dense pairs keep the original
+		// cost shape. The conservative index-stream term is unchanged.
+		readBytes := dev.HotReadEquivalent(float64(hitIdx) * vb)
+		streamBytes := float64(totalIdx+hitIdx)*8 + float64(hitVecs)*vb
+		items := hitVecs
+		for d := 0; d < cfg.GPUs; d++ {
+			missIdx := dv.MissIdx[g][d]
+			uniq := dv.Uniq[g][d]
+			dense := int(dv.DenseVecs[g][d])
+			switch {
+			case dv.Wire[g][d]:
+				readBytes += float64(uniq) * vb
+				streamBytes += float64(uniq) * vb
+				items += int(uniq)
+			case dv.Gather[g][d]:
+				readBytes += float64(uniq)*vb + dev.HotReadEquivalent(float64(missIdx-uniq)*vb)
+				streamBytes += float64(dense+int(uniq)) * vb
+				items += dense
+			default:
+				readBytes += float64(missIdx) * vb
+				streamBytes += float64(dense) * vb
+				items += dense
+			}
+		}
+		kernel = dev.GatherKernelCost(readBytes, streamBytes, items)
+	}
 
 	var outputs *tensor.Tensor
 	if cfg.Functional {
@@ -102,28 +136,51 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	commStart := p.Now()
 	var recvBuf []float32
 	if cfg.Functional {
-		sendSegs := make([][]float32, cfg.GPUs)
-		recvSegs := make([][]float32, cfg.GPUs)
+		sendSegs := scratchSlice(&sc.sendSegs, cfg.GPUs)
+		recvSegs := scratchSlice(&sc.recvSegs, cfg.GPUs)
 		out := outputs.Data()
 		rowFloats := fg * cfg.Dim
-		recvFloats := 0
-		for src := 0; src < cfg.GPUs; src++ {
-			vecs := mini * s.LocalTables(src)
-			if view != nil {
-				vecs -= view.WireVecs[src][g] // WireVecs[g][g] is always 0
+		// Receive-segment sizes: wire sources ship unique rows, dense sources
+		// ship miss vectors; pack-buffer demand covers every packed send.
+		recvFloats, packFloats := 0, 0
+		for peer := 0; peer < cfg.GPUs; peer++ {
+			recvFloats += b.recvVecs(s, g, peer, mini, view, dv) * cfg.Dim
+			if peer == g {
+				continue
 			}
-			recvFloats += vecs * cfg.Dim
+			plo, phi := s.Minibatch(peer)
+			if dv != nil && dv.Wire[g][peer] {
+				packFloats += int(dv.Uniq[g][peer]) * cfg.Dim
+			} else if view != nil {
+				packFloats += ((phi-plo)*fg - view.WireVecs[g][peer]) * cfg.Dim
+			}
 		}
-		recvBuf = make([]float32, recvFloats)
+		recvBuf = scratchSlice(&sc.recvBuf, recvFloats)
+		pack := scratchSlice(&sc.packBuf, packFloats)
+		packAt := 0
 		at := 0
 		for peer := 0; peer < cfg.GPUs; peer++ {
 			plo, phi := s.Minibatch(peer)
-			if view == nil || peer == g {
+			switch {
+			case dv != nil && peer != g && dv.Wire[g][peer]:
+				// Wire dedup: gather each of the pair's unique rows once, in
+				// first-seen order; the consumer's expansion map addresses
+				// them by position.
+				seg := pack[packAt : packAt+int(dv.Uniq[g][peer])*cfg.Dim]
+				packAt += len(seg)
+				for i, key := range dv.Keys[g][peer] {
+					fi := int(key >> 32)
+					row := int(uint32(key))
+					w := s.colls[g].Tables[fi].Weights.Data()
+					copy(seg[i*cfg.Dim:(i+1)*cfg.Dim], w[row*cfg.Dim:(row+1)*cfg.Dim])
+				}
+				sendSegs[peer] = seg
+			case view == nil || peer == g:
 				sendSegs[peer] = out[plo*rowFloats : phi*rowFloats]
-			} else {
+			default:
 				// Pack miss-only vectors in the same sample-major order the
 				// contiguous slice would have carried.
-				seg := make([]float32, 0, ((phi-plo)*fg-view.WireVecs[g][peer])*cfg.Dim)
+				seg := pack[packAt:packAt]
 				for smp := plo; smp < phi; smp++ {
 					for fi := 0; fi < fg; fi++ {
 						if view.Hit[g][fi*cfg.BatchSize+smp] {
@@ -133,29 +190,39 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 						seg = append(seg, out[off:off+cfg.Dim]...)
 					}
 				}
+				packAt += len(seg)
 				sendSegs[peer] = seg
 			}
-			vecs := mini * s.LocalTables(peer)
-			if view != nil {
-				vecs -= view.WireVecs[peer][g]
-			}
+			vecs := b.recvVecs(s, g, peer, mini, view, dv)
 			recvSegs[peer] = recvBuf[at : at+vecs*cfg.Dim]
 			at += vecs * cfg.Dim
 		}
 		s.Comm.AllToAllSingle(p, g, sendSegs, recvSegs)
 	} else {
-		sendBytes := make([]float64, cfg.GPUs)
-		recvBytes := make([]float64, cfg.GPUs)
+		sendBytes := scratchSlice(&sc.sendBytes, cfg.GPUs)
+		recvBytes := scratchSlice(&sc.recvBytes, cfg.GPUs)
 		for peer := 0; peer < cfg.GPUs; peer++ {
+			sendBytes[peer] = 0
+			recvBytes[peer] = 0
 			if peer == g {
 				continue
 			}
-			plo, phi := s.Minibatch(peer)
-			sendVecs := (phi - plo) * fg
-			recvVecs := mini * s.LocalTables(peer)
-			if view != nil {
-				sendVecs -= view.WireVecs[g][peer]
-				recvVecs -= view.WireVecs[peer][g]
+			var sendVecs, recvVecs int
+			if dv != nil {
+				if dv.Wire[g][peer] {
+					sendVecs = int(dv.Uniq[g][peer])
+				} else {
+					sendVecs = int(dv.DenseVecs[g][peer])
+				}
+				recvVecs = b.recvVecs(s, g, peer, mini, view, dv)
+			} else {
+				plo, phi := s.Minibatch(peer)
+				sendVecs = (phi - plo) * fg
+				recvVecs = mini * s.LocalTables(peer)
+				if view != nil {
+					sendVecs -= view.WireVecs[g][peer]
+					recvVecs -= view.WireVecs[peer][g]
+				}
 			}
 			sendBytes[peer] = float64(sendVecs) * vb
 			recvBytes[peer] = float64(recvVecs) * vb
@@ -168,30 +235,103 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	// (mini, TotalTables, d) layout the interaction layer expects.
 	unpackStart := p.Now()
 	if !b.DirectPlacement {
-		remoteBytes := float64(mini*(cfg.TotalTables-fg)-hitVecs) * vb
-		unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
-		_, unpackEnd := stream.Launch(p, unpack)
-		p.WaitUntil(unpackEnd)
-		stream.Synchronize(p)
+		if dv == nil {
+			remoteBytes := float64(mini*(cfg.TotalTables-fg)-hitVecs) * vb
+			unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
+			_, unpackEnd := stream.Launch(p, unpack)
+			p.WaitUntil(unpackEnd)
+			stream.Synchronize(p)
+		} else {
+			// Only dense incoming segments need the rearrangement kernel;
+			// wire segments go through the expansion kernel below instead.
+			// When every source deduplicated, the unpack launch (and its
+			// fixed cost) disappears entirely.
+			var remoteBytes float64
+			segments := 0
+			for src := 0; src < cfg.GPUs; src++ {
+				if src == g || dv.Wire[src][g] {
+					continue
+				}
+				remoteBytes += float64(dv.DenseVecs[src][g]) * vb
+				segments++
+			}
+			if segments > 0 {
+				unpack := dev.UnpackKernelCost(remoteBytes, segments)
+				_, unpackEnd := stream.Launch(p, unpack)
+				p.WaitUntil(unpackEnd)
+				stream.Synchronize(p)
+			}
+		}
+	}
+	if dv != nil {
+		// Inverse expansion of wire segments: every miss-bag reference
+		// re-reads its unique row from the small received set (L2-resident),
+		// pooling into the final vectors. Runs under DirectPlacement too —
+		// expansion builds pooled outputs, it is not the rearrangement the
+		// ablation removes.
+		var refs int64
+		outVecs := 0
+		for src := 0; src < cfg.GPUs; src++ {
+			if src == g || !dv.Wire[src][g] {
+				continue
+			}
+			refs += dv.MissIdx[src][g]
+			outVecs += int(dv.DenseVecs[src][g])
+		}
+		if outVecs > 0 {
+			expand := dev.ExpandKernelCost(refs, outVecs, cfg.VectorBytes())
+			_, expandEnd := stream.Launch(p, expand)
+			p.WaitUntil(expandEnd)
+			stream.Synchronize(p)
+		}
 	}
 	if cfg.Functional {
-		b.functionalUnpack(s, g, mini, recvBuf, view, bd.Final[g])
+		b.functionalUnpack(s, g, mini, recvBuf, view, dv, bd)
 	}
 	bk.Accumulate(CompSyncUnpack, p.Now()-unpackStart)
+}
+
+// recvVecs returns the vector count GPU g receives from src in the
+// all-to-all: its own contiguous segment, a wire source's unique rows, or a
+// dense source's miss vectors.
+func (b *Baseline) recvVecs(s *System, g, src, mini int, view *CacheView, dv *DedupView) int {
+	if src == g {
+		return mini * s.LocalTables(src)
+	}
+	if dv != nil {
+		if dv.Wire[src][g] {
+			return int(dv.Uniq[src][g])
+		}
+		return int(dv.DenseVecs[src][g])
+	}
+	vecs := mini * s.LocalTables(src)
+	if view != nil {
+		vecs -= view.WireVecs[src][g]
+	}
+	return vecs
 }
 
 // functionalUnpack rearranges the received rank-major buffer
 // [src][sample][srcLocalFeature][d] into final[sample][globalFeature][d],
 // consuming the buffer sequentially and skipping cache-hit vectors (which
 // never travelled — their final slots were pooled from the cache at
-// classification time). In the DirectPlacement ablation this copy models
-// what a scattering NIC would have done; it costs no simulated time there.
-func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, view *CacheView, final *tensor.Tensor) {
+// classification time). Wire-deduplicated segments carry unique rows instead
+// of vectors; those are expanded (re-pooled) in place. In the
+// DirectPlacement ablation this copy models what a scattering NIC would have
+// done; it costs no simulated time there.
+func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, view *CacheView, dv *DedupView, bd *BatchData) {
 	cfg := s.Cfg
+	final := bd.Final[g]
 	lo, _ := s.Minibatch(g)
 	dst := final.Data()
 	at := 0
 	for src := 0; src < cfg.GPUs; src++ {
+		if dv != nil && src != g && dv.Wire[src][g] {
+			rows := recvBuf[at : at+int(dv.Uniq[src][g])*cfg.Dim]
+			at += len(rows)
+			s.functionalExpand(g, src, rows, dv, bd.Summary, view, dst)
+			continue
+		}
 		fsrc := s.LocalTables(src)
 		var hitRow []bool
 		if view != nil && src != g {

@@ -1,0 +1,83 @@
+package retrieval
+
+import (
+	"testing"
+
+	"pgasemb/internal/workload"
+)
+
+// benchConfig is a timing-only mid-scale configuration: big enough that the
+// per-batch arenas matter, small enough that one batch is microseconds of
+// host time.
+func benchConfig() Config {
+	return Config{
+		GPUs:            4,
+		TotalTables:     16,
+		Rows:            4096,
+		Dim:             64,
+		BatchSize:       1024,
+		MinPooling:      1,
+		MaxPooling:      8,
+		Batches:         1,
+		Seed:            2024,
+		ChunksPerKernel: 4,
+		Distribution:    workload.Zipf,
+		ZipfExponent:    1.2,
+	}
+}
+
+func benchRun(b *testing.B, cfg Config, backend Backend) {
+	b.Helper()
+	sys, err := NewSystem(cfg, DefaultHardware())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := BenchLoop(sys, backend, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBaselineBatch(b *testing.B) {
+	benchRun(b, benchConfig(), &Baseline{})
+}
+
+func BenchmarkBaselineBatchDedup(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Dedup = true
+	benchRun(b, cfg, &Baseline{})
+}
+
+func BenchmarkPGASFusedBatch(b *testing.B) {
+	benchRun(b, benchConfig(), &PGASFused{})
+}
+
+func BenchmarkPGASFusedBatchDedup(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Dedup = true
+	benchRun(b, cfg, &PGASFused{})
+}
+
+func BenchmarkPGASFusedBatchCached(b *testing.B) {
+	cfg := benchConfig()
+	cfg.CacheFraction = 0.0001
+	benchRun(b, cfg, &PGASFused{})
+}
+
+func BenchmarkRowWisePGASBatch(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sharding = RowWise
+	benchRun(b, cfg, &RowWisePGAS{})
+}
+
+// BenchmarkFunctionalPGASBatch measures the functional-mode hot path — the
+// real tensor movement the arenas were built for.
+func BenchmarkFunctionalPGASBatch(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Rows = 512
+	cfg.BatchSize = 256
+	cfg.Functional = true
+	cfg.Dedup = true
+	benchRun(b, cfg, &PGASFused{})
+}

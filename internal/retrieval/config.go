@@ -104,6 +104,11 @@ type Config struct {
 	// rows owned by OTHER GPUs, short-circuiting their remote fetches on a
 	// hit. 0 disables the cache. Table-wise sharding only.
 	CacheFraction float64
+	// Dedup enables batch-level index deduplication: per (owner, consumer)
+	// GPU pair, each batch's repeated rows are gathered, shipped and
+	// unpacked once and expanded at the consumer (see dedup.go). Composes
+	// with the hot-row cache. Table-wise sharding only.
+	Dedup bool
 }
 
 // Validate reports configuration errors.
@@ -142,6 +147,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("retrieval: CacheFraction %g outside [0, 1)", c.CacheFraction)
 	case c.CacheFraction > 0 && c.Sharding == RowWise:
 		return fmt.Errorf("retrieval: the hot-row cache requires table-wise sharding (row-wise lookups are partial sums, not rows)")
+	case c.Dedup && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: index deduplication requires table-wise sharding (row-wise lookups are partial sums, not rows)")
 	}
 	if c.PerFeatureRows != nil {
 		for f, r := range c.PerFeatureRows {

@@ -1,0 +1,286 @@
+package retrieval
+
+import (
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/metrics"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/workload"
+)
+
+// Batch-level index deduplication. Zipfian traffic repeats the same hot rows
+// many times per batch, so the dense scheme — pool every (sample, feature)
+// vector at the owner and ship it — moves redundant data. With Config.Dedup
+// on, the host classifies each batch per (owner GPU, consumer GPU) pair: the
+// pair's cache-missed bag references collapse to a unique (table, row) key
+// set plus an inverse-expansion map. Two independent wins follow:
+//
+//   - Wire dedup (off-diagonal pairs): when the pair has fewer unique rows
+//     than dense output vectors, the owner gathers and ships each unique row
+//     ONCE; the consumer expands — re-pools every miss bag from the small
+//     received row set at L2-equivalent cost. With pooling factors above ~1
+//     the dense scheme can be cheaper (pooling is itself a compressor), so
+//     the choice is adaptive per pair per batch.
+//
+//   - Gather dedup (any pair, timing model only): even when dense shipping
+//     wins, the owner's gather can read each unique row from HBM once, stage
+//     it, and serve duplicate references from the staged working set at
+//     hot-row efficiency (gpu.GatherDedupWins decides). Output data is
+//     unchanged, so this needs no functional counterpart.
+//
+// Classification happens host-side in NextBatchData in one canonical order
+// (owner, consumer, then the consumer's samples ascending, the owner's local
+// tables in plan order, bag order), after cache classification — cache-hit
+// vectors never enter the key sets, so a row served from the hot-row cache is
+// not double-counted as a dedup win. Outcomes are a pure function of the
+// workload seed and cache state, never of process interleaving.
+
+// dedupEnabled reports whether this run classifies batches for index
+// deduplication. Single-GPU systems still benefit (diagonal gather dedup).
+func (s *System) dedupEnabled() bool {
+	return s.Cfg.Dedup && s.Cfg.Sharding == TableWise
+}
+
+// DedupView is one batch's deduplication classification. All matrices are
+// indexed [owner][consumer]; the diagonal describes each GPU's local (own
+// minibatch) lookups, where only gather dedup can apply.
+type DedupView struct {
+	// MissIdx counts the pair's pooled bag references (cache misses only).
+	MissIdx [][]int64
+	// Uniq counts the distinct (table, hashed-row) keys among MissIdx.
+	Uniq [][]int64
+	// DenseVecs counts the output vectors the dense scheme would produce for
+	// the pair: consumer minibatch × owner tables, minus cache hits. Empty
+	// bags count — the dense scheme ships their zero vectors.
+	DenseVecs [][]int64
+	// Wire marks pairs where unique-row shipping beats dense vectors
+	// (off-diagonal only, Uniq < DenseVecs).
+	Wire [][]bool
+	// Gather marks non-wire pairs where the staged unique-row gather beats
+	// the dense gather (timing model only).
+	Gather [][]bool
+	// NewAt[src][dst][smp-dstLo] counts the pair's keys FIRST seen at that
+	// consumer sample, in canonical scan order; it sums to Uniq[src][dst] and
+	// lets the chunked fused kernel apportion unique-row work per chunk.
+	NewAt [][][]int32
+	// Keys[src][dst] lists the pair's unique keys in first-seen order
+	// (owner-local table index <<32 | hashed row). Functional wire pairs only.
+	Keys [][][]uint64
+	// Expand[src][dst] is the inverse-expansion map: for every miss-bag
+	// reference in canonical order, the position of its row in Keys.
+	// Functional wire pairs only.
+	Expand [][][]int32
+}
+
+// newKeysIn returns the pair's unique keys first seen in sample range
+// [s0, s1), clamped to the consumer's minibatch.
+func (v *DedupView) newKeysIn(s *System, src, dst, s0, s1 int) int {
+	dlo, dhi := s.Minibatch(dst)
+	if s0 < dlo {
+		s0 = dlo
+	}
+	if s1 > dhi {
+		s1 = dhi
+	}
+	n := 0
+	newAt := v.NewAt[src][dst]
+	for smp := s0; smp < s1; smp++ {
+		n += int(newAt[smp-dlo])
+	}
+	return n
+}
+
+// classifyDedup scans the materialised batch and builds the view, folding
+// the batch's savings into the run's counters.
+func (s *System) classifyDedup(bd *BatchData) *DedupView {
+	cfg := s.Cfg
+	B, G := cfg.BatchSize, cfg.GPUs
+	vb := float64(cfg.VectorBytes())
+	view := bd.Cache
+	dv := &DedupView{
+		MissIdx:   make([][]int64, G),
+		Uniq:      make([][]int64, G),
+		DenseVecs: make([][]int64, G),
+		Wire:      make([][]bool, G),
+		Gather:    make([][]bool, G),
+		NewAt:     make([][][]int32, G),
+		Keys:      make([][][]uint64, G),
+		Expand:    make([][][]int32, G),
+	}
+	ctr := metrics.DedupCounters{Batches: 1}
+	seen := make(map[uint64]int32)
+	for src := 0; src < G; src++ {
+		fg := len(s.Plan[src])
+		dv.MissIdx[src] = make([]int64, G)
+		dv.Uniq[src] = make([]int64, G)
+		dv.DenseVecs[src] = make([]int64, G)
+		dv.Wire[src] = make([]bool, G)
+		dv.Gather[src] = make([]bool, G)
+		dv.NewAt[src] = make([][]int32, G)
+		dv.Keys[src] = make([][]uint64, G)
+		dv.Expand[src] = make([][]int32, G)
+		fbs := make([]*sparse.FeatureBag, fg)
+		rowsPer := make([]int, fg)
+		for fi, fid := range s.Plan[src] {
+			fbs[fi] = bd.Sparse.FeatureByID(fid)
+			rowsPer[fi] = cfg.tableRows(fid)
+		}
+		for dst := 0; dst < G; dst++ {
+			dlo, dhi := s.Minibatch(dst)
+			clear(seen)
+			newAt := make([]int32, dhi-dlo)
+			var missIdx, denseVecs int64
+			var keys []uint64
+			var expand []int32
+			for smp := dlo; smp < dhi; smp++ {
+				var newHere int32
+				for fi := 0; fi < fg; fi++ {
+					if src != dst && view != nil && view.Hit[src][fi*B+smp] {
+						continue
+					}
+					denseVecs++
+					rows := rowsPer[fi]
+					for _, raw := range fbs[fi].Bag(smp) {
+						key := uint64(fi)<<32 | uint64(uint32(embedding.HashIndex(raw, rows)))
+						pos, ok := seen[key]
+						if !ok {
+							pos = int32(len(seen))
+							seen[key] = pos
+							newHere++
+							if cfg.Functional {
+								keys = append(keys, key)
+							}
+						}
+						missIdx++
+						if cfg.Functional {
+							expand = append(expand, pos)
+						}
+					}
+				}
+				newAt[smp-dlo] = newHere
+			}
+			uniq := int64(len(seen))
+			wire := src != dst && uniq < denseVecs
+			dv.MissIdx[src][dst] = missIdx
+			dv.Uniq[src][dst] = uniq
+			dv.DenseVecs[src][dst] = denseVecs
+			dv.Wire[src][dst] = wire
+			dv.Gather[src][dst] = !wire && s.Devs[src].GatherDedupWins(uniq, missIdx)
+			dv.NewAt[src][dst] = newAt
+			if cfg.Functional && wire {
+				dv.Keys[src][dst] = keys
+				dv.Expand[src][dst] = expand
+			}
+			if src != dst {
+				ctr.EligibleIdx += missIdx
+				ctr.EligibleVecs += denseVecs
+				ctr.UniqueRows += uniq
+				if wire {
+					ctr.WireRows += uniq
+					ctr.WireSavedBytes += float64(denseVecs-uniq) * vb
+				} else {
+					ctr.WireVecs += denseVecs
+				}
+			}
+		}
+	}
+	s.dedupStats = s.dedupStats.Add(ctr)
+	return dv
+}
+
+// attachDedup allocates the batch's cross-GPU expansion plumbing: the
+// consumer-side staging buffers the owners stream unique rows into
+// (functional wire pairs), and the post-quiet barrier PGAS backends
+// rendezvous on before expanding — quiet only drains a PE's OWN pipes, so a
+// consumer must not expand until every owner has finished streaming. The
+// baseline never awaits the barrier (its collective is already a global
+// synchronisation point); an unawaited barrier is inert.
+func (s *System) attachDedup(bd *BatchData, dv *DedupView) {
+	bd.Dedup = dv
+	if s.Cfg.GPUs <= 1 {
+		return
+	}
+	bd.dedupBarrier = sim.NewBarrier(s.Env, s.Cfg.GPUs)
+	if !s.Cfg.Functional {
+		return
+	}
+	bd.DedupStage = make([][][]float32, s.Cfg.GPUs)
+	for src := range bd.DedupStage {
+		bd.DedupStage[src] = make([][]float32, s.Cfg.GPUs)
+		for dst := range bd.DedupStage[src] {
+			if dv.Wire[src][dst] {
+				bd.DedupStage[src][dst] = make([]float32, int(dv.Uniq[src][dst])*s.Cfg.Dim)
+			}
+		}
+	}
+}
+
+// functionalExpand re-pools consumer g's miss vectors of wire pair (src, g)
+// from the received unique rows, bit-exactly reproducing what the dense path
+// (owner-side LookupPooled + ship) would have written: same accumulation
+// order (bag order, via the inverse-expansion positions), same mean scaling,
+// same max copy-then-compare. Cache-hit vectors were pooled at
+// classification time and are skipped; empty bags become zero vectors, as
+// LookupPooled makes them.
+func (s *System) functionalExpand(g, src int, rows []float32, dv *DedupView, sum *workload.Summary, view *CacheView, dst []float32) {
+	cfg := s.Cfg
+	B := cfg.BatchSize
+	lo, hi := s.Minibatch(g)
+	expand := dv.Expand[src][g]
+	e := 0
+	for smp := lo; smp < hi; smp++ {
+		for fi, fid := range s.Plan[src] {
+			if view != nil && view.Hit[src][fi*B+smp] {
+				continue
+			}
+			bagLen := int(sum.Pooling[fid*B+smp])
+			out := dst[((smp-lo)*cfg.TotalTables+fid)*cfg.Dim:][:cfg.Dim]
+			poolFromRows(rows, expand[e:e+bagLen], cfg.Dim, cfg.Pooling, out)
+			e += bagLen
+		}
+	}
+}
+
+// poolFromRows pools one bag from staged unique rows: positions index into
+// rows (dim floats each), in bag order. Mirrors embedding.Table.LookupPooled
+// exactly (see poolFromCache).
+func poolFromRows(rows []float32, pos []int32, dim int, mode embedding.PoolingMode, out []float32) {
+	for i := range out {
+		out[i] = 0
+	}
+	if len(pos) == 0 {
+		return
+	}
+	switch mode {
+	case embedding.SumPooling, embedding.MeanPooling:
+		for _, p := range pos {
+			vec := rows[int(p)*dim:][:dim]
+			for i, v := range vec {
+				out[i] += v
+			}
+		}
+		if mode == embedding.MeanPooling {
+			inv := 1 / float32(len(pos))
+			for i := range out {
+				out[i] *= inv
+			}
+		}
+	case embedding.MaxPooling:
+		first := true
+		for _, p := range pos {
+			vec := rows[int(p)*dim:][:dim]
+			if first {
+				copy(out, vec)
+				first = false
+				continue
+			}
+			for i, v := range vec {
+				if v > out[i] {
+					out[i] = v
+				}
+			}
+		}
+	default:
+		panic("retrieval: unknown pooling mode")
+	}
+}

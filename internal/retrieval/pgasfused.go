@@ -57,7 +57,8 @@ func (b *PGASFused) ValidateConfig(cfg Config) error {
 func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
 	cfg := s.Cfg
 	dev := s.Devs[g]
-	stream := dev.NewStream("emb-fused")
+	stream := dev.Stream("emb-fused")
+	sc := &s.scratch[g]
 	pe := s.PGAS.PE(g)
 	fg := s.LocalTables(g)
 	lo, hi := s.Minibatch(g)
@@ -73,22 +74,39 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	p.Wait(dev.Params().KernelLaunch)
 
 	vecBytes := cfg.VectorBytes()
+	fvb := float64(vecBytes)
 
 	// Hot-row cache discounts (zero when bd.Cache is nil): the kernel's
 	// occupancy is set by the whole batch's real item count — skipped hit
-	// vectors removed, consumer-side cache gathers added.
+	// vectors removed, consumer-side cache gathers added. With dedup, wire
+	// pairs contribute their unique rows as items instead of dense vectors.
 	view := bd.Cache
+	dv := bd.Dedup
 	batchSkipVecs, _ := view.SkipFrom(g)
 	batchHitVecs, _ := view.HitAt(g)
 	kernelItems := cfg.BatchSize*fg - batchSkipVecs + batchHitVecs
+	if dv != nil {
+		for d := 0; d < cfg.GPUs; d++ {
+			if dv.Wire[g][d] {
+				kernelItems += int(dv.Uniq[g][d]) - int(dv.DenseVecs[g][d])
+			}
+		}
+	}
 	var perPeer []int
-	if view != nil && !cfg.Functional {
-		perPeer = make([]int, cfg.GPUs)
+	if view != nil && !cfg.Functional && dv == nil {
+		perPeer = scratchSlice(&sc.perPeer, cfg.GPUs)
 	}
 
 	var scratch []float32
+	var cursors []int
 	if cfg.Functional {
-		scratch = make([]float32, cfg.Dim)
+		scratch = scratchSlice(&sc.vec, cfg.Dim)
+		if dv != nil {
+			cursors = scratchSlice(&sc.cursors, cfg.GPUs)
+			for i := range cursors {
+				cursors[i] = 0
+			}
+		}
 	}
 
 	// The fused kernel walks the batch in sample-range chunks; each chunk
@@ -102,35 +120,49 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		if s0 == s1 {
 			continue
 		}
-		for i := range perPeer {
-			perPeer[i] = 0
+		var cost sim.Duration
+		if dv == nil {
+			for i := range perPeer {
+				perPeer[i] = 0
+			}
+			skipVecs, skipIdx := s.cacheChunkOwner(view, bd.Summary, g, s0, s1, perPeer)
+			hitVecs, hitIdx := s.cacheChunkConsumer(view, bd.Summary, g, s0, s1)
+			chunkIdx := s.localIndexTotal(bd.Summary, g, s0, s1) - skipIdx
+			// Local outputs store to HBM; remote outputs leave from registers.
+			localSamples := overlap(s0, s1, lo, hi)
+			remoteSamples := (s1 - s0) - localSamples
+			readBytes := float64(chunkIdx)*fvb +
+				dev.HotReadEquivalent(float64(hitIdx)*fvb)
+			streamBytes := float64(chunkIdx+hitIdx)*8 + float64(localSamples*fg+hitVecs)*fvb
+			cost = dev.GatherKernelChunkCost(readBytes, streamBytes, (s1-s0)*fg-skipVecs+hitVecs, kernelItems) +
+				dev.RemoteIssueCost(remoteSamples*fg-skipVecs) +
+				sim.Duration(peers)*dev.Params().RemotePeerChunkOverhead
+		} else {
+			cost = b.dedupChunkCost(s, g, bd, s0, s1, kernelItems)
 		}
-		skipVecs, skipIdx := s.cacheChunkOwner(view, bd.Summary, g, s0, s1, perPeer)
-		hitVecs, hitIdx := s.cacheChunkConsumer(view, bd.Summary, g, s0, s1)
-		chunkIdx := s.localIndexTotal(bd.Summary, g, s0, s1) - skipIdx
-		// Local outputs store to HBM; remote outputs leave from registers.
-		localSamples := overlap(s0, s1, lo, hi)
-		remoteSamples := (s1 - s0) - localSamples
-		readBytes := float64(chunkIdx)*float64(vecBytes) +
-			dev.HotReadEquivalent(float64(hitIdx)*float64(vecBytes))
-		streamBytes := float64(chunkIdx+hitIdx)*8 + float64(localSamples*fg+hitVecs)*float64(vecBytes)
-		cost := dev.GatherKernelChunkCost(readBytes, streamBytes, (s1-s0)*fg-skipVecs+hitVecs, kernelItems) +
-			dev.RemoteIssueCost(remoteSamples*fg-skipVecs) +
-			sim.Duration(peers)*dev.Params().RemotePeerChunkOverhead
 		p.Wait(cost)
 
 		if cfg.Functional {
-			b.functionalChunk(s, p, g, bd, view, s0, s1, scratch, agg)
+			b.functionalChunk(s, p, g, bd, view, dv, s0, s1, scratch, cursors, agg)
 			continue
 		}
 		for peer := 0; peer < cfg.GPUs; peer++ {
 			if peer == g {
 				continue
 			}
-			plo, phi := s.Minibatch(peer)
-			vecs := overlap(s0, s1, plo, phi) * fg
-			if perPeer != nil {
-				vecs -= perPeer[peer]
+			var vecs int
+			if dv != nil && dv.Wire[g][peer] {
+				vecs = dv.newKeysIn(s, g, peer, s0, s1)
+			} else {
+				plo, phi := s.Minibatch(peer)
+				vecs = overlap(s0, s1, plo, phi) * fg
+				if dv != nil {
+					o0, o1 := clampRange(s0, s1, plo, phi)
+					hitV, _ := s.cacheChunkOwner(view, bd.Summary, g, o0, o1, nil)
+					vecs -= hitV
+				} else if perPeer != nil {
+					vecs -= perPeer[peer]
+				}
 			}
 			if vecs == 0 {
 				continue
@@ -149,10 +181,52 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	pe.Quiet(p)
 	bk.Accumulate(CompFused, p.Now()-batchStart)
 
+	if bd.dedupBarrier != nil {
+		// Quiet drained only OUR pipes; expansion consumes rows streamed by
+		// every owner, so all PEs rendezvous first.
+		expandStart := p.Now()
+		bd.dedupBarrier.Await(p)
+		var refs int64
+		outVecs := 0
+		for src := 0; src < cfg.GPUs; src++ {
+			if src == g || !dv.Wire[src][g] {
+				continue
+			}
+			refs += dv.MissIdx[src][g]
+			outVecs += int(dv.DenseVecs[src][g])
+		}
+		if outVecs > 0 {
+			expand := dev.ExpandKernelCost(refs, outVecs, vecBytes)
+			stream.Launch(p, expand) // drains before the final Synchronize
+			if cfg.Functional {
+				for src := 0; src < cfg.GPUs; src++ {
+					if src != g && dv.Wire[src][g] {
+						s.functionalExpand(g, src, bd.DedupStage[src][g], dv, bd.Summary, view, bd.Final[g].Data())
+					}
+				}
+			}
+		}
+		bk.Accumulate(CompSyncUnpack, p.Now()-expandStart)
+	}
+
 	if b.StageRemote && cfg.GPUs > 1 {
 		// A2 ablation: remote stores landed rank-ordered; rearrange.
 		unpackStart := p.Now()
-		remoteBytes := float64(mini*(cfg.TotalTables-fg)-batchHitVecs) * float64(vecBytes)
+		var remoteBytes float64
+		if dv == nil {
+			remoteBytes = float64(mini*(cfg.TotalTables-fg)-batchHitVecs) * fvb
+		} else {
+			for src := 0; src < cfg.GPUs; src++ {
+				if src == g {
+					continue
+				}
+				if dv.Wire[src][g] {
+					remoteBytes += float64(dv.Uniq[src][g]) * fvb
+				} else {
+					remoteBytes += float64(dv.DenseVecs[src][g]) * fvb
+				}
+			}
+		}
 		unpack := dev.UnpackKernelCost(remoteBytes, cfg.GPUs-1)
 		_, unpackEnd := stream.Launch(p, unpack)
 		p.WaitUntil(unpackEnd)
@@ -164,10 +238,90 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	bk.Accumulate(CompSyncUnpack, p.Now()-syncStart)
 }
 
+// dedupChunkCost prices one chunk of the deduplicated fused kernel by
+// destination pair: own-minibatch outputs store to HBM (with gather dedup
+// when it wins), dense remote pairs issue per-vector stores, and wire pairs
+// gather and issue only the keys first seen in this chunk. Chunk items sum
+// exactly to the kernel's occupancy item count.
+func (b *PGASFused) dedupChunkCost(s *System, g int, bd *BatchData, s0, s1, kernelItems int) sim.Duration {
+	cfg := s.Cfg
+	dev := s.Devs[g]
+	view := bd.Cache
+	dv := bd.Dedup
+	fg := s.LocalTables(g)
+	fvb := float64(cfg.VectorBytes())
+	var readBytes, streamBytes float64
+	var items, issues int
+	var chunkIdx int64
+	for d := 0; d < cfg.GPUs; d++ {
+		dlo, dhi := s.Minibatch(d)
+		o0, o1 := clampRange(s0, s1, dlo, dhi)
+		if o1 <= o0 {
+			continue
+		}
+		ovl := o1 - o0
+		pairIdx := s.localIndexTotal(bd.Summary, g, o0, o1)
+		if d == g {
+			chunkIdx += pairIdx
+			if dv.Gather[g][g] {
+				nk := int64(dv.newKeysIn(s, g, g, o0, o1))
+				readBytes += float64(nk)*fvb + dev.HotReadEquivalent(float64(pairIdx-nk)*fvb)
+				streamBytes += float64(nk) * fvb
+			} else {
+				readBytes += float64(pairIdx) * fvb
+			}
+			streamBytes += float64(ovl*fg) * fvb
+			items += ovl * fg
+			continue
+		}
+		hitV, hitI := s.cacheChunkOwner(view, bd.Summary, g, o0, o1, nil)
+		missIdx := pairIdx - hitI
+		chunkIdx += missIdx
+		if dv.Wire[g][d] {
+			nk := dv.newKeysIn(s, g, d, o0, o1)
+			readBytes += float64(nk) * fvb
+			items += nk
+			issues += nk
+			continue
+		}
+		missVecs := ovl*fg - hitV
+		if dv.Gather[g][d] {
+			nk := int64(dv.newKeysIn(s, g, d, o0, o1))
+			readBytes += float64(nk)*fvb + dev.HotReadEquivalent(float64(missIdx-nk)*fvb)
+			streamBytes += float64(nk) * fvb
+		} else {
+			readBytes += float64(missIdx) * fvb
+		}
+		items += missVecs
+		issues += missVecs
+	}
+	hitVecs, hitIdx := s.cacheChunkConsumer(view, bd.Summary, g, s0, s1)
+	readBytes += dev.HotReadEquivalent(float64(hitIdx) * fvb)
+	streamBytes += float64(chunkIdx+hitIdx)*8 + float64(hitVecs)*fvb
+	items += hitVecs
+	return dev.GatherKernelChunkCost(readBytes, streamBytes, items, kernelItems) +
+		dev.RemoteIssueCost(issues) +
+		sim.Duration(cfg.GPUs-1)*dev.Params().RemotePeerChunkOverhead
+}
+
+// clampRange returns [a0, a1) ∩ [b0, b1) as a (possibly empty) range.
+func clampRange(a0, a1, b0, b1 int) (int, int) {
+	if b0 > a0 {
+		a0 = b0
+	}
+	if b1 < a1 {
+		a1 = b1
+	}
+	return a0, a1
+}
+
 // functionalChunk pools every (sample, feature) output in [s0, s1) and
 // stores it one-sidedly at its final address on the owning GPU — except
-// cache-hit vectors, which the consumer already pooled locally.
-func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, view *CacheView, s0, s1 int, scratch []float32, agg *pgas.Aggregator) {
+// cache-hit vectors, which the consumer already pooled locally, and wire
+// pairs, where only the unique rows first referenced in this chunk are
+// streamed (in canonical first-seen order) into the owner's staging buffer;
+// the owner expands them after the dedup barrier.
+func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, view *CacheView, dv *DedupView, s0, s1 int, scratch []float32, cursors []int, agg *pgas.Aggregator) {
 	cfg := s.Cfg
 	pe := s.PGAS.PE(g)
 	part := bd.Parts[g]
@@ -175,6 +329,33 @@ func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData
 	for smp := s0; smp < s1; smp++ {
 		owner := sparse.OwnerOfSample(cfg.BatchSize, cfg.GPUs, smp)
 		olo, _ := s.Minibatch(owner)
+		if dv != nil && dv.Wire[g][owner] {
+			// Stream the keys this sample introduces; everything else in
+			// this sample's bags is already staged (or will never be — only
+			// first references ship).
+			n := int(dv.NewAt[g][owner][smp-olo])
+			if n == 0 {
+				continue
+			}
+			cur := cursors[owner]
+			stage := bd.DedupStage[g][owner]
+			keys := dv.Keys[g][owner]
+			for i := 0; i < n; i++ {
+				key := keys[cur+i]
+				fi := int(key >> 32)
+				row := int(uint32(key))
+				w := coll.Tables[fi].Weights.Data()
+				dst := stage[(cur+i)*cfg.Dim : (cur+i+1)*cfg.Dim]
+				src := w[row*cfg.Dim : (row+1)*cfg.Dim]
+				if agg != nil {
+					agg.Store(s.PGAS.PE(owner), dst, src)
+				} else {
+					pe.PutFloat32s(s.PGAS.PE(owner), dst, src)
+				}
+			}
+			cursors[owner] = cur + n
+			continue
+		}
 		dstTensor := bd.Final[owner]
 		dstData := dstTensor.Data()
 		for fi := range part.Features {

@@ -58,7 +58,7 @@ func rowWiseKernelCost(s *System, g int, bd *BatchData) sim.Duration {
 func (b *RowWiseBaseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
 	cfg := s.Cfg
 	dev := s.Devs[g]
-	stream := dev.NewStream("emb-rowwise")
+	stream := dev.Stream("emb-rowwise")
 
 	kernel := rowWiseKernelCost(s, g, bd)
 	var partials []float32
@@ -106,8 +106,10 @@ func (b *RowWiseBaseline) functionalPartials(s *System, g int, bd *BatchData) []
 	cfg := s.Cfg
 	coll := s.globalColl
 	rlo, rhi := s.RowShard(g)
-	out := make([]float32, cfg.BatchSize*cfg.TotalTables*cfg.Dim)
-	scratch := make([]float32, cfg.Dim)
+	sc := &s.scratch[g]
+	out := scratchSlice(&sc.partials, cfg.BatchSize*cfg.TotalTables*cfg.Dim)
+	clear(out) // arena reuse: samples with no row in this shard must stay zero
+	scratch := scratchSlice(&sc.vec, cfg.Dim)
 	for fi, fid := range coll.FeatureIDs {
 		fb := bd.Sparse.FeatureByID(fid)
 		tbl := coll.Tables[fi]
@@ -135,7 +137,7 @@ func (b *RowWisePGAS) ValidateConfig(cfg Config) error { return validateRowWise(
 func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
 	cfg := s.Cfg
 	dev := s.Devs[g]
-	stream := dev.NewStream("emb-rowwise-fused")
+	stream := dev.Stream("emb-rowwise-fused")
 	pe := s.PGAS.PE(g)
 	peers := cfg.GPUs - 1
 	vecBytes := cfg.VectorBytes()
@@ -146,7 +148,7 @@ func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk 
 	kernelTotal := rowWiseKernelCost(s, g, bd) // same gather work; stores leave as atomics
 	var scratch []float32
 	if cfg.Functional {
-		scratch = make([]float32, cfg.Dim)
+		scratch = scratchSlice(&s.scratch[g].vec, cfg.Dim)
 	}
 	chunks := cfg.ChunksPerKernel
 	for k := 0; k < chunks; k++ {

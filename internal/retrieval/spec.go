@@ -156,6 +156,7 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		Plan:    spec.plan,
 		gen:     gen,
 		gradRng: sim.NewRNG(cfg.Seed ^ 0x6AAD),
+		scratch: make([]gpuScratch, cfg.GPUs),
 	}
 	for g := 0; g < cfg.GPUs; g++ {
 		dev := gpu.NewDevice(env, g, spec.hw.GPU)

@@ -9,6 +9,7 @@ import (
 	"pgasemb/internal/collective"
 	"pgasemb/internal/embedding"
 	"pgasemb/internal/gpu"
+	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/pgas"
 	"pgasemb/internal/sim"
@@ -82,6 +83,14 @@ type System struct {
 
 	gen     *workload.Generator
 	gradRng *sim.RNG // upstream gradients for the backward extension
+
+	// scratch holds each GPU's reusable per-batch working buffers; only GPU
+	// g's simulated process touches scratch[g].
+	scratch []gpuScratch
+
+	// dedupStats accumulates the run's deduplication savings (classifyDedup
+	// folds one batch in at a time; host-side, so no synchronisation).
+	dedupStats metrics.DedupCounters
 
 	// Functional state (nil slices in timing mode).
 	colls []*embedding.Collection
@@ -236,20 +245,36 @@ type BatchData struct {
 	// disabled): which vectors each backend may skip sending and each
 	// consumer pools locally.
 	Cache *CacheView
+
+	// Dedup is the batch's index-deduplication classification (nil when
+	// Config.Dedup is off): per (owner, consumer) pair, the unique key sets
+	// and inverse-expansion maps.
+	Dedup *DedupView
+	// DedupStage[src][dst] is the consumer-side staging buffer owner src
+	// streams its unique rows into (functional wire pairs only).
+	DedupStage [][][]float32
+	// dedupBarrier is the post-quiet rendezvous PGAS backends await before
+	// consumer-side expansion (nil when dedup is off or single-GPU).
+	dedupBarrier *sim.Barrier
 }
 
 // NextBatchData draws the next batch in the mode the system was built for.
 func (s *System) NextBatchData() (*BatchData, error) {
 	bd := &BatchData{}
 	if !s.Cfg.Functional {
-		if s.cacheEnabled() {
-			// The cache needs real indices to probe; materialise the batch,
-			// classify, then drop it — timing runs keep no data plane. The
-			// pooling stream (and so all timing inputs) is identical to what
-			// NextSummary would have produced.
+		if s.cacheEnabled() || s.dedupEnabled() {
+			// The cache and the dedup classifier need real indices; materialise
+			// the batch, classify, then drop it — timing runs keep no data
+			// plane. The pooling stream (and so all timing inputs) is identical
+			// to what NextSummary would have produced.
 			bd.Sparse = s.gen.NextBatch()
 			bd.Summary = summaryFromBatch(bd.Sparse)
-			bd.Cache = s.classifyCache(bd)
+			if s.cacheEnabled() {
+				bd.Cache = s.classifyCache(bd)
+			}
+			if s.dedupEnabled() {
+				s.attachDedup(bd, s.classifyDedup(bd))
+			}
 			bd.Sparse = nil
 			return bd, nil
 		}
@@ -285,8 +310,16 @@ func (s *System) NextBatchData() (*BatchData, error) {
 		// After Final is allocated: classification pools hit vectors into it.
 		bd.Cache = s.classifyCache(bd)
 	}
+	if s.dedupEnabled() {
+		// After cache classification: hit vectors never enter the key sets.
+		s.attachDedup(bd, s.classifyDedup(bd))
+	}
 	return bd, nil
 }
+
+// DedupStats returns the run's accumulated index-deduplication counters
+// (zero-valued when Config.Dedup is off).
+func (s *System) DedupStats() metrics.DedupCounters { return s.dedupStats }
 
 func summaryFromBatch(b *sparse.Batch) *workload.Summary {
 	sum := &workload.Summary{
@@ -363,6 +396,9 @@ type Result struct {
 	// LastBatch is the last batch's inputs (functional mode), for
 	// verification against the reference.
 	LastBatch *sparse.Batch
+	// DedupStats summarises the run's index-deduplication savings
+	// (zero-valued when Config.Dedup is off).
+	DedupStats metrics.DedupCounters
 }
 
 // Run executes the configured number of batches under the given backend and
@@ -433,6 +469,7 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 	res.TotalTime = s.Env.Now() - start
 	res.Breakdown = trace.MergeMax(res.PerGPU...)
 	res.CommTrace = s.commTrace(b)
+	res.DedupStats = s.dedupStats
 	if s.Cfg.Functional && len(batches) > 0 {
 		last := batches[len(batches)-1]
 		res.Final = last.Final

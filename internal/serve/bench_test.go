@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"testing"
+
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/workload"
+)
+
+// benchBase is a small serving machine: 2 GPUs, Zipf-skewed traffic, one
+// dispatch is microseconds of host time.
+func benchBase() retrieval.Config {
+	return retrieval.Config{
+		GPUs:            2,
+		TotalTables:     8,
+		Rows:            4096,
+		Dim:             64,
+		BatchSize:       256,
+		MinPooling:      1,
+		MaxPooling:      8,
+		Batches:         1,
+		Seed:            2024,
+		ChunksPerKernel: 4,
+		Distribution:    workload.Zipf,
+		ZipfExponent:    1.2,
+	}
+}
+
+// benchServe measures one full serving run per op: arrivals, dynamic
+// batching, and every dispatched pipeline simulation.
+func benchServe(b *testing.B, base retrieval.Config) {
+	b.Helper()
+	srv, err := NewServer(base, retrieval.DefaultHardware(), &retrieval.PGASFused{}, Config{
+		Rate:     8000,
+		Duration: 20 * sim.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServingRun(b *testing.B) {
+	benchServe(b, benchBase())
+}
+
+func BenchmarkServingRunDedup(b *testing.B) {
+	cfg := benchBase()
+	cfg.Dedup = true
+	benchServe(b, cfg)
+}
+
+func BenchmarkServingRunCached(b *testing.B) {
+	cfg := benchBase()
+	cfg.CacheFraction = 0.0001
+	benchServe(b, cfg)
+}

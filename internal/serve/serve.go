@@ -162,6 +162,9 @@ type Result struct {
 	// CacheStats aggregates the hot-row cache counters across GPUs (zero
 	// when the cache is disabled).
 	CacheStats metrics.CacheCounters
+	// DedupStats aggregates the index-deduplication counters across every
+	// dispatched batch (zero when Config.Dedup is off).
+	DedupStats metrics.DedupCounters
 }
 
 // Percentile returns the p-th latency percentile (nearest rank), or 0 when
@@ -287,6 +290,7 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 				runErr = err
 				return
 			}
+			res.DedupStats = res.DedupStats.Add(pl.Sys.DedupStats())
 			p.Wait(plRes.TotalTime)
 			done := p.Now()
 			for _, arr := range taken {

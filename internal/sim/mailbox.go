@@ -25,7 +25,7 @@ func (m *Mailbox[T]) Send(v T) {
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		m.env.After(0, func() { w.wake() })
+		m.env.After(0, w.wakeFn)
 	}
 }
 

@@ -12,6 +12,7 @@ type Proc struct {
 	resume chan struct{} // scheduler -> proc
 	parked chan struct{} // proc -> scheduler
 	done   bool
+	wakeFn func()  // cached wake closure, so blocking calls don't allocate
 	Done   *Signal // fires when the process function returns
 }
 
@@ -28,6 +29,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		parked: make(chan struct{}),
 		Done:   NewSignal(e),
 	}
+	p.wakeFn = p.wake
 	e.After(0, func() {
 		go func() {
 			defer func() {
@@ -66,7 +68,7 @@ func (p *Proc) Wait(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: proc %q waits negative duration %g", p.name, d))
 	}
-	p.env.After(d, func() { p.wake() })
+	p.env.After(d, p.wakeFn)
 	p.park()
 }
 
@@ -137,8 +139,7 @@ func (s *Signal) Fire() {
 	s.fired = true
 	s.firedAt = s.env.now
 	for _, w := range s.waiters {
-		w := w
-		s.env.After(0, func() { w.wake() })
+		s.env.After(0, w.wakeFn)
 	}
 	s.waiters = nil
 	for _, cb := range s.cbs {
@@ -166,8 +167,7 @@ func (s *Signal) subscribe(p *Proc) {
 type Barrier struct {
 	env     *Env
 	parties int
-	arrived int
-	gen     *Signal
+	waiters []*Proc // parked parties of the current generation (array reused)
 }
 
 // NewBarrier returns a barrier for the given number of parties.
@@ -175,19 +175,21 @@ func NewBarrier(e *Env, parties int) *Barrier {
 	if parties <= 0 {
 		panic("sim: barrier needs at least one party")
 	}
-	return &Barrier{env: e, parties: parties, gen: NewSignal(e)}
+	return &Barrier{env: e, parties: parties}
 }
 
 // Await blocks the process until all parties have arrived, then releases the
-// generation and resets the barrier for reuse.
+// generation and resets the barrier for reuse. The waiter list's backing
+// array is recycled across generations, so a steady-state barrier cycle
+// allocates nothing.
 func (b *Barrier) Await(p *Proc) {
-	b.arrived++
-	if b.arrived == b.parties {
-		g := b.gen
-		b.arrived = 0
-		b.gen = NewSignal(b.env)
-		g.Fire()
+	if len(b.waiters)+1 == b.parties {
+		for _, w := range b.waiters {
+			b.env.After(0, w.wakeFn)
+		}
+		b.waiters = b.waiters[:0]
 		return
 	}
-	p.WaitSignal(b.gen)
+	b.waiters = append(b.waiters, p)
+	p.park()
 }

@@ -47,7 +47,7 @@ func (r *Resource) Release() {
 		next := r.waiters[0]
 		r.waiters = r.waiters[1:]
 		// Hand the unit straight to the waiter; inUse stays constant.
-		r.env.After(0, func() { next.wake() })
+		r.env.After(0, next.wakeFn)
 		return
 	}
 	r.inUse--

@@ -117,6 +117,20 @@ func NewZipfTable(rng *RNG, s float64, n int) *ZipfTable {
 	return &ZipfTable{rng: rng, cdf: cdf}
 }
 
+// Probabilities returns a fresh copy of the per-rank probability mass
+// function p_r (r in [0, n)). Analytic workload expectations — e.g. the
+// expected number of distinct rows in a batch, which the dedup tests pin
+// measurements against — are computed from it.
+func (zt *ZipfTable) Probabilities() []float64 {
+	probs := make([]float64, len(zt.cdf))
+	prev := 0.0
+	for i, c := range zt.cdf {
+		probs[i] = c - prev
+		prev = c
+	}
+	return probs
+}
+
 // Next draws the next variate in [0, n).
 func (zt *ZipfTable) Next() int {
 	u := zt.rng.Float64()

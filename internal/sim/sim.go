@@ -70,6 +70,7 @@ type Env struct {
 	queue  eventHeap
 	seq    int64
 	nfired int64
+	free   []*event // recycled event nodes: scheduling is allocation-free at steady state
 }
 
 // NewEnv returns an environment with the clock at zero and an empty queue.
@@ -91,7 +92,15 @@ func (e *Env) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %s before now %s", FormatTime(at), FormatTime(e.now)))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.queue, ev)
 }
 
 // After runs fn d seconds from now. Negative d panics.
@@ -108,7 +117,10 @@ func (e *Env) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.nfired++
-	ev.fn()
+	fn := ev.fn
+	ev.fn = nil // release the closure; recycle the node before running it
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"pgasemb/internal/sim"
 	"pgasemb/internal/sparse"
@@ -109,6 +110,44 @@ func (c Config) ExpectedPoolingLoad() []float64 {
 		loads[f] = (1 - c.NullProbability) * float64(c.MinPooling+max) / 2
 	}
 	return loads
+}
+
+// ExpectedUnique returns the expected number of distinct buckets hit by n
+// independent index draws from this workload's distribution: E[distinct] =
+// Σ_b (1 − (1 − q_b)^n), where q_b sums the raw-index probabilities mapped
+// into bucket b. With bucket == nil each raw index is its own bucket; the
+// retrieval layer passes its row-hash so the expectation accounts for hash
+// collisions exactly. The dedup tests pin measured batch dedup ratios
+// against this closed form.
+func (c Config) ExpectedUnique(n int64, buckets int, bucket func(int64) int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if bucket == nil {
+		buckets = int(c.IndexSpace)
+		bucket = func(raw int64) int { return int(raw) }
+	}
+	q := make([]float64, buckets)
+	if c.Distribution == Zipf {
+		zt := sim.NewZipfTable(sim.NewRNG(0), c.ZipfExponent, int(c.IndexSpace))
+		for raw, p := range zt.Probabilities() {
+			q[bucket(int64(raw))] += p
+		}
+	} else {
+		p := 1 / float64(c.IndexSpace)
+		for raw := int64(0); raw < c.IndexSpace; raw++ {
+			q[bucket(raw)] += p
+		}
+	}
+	var expected float64
+	for _, qb := range q {
+		if qb <= 0 {
+			continue
+		}
+		// 1-(1-q)^n via expm1/log1p for tiny q at large n.
+		expected += -math.Expm1(float64(n) * math.Log1p(-qb))
+	}
+	return expected
 }
 
 // PaperWeakScaling returns the weak-scaling workload of §IV-A for the given

@@ -29,6 +29,7 @@ import (
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/retrieval"
 	"pgasemb/internal/serve"
+	"pgasemb/internal/workload"
 )
 
 // Core experiment types.
@@ -190,6 +191,18 @@ const (
 	RowWiseSharding = retrieval.RowWise
 )
 
+// IndexDist selects the synthetic workload's index distribution
+// (Config.Distribution).
+type IndexDist = workload.IndexDist
+
+const (
+	// UniformIndices draws raw indices uniformly (the default).
+	UniformIndices = workload.Uniform
+	// ZipfIndices draws Zipf-skewed indices (Config.ZipfExponent); the
+	// regime where the hot-row cache and index deduplication win.
+	ZipfIndices = workload.Zipf
+)
+
 // NewRowWiseBaseline returns the reduce-scatter row-wise EMB forward.
 func NewRowWiseBaseline() Backend { return &retrieval.RowWiseBaseline{} }
 
@@ -281,6 +294,17 @@ type BenchReport = experiments.BenchReport
 
 // NewBench returns an empty experiment-timing recorder.
 func NewBench() *Bench { return experiments.NewBench() }
+
+// HotPathBenchmark is one Go-benchmark measurement of a per-batch hot path,
+// recorded into bench.json for regression tracking.
+type HotPathBenchmark = experiments.HotPathBenchmark
+
+// RunHotPaths measures the per-batch retrieval hot paths and a short
+// serving run, recording each measurement on b.
+func RunHotPaths(b *Bench) error { return experiments.RunHotPaths(b) }
+
+// DedupCounters aggregates batch-level index-deduplication savings.
+type DedupCounters = metrics.DedupCounters
 
 // AblationTable renders ablation results as a table.
 func AblationTable(results []AblationResult) *RenderedTable {
