@@ -1,0 +1,52 @@
+// Command multinode runs the multi-node scaling evaluation (the paper's §V
+// future-work setting): N NVLink nodes joined by NICs, the baseline over
+// hierarchical collectives, PGAS over the proxy-coalesced inter-node
+// one-sided path. It prints weak- and strong-scaling tables with NIC-traffic
+// columns.
+//
+// Usage:
+//
+//	multinode [-nodes 4] [-gpus-per-node 4] [-batches 20] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasemb"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "largest node count in the sweep")
+	gpusPerNode := flag.Int("gpus-per-node", 4, "GPUs per node")
+	batches := flag.Int("batches", 0, "inference batches per run (0 = configuration default)")
+	batchSize := flag.Int("batchsize", 0, "global batch size (0 = configuration default)")
+	parallel := flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS); results are identical for every value")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	opts := pgasemb.MultiNodeOptions{
+		MaxNodes:    *nodes,
+		GPUsPerNode: *gpusPerNode,
+		Batches:     *batches,
+		BatchSize:   *batchSize,
+		Parallel:    *parallel,
+	}
+	var tables []*pgasemb.RenderedTable
+	for _, kind := range []pgasemb.ScalingKind{pgasemb.WeakScaling, pgasemb.StrongScaling} {
+		res, err := pgasemb.RunMultiNode(kind, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multinode:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, res.ScalingTable(), res.CommTable())
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

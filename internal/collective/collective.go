@@ -18,6 +18,7 @@ package collective
 import (
 	"fmt"
 
+	"pgasemb/internal/fabric"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/trace"
@@ -73,6 +74,12 @@ type Comm struct {
 	fabric *nvlink.Fabric
 	params Params
 
+	// net is the inter-node NIC layer of a cluster communicator (nil on
+	// single-node communicators), and hier the per-rank scratch for the
+	// hierarchical schedules.
+	net  *fabric.Interconnect
+	hier []hierScratch
+
 	volume *trace.VolumeTrace
 
 	// Rendezvous state for the in-flight collective. Op descriptors are
@@ -90,6 +97,7 @@ type pendingOp struct {
 	sends   [][][]float32 // [rank][dst] -> segment
 	recvs   [][][]float32 // [rank][src] -> segment
 	reduceA [][]float32   // [rank] -> full buffer (allreduce)
+	sizes   [][]float64   // [rank][dst] -> send bytes (hierarchical schedules)
 }
 
 // New creates a communicator over every fabric endpoint.
@@ -121,9 +129,15 @@ func (c *Comm) Volume() *trace.VolumeTrace { return c.volume }
 func (c *Comm) ResetVolume() { c.volume = &trace.VolumeTrace{} }
 
 // pairBandwidth returns the effective rate from src to dst inside a
-// collective.
+// collective. Cross-node pairs of a cluster communicator are paced by the
+// NIC instead of an NVLink pipe.
 func (c *Comm) pairBandwidth(src, dst int) float64 {
-	raw := c.fabric.PairBandwidth(src, dst)
+	var raw float64
+	if c.crossNode(src, dst) {
+		raw = c.net.NIC().Bandwidth
+	} else {
+		raw = c.fabric.PairBandwidth(src, dst)
+	}
 	if c.params.ChannelBandwidth < raw {
 		return c.params.ChannelBandwidth
 	}
@@ -131,6 +145,7 @@ func (c *Comm) pairBandwidth(src, dst int) float64 {
 }
 
 // transferTime returns the protocol time to move bytes from src to dst.
+// Cross-node hops additionally pay the NIC's one-way latency.
 func (c *Comm) transferTime(src, dst int, bytes float64) sim.Duration {
 	if bytes <= 0 {
 		return 0
@@ -142,7 +157,11 @@ func (c *Comm) transferTime(src, dst int, bytes float64) sim.Duration {
 	if chunks == 0 {
 		chunks = 1
 	}
-	return bytes/c.pairBandwidth(src, dst) + sim.Duration(chunks)*c.params.PerChunkLatency
+	t := bytes/c.pairBandwidth(src, dst) + sim.Duration(chunks)*c.params.PerChunkLatency
+	if c.crossNode(src, dst) {
+		t += c.net.NIC().Latency
+	}
+	return t
 }
 
 // occupyWire places a collective's egress bytes on the physical pipe so
@@ -155,7 +174,15 @@ func (c *Comm) occupyWire(p *sim.Proc, src, dst int, bytes float64, protocol sim
 	if bytes <= 0 {
 		return protocol
 	}
-	drained := c.fabric.Pipe(src, dst).Offer(bytes)
+	var drained sim.Time
+	if c.crossNode(src, dst) {
+		// Cross-node hop of a cluster communicator: the bytes occupy the
+		// NIC rails (and are counted as NIC traffic) instead of an NVLink
+		// pipe.
+		drained = c.net.SendAt(p.Now(), src, c.net.Cluster().Node(dst), int(bytes))
+	} else {
+		drained = c.fabric.Pipe(src, dst).Offer(bytes)
+	}
 	if wire := drained - p.Now(); wire > protocol {
 		return wire
 	}
@@ -178,6 +205,7 @@ func (c *Comm) rendezvous(p *sim.Proc, rank int, kind string, install func(op *p
 				sends:   make([][][]float32, n),
 				recvs:   make([][][]float32, n),
 				reduceA: make([][]float32, n),
+				sizes:   make([][]float64, n),
 			}
 		}
 	}
@@ -206,7 +234,7 @@ func (c *Comm) release(op *pendingOp) {
 		return
 	}
 	for i := range op.sends {
-		op.sends[i], op.recvs[i], op.reduceA[i] = nil, nil, nil
+		op.sends[i], op.recvs[i], op.reduceA[i], op.sizes[i] = nil, nil, nil, nil
 	}
 	c.opFree = append(c.opFree, op)
 }
@@ -228,11 +256,18 @@ func (c *Comm) AllToAllSingle(p *sim.Proc, rank int, sendSegs, recvSegs [][]floa
 		panic(fmt.Sprintf("collective: rank %d alltoall with %d send / %d recv segments, want %d",
 			rank, len(sendSegs), len(recvSegs), n))
 	}
+	hier := c.hierarchical()
 	op := c.rendezvous(p, rank, "alltoall", func(op *pendingOp) {
 		op.sends[rank] = sendSegs
 		op.recvs[rank] = recvSegs
+		if hier {
+			sz := resizeF(&c.hier[rank].sizes, n)
+			for d := range sendSegs {
+				sz[d] = 4 * float64(len(sendSegs[d]))
+			}
+			op.sizes[rank] = sz
+		}
 	})
-	defer c.release(op)
 	// All ranks released at the same instant; copies are globally consistent
 	// to perform once, by rank 0's process (functional state only).
 	if rank == 0 {
@@ -248,6 +283,11 @@ func (c *Comm) AllToAllSingle(p *sim.Proc, rank int, sendSegs, recvSegs [][]floa
 			}
 		}
 	}
+	if hier {
+		c.hierAllToAll(p, rank, op) // releases op after reading sizes
+		return
+	}
+	defer c.release(op)
 	p.Wait(c.params.LaunchOverhead)
 	start := p.Now()
 	var worst sim.Duration
@@ -285,7 +325,17 @@ func (c *Comm) AllToAllSingleSizes(p *sim.Proc, rank int, sendBytes, recvBytes [
 		panic(fmt.Sprintf("collective: rank %d alltoall-sizes with %d send / %d recv entries, want %d",
 			rank, len(sendBytes), len(recvBytes), n))
 	}
-	c.release(c.rendezvous(p, rank, "alltoall-sizes", func(op *pendingOp) {}))
+	hier := c.hierarchical()
+	op := c.rendezvous(p, rank, "alltoall-sizes", func(op *pendingOp) {
+		if hier {
+			op.sizes[rank] = sendBytes
+		}
+	})
+	if hier {
+		c.hierAllToAll(p, rank, op) // releases op after reading sizes
+		return
+	}
+	c.release(op)
 	p.Wait(c.params.LaunchOverhead)
 	start := p.Now()
 	var worst sim.Duration
@@ -330,13 +380,17 @@ func (c *Comm) AllGather(p *sim.Proc, rank int, shard []float32, out [][]float32
 		op.sends[rank] = [][]float32{shard}
 		op.recvs[rank] = out
 	})
-	defer c.release(op)
 	if rank == 0 {
 		for src := 0; src < n; src++ {
 			for dst := 0; dst < n; dst++ {
 				copySeg(op.recvs[dst][src], op.sends[src][0], src, dst)
 			}
 		}
+	}
+	c.release(op)
+	if c.hierarchical() {
+		c.hierAllGather(p, rank, 4*float64(len(shard)))
+		return
 	}
 	p.Wait(c.params.LaunchOverhead)
 	if n == 1 {

@@ -1,0 +1,220 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"pgasemb/internal/fabric"
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/sim"
+)
+
+// testClusterComm wires a hierarchical communicator over a nodes x perNode
+// cluster.
+func testClusterComm(nodes, perNode int) (*sim.Env, *Comm, *fabric.Interconnect) {
+	env := sim.NewEnv()
+	cl := fabric.Cluster{Nodes: nodes, GPUsPerNode: perNode, IntraLinks: 2}
+	fab := nvlink.NewFabric(env, nvlink.DefaultParams(), cl)
+	net := fabric.NewInterconnect(env, cl, fabric.DefaultNICParams())
+	return env, NewCluster(env, fab, DefaultParams(), net), net
+}
+
+// A one-node cluster communicator must time every collective identically to
+// the flat communicator over the same NVLink topology: the fabric layer is
+// present but carries nothing.
+func TestSingleNodeClusterMatchesFlat(t *testing.T) {
+	const n = 4
+	run := func(mk func() (*sim.Env, *Comm)) (sim.Time, []float32) {
+		env, c := mk()
+		out := make([]float32, n)
+		runRanks(env, n, func(p *sim.Proc, rank int) {
+			send := make([]float64, n)
+			recv := make([]float64, n)
+			for d := 0; d < n; d++ {
+				send[d] = float64(1000 * (rank + 1))
+				recv[d] = float64(1000 * (d + 1))
+			}
+			c.AllToAllSingleSizes(p, rank, send, recv)
+			shard := []float32{float32(rank)}
+			dst := make([][]float32, n)
+			for i := range dst {
+				dst[i] = make([]float32, 1)
+			}
+			c.AllGather(p, rank, shard, dst)
+			out[rank] = dst[(rank+1)%n][0]
+		})
+		return env.Now(), out
+	}
+	flatEnd, flatOut := run(func() (*sim.Env, *Comm) {
+		env := sim.NewEnv()
+		fab := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(n))
+		return env, New(env, fab, DefaultParams())
+	})
+	clEnd, clOut := run(func() (*sim.Env, *Comm) {
+		env, c, _ := testClusterComm(1, n)
+		return env, c
+	})
+	if math.Abs(flatEnd-clEnd) > 1e-12 {
+		t.Fatalf("1-node cluster end %g != flat end %g", clEnd, flatEnd)
+	}
+	for r := range flatOut {
+		if flatOut[r] != clOut[r] {
+			t.Fatalf("rank %d functional output %v != flat %v", r, clOut[r], flatOut[r])
+		}
+	}
+}
+
+// Hierarchical all-to-all must deliver the same functional outputs as the
+// flat schedule (the copies happen at the rendezvous either way).
+func TestHierAllToAllFunctional(t *testing.T) {
+	const nodes, perNode = 2, 2
+	n := nodes * perNode
+	env, c, net := testClusterComm(nodes, perNode)
+	recv := make([][][]float32, n)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		send := make([][]float32, n)
+		recv[rank] = make([][]float32, n)
+		for dst := 0; dst < n; dst++ {
+			send[dst] = []float32{float32(rank*10 + dst)}
+			recv[rank][dst] = make([]float32, 1)
+		}
+		c.AllToAllSingle(p, rank, send, recv[rank])
+		for src := 0; src < n; src++ {
+			if got, want := recv[rank][src][0], float32(src*10+rank); got != want {
+				t.Errorf("rank %d recv from %d = %v, want %v", rank, src, got, want)
+			}
+		}
+	})
+	if net.Messages() == 0 {
+		t.Fatal("hierarchical all-to-all never touched the NIC")
+	}
+	// Cross-node payload is coalesced per node pair: with uniform 4 B
+	// segments, each of the 2 ordered node pairs carries G*G segments.
+	wantPayload := float64(2 * perNode * perNode * 4)
+	if got := net.PayloadBytes(); math.Abs(got-wantPayload) > 1e-9 {
+		t.Fatalf("NIC payload %g, want %g (one coalesced send per node pair)", got, wantPayload)
+	}
+}
+
+// The timing-only all-to-all over a cluster must finish at the same instant
+// as the functional one with matching sizes.
+func TestHierSizesMatchesFunctional(t *testing.T) {
+	const nodes, perNode = 2, 2
+	n := nodes * perNode
+	segElems := func(src, dst int) int { return 1 + (src+dst)%3 }
+
+	fEnv, fc, _ := testClusterComm(nodes, perNode)
+	runRanks(fEnv, n, func(p *sim.Proc, rank int) {
+		send := make([][]float32, n)
+		recv := make([][]float32, n)
+		for dst := 0; dst < n; dst++ {
+			send[dst] = make([]float32, segElems(rank, dst))
+			recv[dst] = make([]float32, segElems(dst, rank))
+		}
+		fc.AllToAllSingle(p, rank, send, recv)
+	})
+
+	tEnv, tc, _ := testClusterComm(nodes, perNode)
+	runRanks(tEnv, n, func(p *sim.Proc, rank int) {
+		send := make([]float64, n)
+		recv := make([]float64, n)
+		for dst := 0; dst < n; dst++ {
+			send[dst] = 4 * float64(segElems(rank, dst))
+			recv[dst] = 4 * float64(segElems(dst, rank))
+		}
+		tc.AllToAllSingleSizes(p, rank, send, recv)
+	})
+	if math.Abs(fEnv.Now()-tEnv.Now()) > 1e-9 {
+		t.Fatalf("functional hier all-to-all ends at %g, sizes path at %g", fEnv.Now(), tEnv.Now())
+	}
+}
+
+func TestHierAllGatherFunctional(t *testing.T) {
+	const nodes, perNode = 3, 2
+	n := nodes * perNode
+	env, c, net := testClusterComm(nodes, perNode)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		shard := []float32{float32(100 + rank)}
+		out := make([][]float32, n)
+		for i := range out {
+			out[i] = make([]float32, 1)
+		}
+		c.AllGather(p, rank, shard, out)
+		for src := 0; src < n; src++ {
+			if got, want := out[src][0], float32(100+src); got != want {
+				t.Errorf("rank %d slot %d = %v, want %v", rank, src, got, want)
+			}
+		}
+	})
+	// Inter-node ring: every rank sends its lane shard (N-1) times.
+	wantPayload := float64(n * (nodes - 1) * 4)
+	if got := net.PayloadBytes(); math.Abs(got-wantPayload) > 1e-9 {
+		t.Fatalf("NIC payload %g, want %g", got, wantPayload)
+	}
+}
+
+// More nodes must not make the collective cheaper: weak-scaling the same
+// per-rank traffic across more nodes adds NIC hops.
+func TestHierAllToAllNodeScalingMonotone(t *testing.T) {
+	const perNode = 2
+	perPeer := float64(64 << 10)
+	var prev sim.Time
+	for nodes := 1; nodes <= 4; nodes++ {
+		env, c, _ := testClusterComm(nodes, perNode)
+		n := nodes * perNode
+		runRanks(env, n, func(p *sim.Proc, rank int) {
+			send := make([]float64, n)
+			recv := make([]float64, n)
+			for d := 0; d < n; d++ {
+				send[d], recv[d] = perPeer, perPeer
+			}
+			c.AllToAllSingleSizes(p, rank, send, recv)
+		})
+		if nodes > 1 && env.Now() <= prev {
+			t.Fatalf("%d nodes finished at %g, not slower than %d nodes at %g",
+				nodes, env.Now(), nodes-1, prev)
+		}
+		prev = env.Now()
+	}
+}
+
+// Ring collectives must stay functional on a cluster topology (cross-node
+// hops priced on the NIC instead of NVLink).
+func TestRingCollectivesOnCluster(t *testing.T) {
+	const nodes, perNode = 2, 2
+	n := nodes * perNode
+	env, c, net := testClusterComm(nodes, perNode)
+	runRanks(env, n, func(p *sim.Proc, rank int) {
+		contrib := make([]float32, n)
+		for i := range contrib {
+			contrib[i] = float32(rank + 1)
+		}
+		out := make([]float32, 1)
+		c.ReduceScatter(p, rank, contrib, out)
+		// Sum over ranks of (rank+1) = n(n+1)/2.
+		if want := float32(n * (n + 1) / 2); out[0] != want {
+			t.Errorf("rank %d reducescatter got %v, want %v", rank, out[0], want)
+		}
+		red := []float32{float32(rank)}
+		c.AllReduce(p, rank, red)
+		if want := float32(n * (n - 1) / 2); red[0] != want {
+			t.Errorf("rank %d allreduce got %v, want %v", rank, red[0], want)
+		}
+	})
+	if net.Messages() == 0 {
+		t.Fatal("ring collectives on a cluster never crossed the NIC")
+	}
+}
+
+func TestNewClusterRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched fabric/cluster sizes not rejected")
+		}
+	}()
+	env := sim.NewEnv()
+	fab := nvlink.NewFabric(env, nvlink.DefaultParams(), nvlink.DGXStation(4))
+	cl := fabric.Cluster{Nodes: 2, GPUsPerNode: 4, IntraLinks: 2}
+	net := fabric.NewInterconnect(env, cl, fabric.DefaultNICParams())
+	NewCluster(env, fab, DefaultParams(), net)
+}

@@ -29,27 +29,34 @@ func hotPathConfig() retrieval.Config {
 	}
 }
 
-// hotPathCases enumerates the per-batch hot paths tracked in bench.json.
-func hotPathCases() []struct {
+// hotPathCase is one tracked per-batch hot path: a configuration, the
+// machine it runs on, and the backend under measurement.
+type hotPathCase struct {
 	name    string
 	cfg     retrieval.Config
+	hw      retrieval.HardwareParams
 	backend retrieval.Backend
-} {
+}
+
+// hotPathCases enumerates the per-batch hot paths tracked in bench.json.
+func hotPathCases() []hotPathCase {
+	hw := retrieval.DefaultHardware()
 	base := hotPathConfig()
 	dedup := base
 	dedup.Dedup = true
 	cached := base
 	cached.CacheFraction = 0.0001
-	return []struct {
-		name    string
-		cfg     retrieval.Config
-		backend retrieval.Backend
-	}{
-		{"retrieval/baseline-batch", base, &retrieval.Baseline{}},
-		{"retrieval/baseline-batch-dedup", dedup, &retrieval.Baseline{}},
-		{"retrieval/pgas-fused-batch", base, &retrieval.PGASFused{}},
-		{"retrieval/pgas-fused-batch-dedup", dedup, &retrieval.PGASFused{}},
-		{"retrieval/pgas-fused-batch-cached", cached, &retrieval.PGASFused{}},
+	cluster := retrieval.ClusterHardware(2)
+	return []hotPathCase{
+		{"retrieval/baseline-batch", base, hw, &retrieval.Baseline{}},
+		{"retrieval/baseline-batch-dedup", dedup, hw, &retrieval.Baseline{}},
+		{"retrieval/pgas-fused-batch", base, hw, &retrieval.PGASFused{}},
+		{"retrieval/pgas-fused-batch-dedup", dedup, hw, &retrieval.PGASFused{}},
+		{"retrieval/pgas-fused-batch-cached", cached, hw, &retrieval.PGASFused{}},
+		// Multi-node: the same batch on a 2-node cluster, so the proxy
+		// staging and NIC launch paths are on the measured loop.
+		{"retrieval/multinode-baseline-batch", base, cluster, &retrieval.Baseline{}},
+		{"retrieval/multinode-pgas-batch-dedup", dedup, cluster, &retrieval.PGASFused{}},
 	}
 }
 
@@ -64,7 +71,7 @@ func RunHotPaths(b *Bench) error {
 	for _, c := range hotPathCases() {
 		c := c
 		r := testing.Benchmark(func(tb *testing.B) {
-			sys, err := retrieval.NewSystem(c.cfg, hw)
+			sys, err := retrieval.NewSystem(c.cfg, c.hw)
 			if err != nil {
 				firstErr = fmt.Errorf("experiments: hot path %s: %w", c.name, err)
 				tb.SkipNow()

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"pgasemb/internal/retrieval"
+)
+
+func multiNodeTestOptions() MultiNodeOptions {
+	// Full multi-node batch (the node-dedup win needs the cross-sample
+	// reuse of the real batch size), trimmed to 2 batches and 2 GPUs per
+	// node so the sweep stays test-sized.
+	return MultiNodeOptions{MaxNodes: 3, GPUsPerNode: 2, Batches: 2}
+}
+
+// The sweep's acceptance criteria: single-node results identical to the
+// fabric-free machine, inter-node communication growing with node count, and
+// the proxy-coalesced PGAS path putting strictly fewer bytes on the NICs
+// than the hierarchical baseline.
+func TestMultiNodeWeakScaling(t *testing.T) {
+	opts := multiNodeTestOptions()
+	res, err := RunMultiNode(WeakScaling, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != opts.MaxNodes {
+		t.Fatalf("got %d points, want %d", len(res.Points), opts.MaxNodes)
+	}
+
+	// 1 node: the fabric layer is present but carries nothing, and the
+	// result matches a plain single-node machine exactly.
+	p1 := res.Point(1)
+	if p1.Baseline.NICWireBytes != 0 || p1.PGAS.NICWireBytes != 0 {
+		t.Errorf("1-node sweep point moved NIC bytes: base %g, pgas %g",
+			p1.Baseline.NICWireBytes, p1.PGAS.NICWireBytes)
+	}
+	cfg := opts.config(WeakScaling, 1)
+	for _, c := range []struct {
+		backend retrieval.Backend
+		got     *retrieval.Result
+	}{
+		{&retrieval.Baseline{}, p1.Baseline},
+		{&retrieval.PGASFused{}, p1.PGAS},
+	} {
+		sys, err := retrieval.NewSystem(cfg, retrieval.DefaultHardware())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := sys.Run(c.backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.TotalTime != c.got.TotalTime {
+			t.Errorf("%s: 1-node sweep total %g != plain single-node machine %g",
+				c.backend.Name(), c.got.TotalTime, plain.TotalTime)
+		}
+	}
+
+	// Inter-node communication grows with node count, and PGAS ships
+	// strictly fewer NIC bytes than the baseline at every multi-node point.
+	prevComm := p1.Baseline.Breakdown.Get(retrieval.CompComm)
+	for _, p := range res.Points[1:] {
+		comm := p.Baseline.Breakdown.Get(retrieval.CompComm)
+		if comm <= prevComm {
+			t.Errorf("%d nodes: baseline comm %g did not grow from %g", p.Nodes, comm, prevComm)
+		}
+		prevComm = comm
+		if p.Baseline.NICWireBytes <= 0 || p.PGAS.NICWireBytes <= 0 {
+			t.Fatalf("%d nodes: no NIC traffic recorded", p.Nodes)
+		}
+		if p.PGAS.NICWireBytes >= p.Baseline.NICWireBytes {
+			t.Errorf("%d nodes: PGAS NIC bytes %g not fewer than baseline %g",
+				p.Nodes, p.PGAS.NICWireBytes, p.Baseline.NICWireBytes)
+		}
+	}
+
+	// Tables render without panicking and carry one row per point.
+	if rows := len(res.ScalingTable().Rows); rows != opts.MaxNodes {
+		t.Errorf("scaling table has %d rows, want %d", rows, opts.MaxNodes)
+	}
+	if rows := len(res.CommTable().Rows); rows != opts.MaxNodes {
+		t.Errorf("comm table has %d rows, want %d", rows, opts.MaxNodes)
+	}
+}
+
+func TestMultiNodeStrongScaling(t *testing.T) {
+	opts := multiNodeTestOptions()
+	opts.MaxNodes = 2
+	res, err := RunMultiNode(StrongScaling, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Point(2)
+	if p.PGAS.NICWireBytes >= p.Baseline.NICWireBytes {
+		t.Errorf("strong scaling, 2 nodes: PGAS NIC bytes %g not fewer than baseline %g",
+			p.PGAS.NICWireBytes, p.Baseline.NICWireBytes)
+	}
+	if p.Speedup() <= 1 {
+		t.Errorf("strong scaling, 2 nodes: PGAS not faster than baseline (%.2fx)", p.Speedup())
+	}
+}
+
+// The sweep must be byte-identical at any worker count.
+func TestMultiNodeParallelInvariance(t *testing.T) {
+	opts := multiNodeTestOptions()
+	opts.MaxNodes = 2
+	opts.Batches = 1
+	opts.Parallel = 1
+	serial, err := RunMultiNode(WeakScaling, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 4
+	parallel, err := RunMultiNode(WeakScaling, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Points {
+		s, p := serial.Points[i], parallel.Points[i]
+		if s.Baseline.TotalTime != p.Baseline.TotalTime || s.PGAS.TotalTime != p.PGAS.TotalTime {
+			t.Errorf("%d nodes: totals differ across parallelism", s.Nodes)
+		}
+		if s.Baseline.NICWireBytes != p.Baseline.NICWireBytes || s.PGAS.NICWireBytes != p.PGAS.NICWireBytes {
+			t.Errorf("%d nodes: NIC bytes differ across parallelism", s.Nodes)
+		}
+	}
+}

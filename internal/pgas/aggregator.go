@@ -115,6 +115,15 @@ func (a *Aggregator) flush(dst int) {
 		return
 	}
 	target := a.pe.rt.PE(dst)
+	if dn := a.pe.remoteNode(target); dn >= 0 {
+		// Cross-node buckets hand their whole payload to the NIC proxy in
+		// one piece; the proxy decides the NIC message boundaries.
+		a.pe.puts++
+		a.pe.payloadBytes += float64(payload)
+		a.pe.proxy.stage(dn, payload)
+		a.flushes++
+		return
+	}
 	// One header regardless of payload size: the aggregator's entire win.
 	wire := float64(payload + a.pe.rt.fabric.Params().HeaderBytes)
 	pipe := a.pe.rt.fabric.Pipe(a.pe.id, target.id)

@@ -18,15 +18,18 @@ package pgas
 import (
 	"fmt"
 
+	"pgasemb/internal/fabric"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/trace"
 )
 
-// Runtime is the communication context shared by all PEs on one machine.
+// Runtime is the communication context shared by all PEs on one machine (or,
+// for cluster runtimes, across all nodes of one cluster).
 type Runtime struct {
 	env    *sim.Env
 	fabric *nvlink.Fabric
+	net    *fabric.Interconnect // nil on single-node runtimes
 	pes    []*PE
 }
 
@@ -37,6 +40,27 @@ func New(env *sim.Env, fabric *nvlink.Fabric) *Runtime {
 	rt.pes = make([]*PE, n)
 	for i := 0; i < n; i++ {
 		rt.pes[i] = &PE{rt: rt, id: i, counter: &trace.VolumeTrace{}}
+	}
+	return rt
+}
+
+// NewCluster creates a runtime spanning a multi-node cluster: PEs reach
+// same-node peers through direct device stores on the NVLink fabric exactly
+// as New's, while stores to remote-node PEs are routed through a per-PE
+// proxy that coalesces them into NIC messages on net (the NVSHMEM
+// proxy/IBRC boundary). fab must be wired over net's Cluster topology.
+func NewCluster(env *sim.Env, fab *nvlink.Fabric, net *fabric.Interconnect, cfg ProxyConfig) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if fab.NumGPUs() != net.Cluster().NumGPUs() {
+		panic(fmt.Sprintf("pgas: NVLink fabric has %d GPUs but the cluster %d",
+			fab.NumGPUs(), net.Cluster().NumGPUs()))
+	}
+	rt := New(env, fab)
+	rt.net = net
+	for _, pe := range rt.pes {
+		pe.proxy = newProxy(pe, net, cfg)
 	}
 	return rt
 }
@@ -55,6 +79,10 @@ func (rt *Runtime) PE(i int) *PE {
 // Fabric returns the underlying interconnect.
 func (rt *Runtime) Fabric() *nvlink.Fabric { return rt.fabric }
 
+// Interconnect returns the inter-node NIC layer of a cluster runtime, or nil
+// for single-node runtimes.
+func (rt *Runtime) Interconnect() *fabric.Interconnect { return rt.net }
+
 // NewBarrier returns a barrier across all PEs (each PE's process calls
 // Await once per round).
 func (rt *Runtime) NewBarrier() *sim.Barrier {
@@ -68,6 +96,9 @@ func (rt *Runtime) ResetCounters() {
 		pe.puts = 0
 		pe.payloadBytes = 0
 		pe.wireBytes = 0
+		if pe.proxy != nil {
+			pe.proxy.reset()
+		}
 	}
 }
 
@@ -86,8 +117,9 @@ func (rt *Runtime) TotalTrace() *trace.VolumeTrace {
 // PE is one processing element (GPU) of the partitioned global address
 // space.
 type PE struct {
-	rt *Runtime
-	id int
+	rt    *Runtime
+	id    int
+	proxy *proxy // inter-node forwarding engine; nil on single-node runtimes
 
 	puts         int64
 	payloadBytes float64
@@ -152,6 +184,18 @@ func (pe *PE) PutVectors(target *PE, count, vecBytes int) sim.Time {
 	if count == 0 || target.id == pe.id {
 		return pe.rt.env.Now()
 	}
+	if dn := pe.remoteNode(target); dn >= 0 {
+		// Per-vector staging: the proxy sees the same store sequence as
+		// count individual puts, so its coalescing boundaries (and hence
+		// NIC timing) are identical in timing-only and functional modes.
+		pe.puts += int64(count)
+		pe.payloadBytes += float64(count) * float64(vecBytes)
+		last := pe.rt.env.Now()
+		for i := 0; i < count; i++ {
+			last = pe.proxy.stage(dn, vecBytes)
+		}
+		return last
+	}
 	wire := float64(count) * pe.rt.fabric.WireBytes(vecBytes)
 	pipe := pe.rt.fabric.Pipe(pe.id, target.id)
 	issued := pe.rt.env.Now()
@@ -194,7 +238,26 @@ func (pe *PE) GetFloat32s(target *PE, dst, src []float32) sim.Time {
 	return target.accountPut(pe, 4*len(src))
 }
 
+// remoteNode returns the destination node index when target lives on a
+// different node of a cluster runtime, and -1 for same-node (or
+// single-node-runtime) targets.
+func (pe *PE) remoteNode(target *PE) int {
+	if pe.proxy == nil {
+		return -1
+	}
+	cl := pe.proxy.net.Cluster()
+	if dn := cl.Node(target.id); dn != cl.Node(pe.id) {
+		return dn
+	}
+	return -1
+}
+
 func (pe *PE) accountPut(target *PE, payload int) sim.Time {
+	if dn := pe.remoteNode(target); dn >= 0 {
+		pe.puts++
+		pe.payloadBytes += float64(payload)
+		return pe.proxy.stage(dn, payload)
+	}
 	wire := pe.rt.fabric.WireBytes(payload)
 	pipe := pe.rt.fabric.Pipe(pe.id, target.id)
 	issued := pe.rt.env.Now()
@@ -211,6 +274,10 @@ func (pe *PE) accountPut(target *PE, payload int) sim.Time {
 // point at the end of the paper's fused kernel.
 func (pe *PE) Quiet(p *sim.Proc) {
 	var worst sim.Time
+	if pe.proxy != nil {
+		pe.proxy.drain()
+		worst = pe.proxy.lastDelivery
+	}
 	for dst := 0; dst < pe.rt.NumPEs(); dst++ {
 		if dst == pe.id {
 			continue

@@ -1,0 +1,198 @@
+package pgas
+
+import (
+	"math"
+	"testing"
+
+	"pgasemb/internal/fabric"
+	"pgasemb/internal/nvlink"
+	"pgasemb/internal/sim"
+)
+
+// newClusterRuntime wires an N-node cluster runtime for proxy tests.
+func newClusterRuntime(env *sim.Env, nodes, perNode int, cfg ProxyConfig) (*Runtime, *fabric.Interconnect) {
+	cl := fabric.Cluster{Nodes: nodes, GPUsPerNode: perNode, IntraLinks: 2}
+	fab := nvlink.NewFabric(env, nvlink.DefaultParams(), cl)
+	net := fabric.NewInterconnect(env, cl, fabric.DefaultNICParams())
+	return NewCluster(env, fab, net, cfg), net
+}
+
+func TestProxyCoalescesSmallStores(t *testing.T) {
+	env := sim.NewEnv()
+	rt, net := newClusterRuntime(env, 2, 2, ProxyConfig{StagingBytes: 64 << 10, DrainInterval: 0})
+	pe, remote := rt.PE(0), rt.PE(2) // different nodes
+	env.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			pe.PutBytes(remote, 256)
+		}
+		pe.Quiet(p)
+	})
+	env.Run()
+	// 100 puts x 256 B = 25600 B < 64 KiB: everything coalesces into the
+	// single Quiet-driven flush — one NIC message, not 100.
+	if net.Messages() != 1 {
+		t.Fatalf("NIC carried %d messages, want 1 coalesced", net.Messages())
+	}
+	if net.PayloadBytes() != 100*256 {
+		t.Fatalf("NIC payload %g, want %d", net.PayloadBytes(), 100*256)
+	}
+	if pe.Puts() != 100 {
+		t.Fatalf("PE counted %d puts, want 100", pe.Puts())
+	}
+	if pe.proxy.flushes != 1 {
+		t.Fatalf("proxy flushed %d times, want 1", pe.proxy.flushes)
+	}
+}
+
+func TestProxyStagingThresholdFlush(t *testing.T) {
+	env := sim.NewEnv()
+	rt, net := newClusterRuntime(env, 2, 2, ProxyConfig{StagingBytes: 4096, DrainInterval: 0})
+	pe, remote := rt.PE(0), rt.PE(2)
+	env.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 32; i++ { // 32 x 256 B = 8192 B = two full buffers
+			pe.PutBytes(remote, 256)
+		}
+		if got := pe.proxy.flushes; got != 2 {
+			t.Errorf("threshold flushed %d times before quiet, want 2", got)
+		}
+		pe.Quiet(p)
+	})
+	env.Run()
+	if pe.proxy.flushes != 2 { // quiet found empty buffers
+		t.Fatalf("total flushes %d, want 2", pe.proxy.flushes)
+	}
+	if net.PayloadBytes() != 8192 {
+		t.Fatalf("NIC payload %g, want 8192", net.PayloadBytes())
+	}
+}
+
+func TestProxyDrainTimer(t *testing.T) {
+	env := sim.NewEnv()
+	interval := 10 * sim.Microsecond
+	rt, net := newClusterRuntime(env, 2, 2, ProxyConfig{StagingBytes: 1 << 20, DrainInterval: interval})
+	pe, remote := rt.PE(0), rt.PE(2)
+	env.Go("sender", func(p *sim.Proc) {
+		pe.PutBytes(remote, 512)
+		p.Wait(100 * sim.Microsecond) // no Quiet: only the timer can flush
+	})
+	env.Run()
+	if net.Messages() != 1 {
+		t.Fatalf("drain timer did not flush: %d NIC messages", net.Messages())
+	}
+	// The flush happened at the drain interval, so delivery is interval +
+	// launch + wire/bandwidth + latency.
+	nic := net.NIC()
+	want := interval + nic.MessageOverhead + nic.WireBytes(512)/nic.Bandwidth + nic.Latency
+	if got := pe.proxy.lastDelivery; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("timer flush delivered at %g, want %g", got, want)
+	}
+}
+
+func TestProxySameNodeStoresStayOnNVLink(t *testing.T) {
+	env := sim.NewEnv()
+	rt, net := newClusterRuntime(env, 2, 2, DefaultProxyConfig())
+	pe, peer := rt.PE(0), rt.PE(1) // same node
+	env.Go("sender", func(p *sim.Proc) {
+		pe.PutBytes(peer, 4096)
+		pe.Quiet(p)
+	})
+	env.Run()
+	if net.Messages() != 0 {
+		t.Fatalf("same-node store crossed the NIC (%d messages)", net.Messages())
+	}
+	if rt.Fabric().TotalBytes() == 0 {
+		t.Fatal("same-node store did not use NVLink")
+	}
+}
+
+func TestProxyQuietWaitsForDelivery(t *testing.T) {
+	env := sim.NewEnv()
+	rt, net := newClusterRuntime(env, 2, 2, DefaultProxyConfig())
+	pe, remote := rt.PE(0), rt.PE(2)
+	payload := 4096
+	var quietAt sim.Time
+	env.Go("sender", func(p *sim.Proc) {
+		pe.PutBytes(remote, payload)
+		pe.Quiet(p)
+		quietAt = p.Now()
+	})
+	env.Run()
+	nic := net.NIC()
+	want := nic.MessageOverhead + nic.WireBytes(payload)/nic.Bandwidth + nic.Latency
+	if math.Abs(quietAt-want) > 1e-9 {
+		t.Fatalf("quiet returned at %g, want NIC delivery %g", quietAt, want)
+	}
+}
+
+// PutVectors must stage per vector, producing byte-for-byte the same NIC
+// traffic (messages, payload, flush boundaries) as individual puts — the
+// invariant that keeps timing-only and functional cluster runs identical.
+func TestProxyPutVectorsMatchesIndividualPuts(t *testing.T) {
+	run := func(vectors bool) (int64, float64, sim.Time) {
+		env := sim.NewEnv()
+		cfg := ProxyConfig{StagingBytes: 3000, DrainInterval: 0}
+		rt, net := newClusterRuntime(env, 2, 2, cfg)
+		pe, remote := rt.PE(1), rt.PE(3)
+		env.Go("sender", func(p *sim.Proc) {
+			if vectors {
+				pe.PutVectors(remote, 40, 256)
+			} else {
+				for i := 0; i < 40; i++ {
+					pe.PutBytes(remote, 256)
+				}
+			}
+			pe.Quiet(p)
+		})
+		end := env.Run()
+		return net.Messages(), net.PayloadBytes(), end
+	}
+	m1, p1, e1 := run(true)
+	m2, p2, e2 := run(false)
+	if m1 != m2 || p1 != p2 || e1 != e2 {
+		t.Fatalf("PutVectors (%d msgs, %g B, end %g) != individual puts (%d msgs, %g B, end %g)",
+			m1, p1, e1, m2, p2, e2)
+	}
+}
+
+func TestAggregatorRoutesCrossNodeThroughProxy(t *testing.T) {
+	env := sim.NewEnv()
+	rt, net := newClusterRuntime(env, 2, 2, DefaultProxyConfig())
+	pe, remote := rt.PE(0), rt.PE(2)
+	agg := NewAggregator(pe, 1024, sim.Millisecond)
+	env.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			agg.StoreBytes(remote, 256) // two 1024 B aggregator flushes
+		}
+		agg.FlushAll()
+		pe.Quiet(p)
+	})
+	env.Run()
+	if net.PayloadBytes() != 8*256 {
+		t.Fatalf("NIC payload %g, want %d", net.PayloadBytes(), 8*256)
+	}
+	if net.Messages() == 0 {
+		t.Fatal("aggregated cross-node stores never reached the NIC")
+	}
+}
+
+func TestProxyResetClearsState(t *testing.T) {
+	env := sim.NewEnv()
+	rt, net := newClusterRuntime(env, 2, 2, ProxyConfig{StagingBytes: 1 << 20, DrainInterval: 0})
+	pe, remote := rt.PE(0), rt.PE(2)
+	env.Go("sender", func(p *sim.Proc) {
+		pe.PutBytes(remote, 123) // left pending: no threshold, no timer
+	})
+	env.Run()
+	rt.ResetCounters()
+	net.Reset()
+	if pe.proxy.bufs[1].pending != 0 || pe.proxy.flushes != 0 || pe.proxy.lastDelivery != 0 {
+		t.Fatal("proxy state survived reset")
+	}
+	env.Go("sender2", func(p *sim.Proc) {
+		pe.Quiet(p)
+	})
+	env.Run()
+	if net.Messages() != 0 {
+		t.Fatalf("reset proxy still flushed %d messages", net.Messages())
+	}
+}

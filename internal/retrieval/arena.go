@@ -15,16 +15,17 @@ package retrieval
 
 // gpuScratch is one GPU's reusable per-batch working memory.
 type gpuScratch struct {
-	vec       []float32   // Dim-sized pooling scratch
-	packBuf   []float32   // baseline send-segment packing (miss-only / unique rows)
-	recvBuf   []float32   // baseline all-to-all receive buffer
-	sendSegs  [][]float32 // baseline functional segment tables
-	recvSegs  [][]float32
-	sendBytes []float64 // baseline timing segment sizes
-	recvBytes []float64
-	perPeer   []int     // pgas per-peer skip tallies
-	cursors   []int     // pgas dedup wire-streaming cursors
-	partials  []float32 // row-wise partial-sum buffer
+	vec         []float32   // Dim-sized pooling scratch
+	packBuf     []float32   // baseline send-segment packing (miss-only / unique rows)
+	recvBuf     []float32   // baseline all-to-all receive buffer
+	sendSegs    [][]float32 // baseline functional segment tables
+	recvSegs    [][]float32
+	sendBytes   []float64 // baseline timing segment sizes
+	recvBytes   []float64
+	perPeer     []int     // pgas per-peer skip tallies
+	cursors     []int     // pgas dedup wire-streaming cursors
+	nodeCursors []int     // pgas node-dedup wire-streaming cursors
+	partials    []float32 // row-wise partial-sum buffer
 }
 
 // scratchSlice returns (*buf)[:n], reallocating only when capacity is short,

@@ -329,7 +329,7 @@ func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, v
 		if dv != nil && src != g && dv.Wire[src][g] {
 			rows := recvBuf[at : at+int(dv.Uniq[src][g])*cfg.Dim]
 			at += len(rows)
-			s.functionalExpand(g, src, rows, dv, bd.Summary, view, dst)
+			s.functionalExpand(g, src, rows, dv.Expand[src][g], bd.Summary, view, dst)
 			continue
 		}
 		fsrc := s.LocalTables(src)

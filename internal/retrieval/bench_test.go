@@ -27,8 +27,12 @@ func benchConfig() Config {
 }
 
 func benchRun(b *testing.B, cfg Config, backend Backend) {
+	benchRunHW(b, cfg, DefaultHardware(), backend)
+}
+
+func benchRunHW(b *testing.B, cfg Config, hw HardwareParams, backend Backend) {
 	b.Helper()
-	sys, err := NewSystem(cfg, DefaultHardware())
+	sys, err := NewSystem(cfg, hw)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -80,4 +84,61 @@ func BenchmarkFunctionalPGASBatch(b *testing.B) {
 	cfg.Functional = true
 	cfg.Dedup = true
 	benchRun(b, cfg, &PGASFused{})
+}
+
+// Multi-node variants: the same mid-scale batch on a 2-node cluster, so the
+// proxy staging, NIC serialization and node-dedup paths are all on the
+// measured loop.
+func BenchmarkMultiNodeBaselineBatch(b *testing.B) {
+	benchRunHW(b, benchConfig(), ClusterHardware(2), &Baseline{})
+}
+
+func BenchmarkMultiNodePGASBatch(b *testing.B) {
+	benchRunHW(b, benchConfig(), ClusterHardware(2), &PGASFused{})
+}
+
+func BenchmarkMultiNodePGASBatchDedup(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Dedup = true
+	benchRunHW(b, cfg, ClusterHardware(2), &PGASFused{})
+}
+
+// TestMultiNodeSteadyStateZeroAllocs pins the steady-state allocation
+// contract for the cluster hot paths: once a batch is classified and the
+// arenas are warm, driving batches through the proxy/staging machinery —
+// timer re-arming, per-node staging buffers, NIC message launches — must not
+// allocate at all.
+func TestMultiNodeSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test")
+	}
+	cases := []struct {
+		name    string
+		dedup   bool
+		backend Backend
+	}{
+		{"pgas-fused", false, &PGASFused{}},
+		{"pgas-fused-dedup", true, &PGASFused{}},
+		{"baseline", false, &Baseline{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := benchConfig()
+			cfg.Dedup = c.dedup
+			r := testing.Benchmark(func(b *testing.B) {
+				sys, err := NewSystem(cfg, ClusterHardware(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := BenchLoop(sys, c.backend, b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+			if allocs := r.AllocsPerOp(); allocs != 0 {
+				t.Errorf("multi-node %s steady state allocates %d allocs/op (want 0)", c.name, allocs)
+			}
+		})
+	}
 }

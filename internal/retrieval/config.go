@@ -309,6 +309,42 @@ func ServingScaleConfig(gpus int) Config {
 	}
 }
 
+// MultiNodeConfig returns the multi-node weak-scaling configuration: 16
+// tables per GPU over a Zipf-1.2 serving-style stream against 4096-row
+// tables, so hot rows recur across the samples of every node and node-level
+// deduplication — each remote row crossing the NIC once per node — has
+// traffic to remove. The modest pooling range U[1,8] keeps the dense
+// all-to-all payload comparable to the row-reuse volume; at paper-scale
+// pooling (U[1,128]) pooled outputs compress dense traffic so far below the
+// raw gather volume that per-row wire dedup cannot win, which is exactly the
+// regime distinction §IV's pooling sweep measures.
+func MultiNodeConfig(nodes, gpusPerNode int) Config {
+	gpus := nodes * gpusPerNode
+	return Config{
+		GPUs:            gpus,
+		TotalTables:     16 * gpus,
+		Rows:            4096,
+		Dim:             64,
+		BatchSize:       8192,
+		MinPooling:      1,
+		MaxPooling:      8,
+		Batches:         20,
+		Seed:            2024,
+		ChunksPerKernel: 32,
+		Distribution:    workload.Zipf,
+		ZipfExponent:    1.2,
+		Dedup:           true,
+	}
+}
+
+// MultiNodeStrongConfig is MultiNodeConfig with the table population fixed
+// at 64 tables total while nodes are added (strong scaling).
+func MultiNodeStrongConfig(nodes, gpusPerNode int) Config {
+	cfg := MultiNodeConfig(nodes, gpusPerNode)
+	cfg.TotalTables = 64
+	return cfg
+}
+
 // TestScaleConfig returns a small functional configuration used by
 // correctness tests and the quickstart example: every backend's outputs are
 // bit-comparable against the serial reference at this scale.

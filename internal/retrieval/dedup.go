@@ -70,6 +70,28 @@ type DedupView struct {
 	// reference in canonical order, the position of its row in Keys.
 	// Functional wire pairs only.
 	Expand [][][]int32
+
+	// Node-level classification (multi-node machines only; all nil
+	// otherwise). Matrices are indexed [owner GPU][destination node]: the
+	// union of the owner's pair key sets over the node's consumers. When a
+	// node-level wire win holds, each unique row crosses the NIC once per
+	// node — staged on one lane GPU and redistributed over NVLink — instead
+	// of once per (owner, consumer) pair or, dense, once per reference.
+	//
+	// NodeUniq counts distinct keys among the owner's miss references into
+	// the node; NodeDense the dense vectors those references produce;
+	// NodeWire marks remote nodes where NodeUniq < NodeDense. NodeNewAt
+	// spreads NodeUniq over the node's sample range (canonical scan order);
+	// NodeKeys/NodeExpand are the functional key list (first-seen order)
+	// and each consumer GPU's inverse-expansion map into it.
+	NodeUniq  [][]int64
+	NodeDense [][]int64
+	NodeWire  [][]bool
+	NodeNewAt [][][]int32
+	NodeKeys  [][][]uint64
+	// NodeExpand is indexed [owner GPU][consumer GPU] (positions refer to
+	// the consumer node's NodeKeys entry). Functional node-wire only.
+	NodeExpand [][][]int32
 }
 
 // newKeysIn returns the pair's unique keys first seen in sample range
@@ -184,8 +206,104 @@ func (s *System) classifyDedup(bd *BatchData) *DedupView {
 			}
 		}
 	}
+	if s.multiNode() {
+		s.classifyNodeDedup(bd, dv)
+	}
 	s.dedupStats = s.dedupStats.Add(ctr)
 	return dv
+}
+
+// classifyNodeDedup runs the second classification level on multi-node
+// machines: per (owner GPU, remote node), the union of the owner's pair key
+// sets over the node's consumers, in the same canonical scan order (consumer
+// GPUs ascending — which is samples ascending, since a node's minibatches
+// are contiguous). A node-level wire win means the owner ships each unique
+// row across the NIC once for the whole node; the pair-level decision is
+// superseded for those pairs (PGAS backends only — the baseline's
+// all-to-all segments stay pair-addressed).
+func (s *System) classifyNodeDedup(bd *BatchData, dv *DedupView) {
+	cfg := s.Cfg
+	B, G, N := cfg.BatchSize, cfg.GPUs, s.cluster.Nodes
+	per := s.cluster.GPUsPerNode
+	view := bd.Cache
+	dv.NodeUniq = make([][]int64, G)
+	dv.NodeDense = make([][]int64, G)
+	dv.NodeWire = make([][]bool, G)
+	dv.NodeNewAt = make([][][]int32, G)
+	dv.NodeKeys = make([][][]uint64, G)
+	dv.NodeExpand = make([][][]int32, G)
+	seen := make(map[uint64]int32)
+	expTmp := make([][]int32, per)
+	for src := 0; src < G; src++ {
+		fg := len(s.Plan[src])
+		dv.NodeUniq[src] = make([]int64, N)
+		dv.NodeDense[src] = make([]int64, N)
+		dv.NodeWire[src] = make([]bool, N)
+		dv.NodeNewAt[src] = make([][]int32, N)
+		dv.NodeKeys[src] = make([][]uint64, N)
+		dv.NodeExpand[src] = make([][]int32, G)
+		fbs := make([]*sparse.FeatureBag, fg)
+		rowsPer := make([]int, fg)
+		for fi, fid := range s.Plan[src] {
+			fbs[fi] = bd.Sparse.FeatureByID(fid)
+			rowsPer[fi] = cfg.tableRows(fid)
+		}
+		srcNode := s.nodeOf(src)
+		for node := 0; node < N; node++ {
+			if node == srcNode {
+				continue
+			}
+			nlo, nhi := s.nodeSampleRange(node)
+			clear(seen)
+			newAt := make([]int32, nhi-nlo)
+			var keys []uint64
+			var dense int64
+			for li := 0; li < per; li++ {
+				dst := node*per + li
+				dlo, dhi := s.Minibatch(dst)
+				var expand []int32
+				for smp := dlo; smp < dhi; smp++ {
+					var newHere int32
+					for fi := 0; fi < fg; fi++ {
+						if view != nil && view.Hit[src][fi*B+smp] {
+							continue
+						}
+						dense++
+						rows := rowsPer[fi]
+						for _, raw := range fbs[fi].Bag(smp) {
+							key := uint64(fi)<<32 | uint64(uint32(embedding.HashIndex(raw, rows)))
+							pos, ok := seen[key]
+							if !ok {
+								pos = int32(len(seen))
+								seen[key] = pos
+								newHere++
+								if cfg.Functional {
+									keys = append(keys, key)
+								}
+							}
+							if cfg.Functional {
+								expand = append(expand, pos)
+							}
+						}
+					}
+					newAt[smp-nlo] = newHere
+				}
+				expTmp[li] = expand
+			}
+			uniq := int64(len(seen))
+			wire := uniq < dense
+			dv.NodeUniq[src][node] = uniq
+			dv.NodeDense[src][node] = dense
+			dv.NodeWire[src][node] = wire
+			dv.NodeNewAt[src][node] = newAt
+			if cfg.Functional && wire {
+				dv.NodeKeys[src][node] = keys
+				for li := 0; li < per; li++ {
+					dv.NodeExpand[src][node*per+li] = expTmp[li]
+				}
+			}
+		}
+	}
 }
 
 // attachDedup allocates the batch's cross-GPU expansion plumbing: the
@@ -208,25 +326,39 @@ func (s *System) attachDedup(bd *BatchData, dv *DedupView) {
 	for src := range bd.DedupStage {
 		bd.DedupStage[src] = make([][]float32, s.Cfg.GPUs)
 		for dst := range bd.DedupStage[src] {
-			if dv.Wire[src][dst] {
+			if dv.Wire[src][dst] && !s.nodeWirePair(dv, src, dst) {
 				bd.DedupStage[src][dst] = make([]float32, int(dv.Uniq[src][dst])*s.Cfg.Dim)
+			}
+		}
+	}
+	if dv.NodeWire != nil {
+		// Node-level staging: one buffer per (owner, destination node), held
+		// by the node's stage-lane GPU.
+		bd.NodeStage = make([][][]float32, s.Cfg.GPUs)
+		for src := range bd.NodeStage {
+			bd.NodeStage[src] = make([][]float32, s.cluster.Nodes)
+			for node := range bd.NodeStage[src] {
+				if dv.NodeWire[src][node] {
+					bd.NodeStage[src][node] = make([]float32, int(dv.NodeUniq[src][node])*s.Cfg.Dim)
+				}
 			}
 		}
 	}
 }
 
-// functionalExpand re-pools consumer g's miss vectors of wire pair (src, g)
-// from the received unique rows, bit-exactly reproducing what the dense path
-// (owner-side LookupPooled + ship) would have written: same accumulation
-// order (bag order, via the inverse-expansion positions), same mean scaling,
-// same max copy-then-compare. Cache-hit vectors were pooled at
-// classification time and are skipped; empty bags become zero vectors, as
-// LookupPooled makes them.
-func (s *System) functionalExpand(g, src int, rows []float32, dv *DedupView, sum *workload.Summary, view *CacheView, dst []float32) {
+// functionalExpand re-pools consumer g's miss vectors of a wire pairing with
+// owner src from the received unique rows, bit-exactly reproducing what the
+// dense path (owner-side LookupPooled + ship) would have written: same
+// accumulation order (bag order, via the inverse-expansion positions), same
+// mean scaling, same max copy-then-compare. expand is the inverse-expansion
+// map addressing rows — dv.Expand[src][g] for pair-level wire dedup,
+// dv.NodeExpand[src][g] for node-level (where rows is the node staging
+// buffer). Cache-hit vectors were pooled at classification time and are
+// skipped; empty bags become zero vectors, as LookupPooled makes them.
+func (s *System) functionalExpand(g, src int, rows []float32, expand []int32, sum *workload.Summary, view *CacheView, dst []float32) {
 	cfg := s.Cfg
 	B := cfg.BatchSize
 	lo, hi := s.Minibatch(g)
-	expand := dv.Expand[src][g]
 	e := 0
 	for smp := lo; smp < hi; smp++ {
 		for fi, fid := range s.Plan[src] {

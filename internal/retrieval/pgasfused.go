@@ -87,8 +87,15 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	kernelItems := cfg.BatchSize*fg - batchSkipVecs + batchHitVecs
 	if dv != nil {
 		for d := 0; d < cfg.GPUs; d++ {
-			if dv.Wire[g][d] {
+			if dv.Wire[g][d] && !s.nodeWirePair(dv, g, d) {
 				kernelItems += int(dv.Uniq[g][d]) - int(dv.DenseVecs[g][d])
+			}
+		}
+		if dv.NodeWire != nil {
+			for b, wire := range dv.NodeWire[g] {
+				if wire {
+					kernelItems += int(dv.NodeUniq[g][b]) - int(dv.NodeDense[g][b])
+				}
 			}
 		}
 	}
@@ -98,13 +105,19 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	}
 
 	var scratch []float32
-	var cursors []int
+	var cursors, nodeCursors []int
 	if cfg.Functional {
 		scratch = scratchSlice(&sc.vec, cfg.Dim)
 		if dv != nil {
 			cursors = scratchSlice(&sc.cursors, cfg.GPUs)
 			for i := range cursors {
 				cursors[i] = 0
+			}
+			if dv.NodeWire != nil {
+				nodeCursors = scratchSlice(&sc.nodeCursors, s.cluster.Nodes)
+				for i := range nodeCursors {
+					nodeCursors[i] = 0
+				}
 			}
 		}
 	}
@@ -143,7 +156,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		p.Wait(cost)
 
 		if cfg.Functional {
-			b.functionalChunk(s, p, g, bd, view, dv, s0, s1, scratch, cursors, agg)
+			b.functionalChunk(s, p, g, bd, view, dv, s0, s1, scratch, cursors, nodeCursors, agg)
 			continue
 		}
 		for peer := 0; peer < cfg.GPUs; peer++ {
@@ -151,9 +164,20 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 				continue
 			}
 			var vecs int
-			if dv != nil && dv.Wire[g][peer] {
+			target := peer
+			switch {
+			case dv != nil && s.nodeWirePair(dv, g, peer):
+				// Node-level wire dedup: only the keys FIRST seen in this
+				// peer's share of the chunk cross the NIC, addressed at the
+				// destination node's stage-lane GPU.
+				node := s.nodeOf(peer)
+				plo, phi := s.Minibatch(peer)
+				o0, o1 := clampRange(s0, s1, plo, phi)
+				vecs = s.nodeNewKeysIn(dv, g, node, o0, o1)
+				target = s.stageGPU(g, node)
+			case dv != nil && dv.Wire[g][peer]:
 				vecs = dv.newKeysIn(s, g, peer, s0, s1)
-			} else {
+			default:
 				plo, phi := s.Minibatch(peer)
 				vecs = overlap(s0, s1, plo, phi) * fg
 				if dv != nil {
@@ -168,9 +192,9 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 				continue
 			}
 			if agg != nil {
-				agg.StoreBytes(s.PGAS.PE(peer), vecs*vecBytes)
+				agg.StoreBytes(s.PGAS.PE(target), vecs*vecBytes)
 			} else {
-				pe.PutVectors(s.PGAS.PE(peer), vecs, vecBytes)
+				pe.PutVectors(s.PGAS.PE(target), vecs, vecBytes)
 			}
 		}
 	}
@@ -186,22 +210,47 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		// every owner, so all PEs rendezvous first.
 		expandStart := p.Now()
 		bd.dedupBarrier.Await(p)
+		myNode := s.nodeOf(g)
 		var refs int64
 		outVecs := 0
+		var redist sim.Time
 		for src := 0; src < cfg.GPUs; src++ {
-			if src == g || !dv.Wire[src][g] {
+			if src == g {
 				continue
 			}
-			refs += dv.MissIdx[src][g]
-			outVecs += int(dv.DenseVecs[src][g])
+			switch {
+			case s.nodeWirePair(dv, src, g):
+				refs += dv.MissIdx[src][g]
+				outVecs += int(dv.DenseVecs[src][g])
+				if lane := s.stageGPU(src, myNode); lane != g {
+					// The staged node-unique rows landed on the lane GPU;
+					// redistribute them over NVLink before expanding.
+					bytes := float64(dv.NodeUniq[src][myNode]) * s.Fab.WireBytes(vecBytes)
+					if done := s.Fab.Pipe(lane, g).Offer(bytes); done > redist {
+						redist = done
+					}
+				}
+			case dv.Wire[src][g]:
+				refs += dv.MissIdx[src][g]
+				outVecs += int(dv.DenseVecs[src][g])
+			}
+		}
+		if redist > p.Now() {
+			p.WaitUntil(redist)
 		}
 		if outVecs > 0 {
 			expand := dev.ExpandKernelCost(refs, outVecs, vecBytes)
 			stream.Launch(p, expand) // drains before the final Synchronize
 			if cfg.Functional {
 				for src := 0; src < cfg.GPUs; src++ {
-					if src != g && dv.Wire[src][g] {
-						s.functionalExpand(g, src, bd.DedupStage[src][g], dv, bd.Summary, view, bd.Final[g].Data())
+					if src == g {
+						continue
+					}
+					switch {
+					case s.nodeWirePair(dv, src, g):
+						s.functionalExpand(g, src, bd.NodeStage[src][myNode], dv.NodeExpand[src][g], bd.Summary, view, bd.Final[g].Data())
+					case dv.Wire[src][g]:
+						s.functionalExpand(g, src, bd.DedupStage[src][g], dv.Expand[src][g], bd.Summary, view, bd.Final[g].Data())
 					}
 				}
 			}
@@ -216,13 +265,20 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		if dv == nil {
 			remoteBytes = float64(mini*(cfg.TotalTables-fg)-batchHitVecs) * fvb
 		} else {
+			myNode := s.nodeOf(g)
 			for src := 0; src < cfg.GPUs; src++ {
 				if src == g {
 					continue
 				}
-				if dv.Wire[src][g] {
+				switch {
+				case s.nodeWirePair(dv, src, g):
+					// Node-staged rows land on the stage-lane GPU only.
+					if s.stageGPU(src, myNode) == g {
+						remoteBytes += float64(dv.NodeUniq[src][myNode]) * fvb
+					}
+				case dv.Wire[src][g]:
 					remoteBytes += float64(dv.Uniq[src][g]) * fvb
-				} else {
+				default:
 					remoteBytes += float64(dv.DenseVecs[src][g]) * fvb
 				}
 			}
@@ -277,6 +333,13 @@ func (b *PGASFused) dedupChunkCost(s *System, g int, bd *BatchData, s0, s1, kern
 		hitV, hitI := s.cacheChunkOwner(view, bd.Summary, g, o0, o1, nil)
 		missIdx := pairIdx - hitI
 		chunkIdx += missIdx
+		if s.nodeWirePair(dv, g, d) {
+			nk := s.nodeNewKeysIn(dv, g, s.nodeOf(d), o0, o1)
+			readBytes += float64(nk) * fvb
+			items += nk
+			issues += nk
+			continue
+		}
 		if dv.Wire[g][d] {
 			nk := dv.newKeysIn(s, g, d, o0, o1)
 			readBytes += float64(nk) * fvb
@@ -321,7 +384,7 @@ func clampRange(a0, a1, b0, b1 int) (int, int) {
 // pairs, where only the unique rows first referenced in this chunk are
 // streamed (in canonical first-seen order) into the owner's staging buffer;
 // the owner expands them after the dedup barrier.
-func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, view *CacheView, dv *DedupView, s0, s1 int, scratch []float32, cursors []int, agg *pgas.Aggregator) {
+func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, view *CacheView, dv *DedupView, s0, s1 int, scratch []float32, cursors, nodeCursors []int, agg *pgas.Aggregator) {
 	cfg := s.Cfg
 	pe := s.PGAS.PE(g)
 	part := bd.Parts[g]
@@ -329,6 +392,36 @@ func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData
 	for smp := s0; smp < s1; smp++ {
 		owner := sparse.OwnerOfSample(cfg.BatchSize, cfg.GPUs, smp)
 		olo, _ := s.Minibatch(owner)
+		if dv != nil && s.nodeWirePair(dv, g, owner) {
+			// Node-level wire dedup: stream the node keys this sample
+			// introduces into the destination node's staging buffer, via its
+			// stage-lane PE (one NIC crossing per node-unique row).
+			node := s.nodeOf(owner)
+			nlo, _ := s.nodeSampleRange(node)
+			n := int(dv.NodeNewAt[g][node][smp-nlo])
+			if n == 0 {
+				continue
+			}
+			cur := nodeCursors[node]
+			stage := bd.NodeStage[g][node]
+			keys := dv.NodeKeys[g][node]
+			lane := s.PGAS.PE(s.stageGPU(g, node))
+			for i := 0; i < n; i++ {
+				key := keys[cur+i]
+				fi := int(key >> 32)
+				row := int(uint32(key))
+				w := coll.Tables[fi].Weights.Data()
+				dst := stage[(cur+i)*cfg.Dim : (cur+i+1)*cfg.Dim]
+				src := w[row*cfg.Dim : (row+1)*cfg.Dim]
+				if agg != nil {
+					agg.Store(lane, dst, src)
+				} else {
+					pe.PutFloat32s(lane, dst, src)
+				}
+			}
+			nodeCursors[node] = cur + n
+			continue
+		}
 		if dv != nil && dv.Wire[g][owner] {
 			// Stream the keys this sample introduces; everything else in
 			// this sample's bags is already staged (or will never be — only

@@ -5,6 +5,7 @@ import (
 
 	"pgasemb/internal/collective"
 	"pgasemb/internal/embedding"
+	"pgasemb/internal/fabric"
 	"pgasemb/internal/gpu"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/pgas"
@@ -48,12 +49,37 @@ func NewSystemSpec(cfg Config, hw HardwareParams) (*SystemSpec, error) {
 	if err := hw.Collective.Validate(); err != nil {
 		return nil, fmt.Errorf("retrieval: bad collective parameters: %w", err)
 	}
+	switch {
+	case hw.Nodes < 0:
+		return nil, fmt.Errorf("retrieval: negative node count %d", hw.Nodes)
+	case hw.Nodes > 0 && hw.Topology != nil:
+		return nil, fmt.Errorf("retrieval: HardwareParams.Nodes and HardwareParams.Topology are mutually exclusive " +
+			"(Nodes builds the cluster topology itself)")
+	case hw.Nodes > cfg.GPUs:
+		return nil, fmt.Errorf("retrieval: %d nodes need at least one GPU each, have %d GPUs", hw.Nodes, cfg.GPUs)
+	case hw.Nodes > 0 && cfg.GPUs%hw.Nodes != 0:
+		return nil, fmt.Errorf("retrieval: %d GPUs cannot be spread evenly over %d nodes "+
+			"(the GPU count must be divisible by the node count; %d GPUs would leave %d astray and mis-shard "+
+			"every (node, GPU) row owner)", cfg.GPUs, hw.Nodes, cfg.GPUs, cfg.GPUs%hw.Nodes)
+	case hw.Nodes > 0 && cfg.Sharding == RowWise:
+		return nil, fmt.Errorf("retrieval: multi-node machines support table-wise sharding only " +
+			"(row-wise partial sums would cross the NIC per sample)")
+	}
+	hw = hw.normalized()
+	if hw.Nodes > 0 {
+		if err := hw.NIC.Validate(); err != nil {
+			return nil, fmt.Errorf("retrieval: bad NIC parameters: %w", err)
+		}
+		if err := hw.Proxy.Validate(); err != nil {
+			return nil, fmt.Errorf("retrieval: bad proxy parameters: %w", err)
+		}
+	}
 	topo := hw.topology(cfg.GPUs)
 	if n := topo.NumGPUs(); n != cfg.GPUs {
 		return nil, fmt.Errorf("retrieval: topology wires %d GPUs but the configuration needs %d "+
 			"(multi-node topologies need a GPU count divisible by the node count)", n, cfg.GPUs)
 	}
-	spec := &SystemSpec{cfg: cfg, hw: hw}
+	spec := &SystemSpec{cfg: cfg, hw: hw} // hw is the normalized copy
 	switch {
 	case cfg.CustomPlan != nil:
 		spec.plan = cfg.CustomPlan
@@ -151,12 +177,22 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		HW:      spec.hw,
 		Env:     env,
 		Fab:     fab,
-		PGAS:    pgas.New(env, fab),
-		Comm:    collective.New(env, fab, spec.hw.Collective),
 		Plan:    spec.plan,
 		gen:     gen,
 		gradRng: sim.NewRNG(cfg.Seed ^ 0x6AAD),
 		scratch: make([]gpuScratch, cfg.GPUs),
+	}
+	if spec.hw.Nodes > 0 {
+		// Cluster machine: the NIC interconnect carries inter-node traffic,
+		// one-sided stores to remote nodes ride the per-GPU proxies, and the
+		// baseline's collectives go hierarchical.
+		s.cluster = spec.hw.cluster(cfg.GPUs)
+		s.Net = fabric.NewInterconnect(env, s.cluster, spec.hw.NIC)
+		s.PGAS = pgas.NewCluster(env, fab, s.Net, spec.hw.Proxy)
+		s.Comm = collective.NewCluster(env, fab, spec.hw.Collective, s.Net)
+	} else {
+		s.PGAS = pgas.New(env, fab)
+		s.Comm = collective.New(env, fab, spec.hw.Collective)
 	}
 	for g := 0; g < cfg.GPUs; g++ {
 		dev := gpu.NewDevice(env, g, spec.hw.GPU)

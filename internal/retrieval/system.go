@@ -8,6 +8,7 @@ import (
 	"pgasemb/internal/cache"
 	"pgasemb/internal/collective"
 	"pgasemb/internal/embedding"
+	"pgasemb/internal/fabric"
 	"pgasemb/internal/gpu"
 	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
@@ -27,16 +28,52 @@ type HardwareParams struct {
 
 	// Topology overrides the interconnect wiring; nil selects the paper's
 	// DGX Station (fully connected, 2 NVLink links per pair). The
-	// multi-node extension passes nvlink.MultiNode here.
+	// multi-node extension passes nvlink.MultiNode here. Mutually exclusive
+	// with Nodes.
 	Topology func(gpus int) nvlink.Topology
+
+	// Nodes composes the machine from this many NVLink islands joined by
+	// the simulated inter-node fabric: per-node NICs, hierarchical
+	// collectives for the baseline, and proxy-coalesced one-sided stores
+	// for the PGAS backends. 0 keeps the single-node machine with no
+	// fabric layer; 1 wires the fabric layer around a single node (no
+	// cross-node traffic exists, so results are identical to Nodes == 0).
+	Nodes int
+	// NIC configures the per-node NICs; the zero value selects
+	// fabric.DefaultNICParams. Only meaningful with Nodes > 0.
+	NIC fabric.NICParams
+	// Proxy configures the per-GPU inter-node forwarding proxies; the zero
+	// value selects pgas.DefaultProxyConfig. Only meaningful with Nodes > 0.
+	Proxy pgas.ProxyConfig
 }
 
 // topology resolves the wiring for the given GPU count.
 func (hw HardwareParams) topology(gpus int) nvlink.Topology {
+	if hw.Nodes > 0 {
+		return hw.cluster(gpus)
+	}
 	if hw.Topology != nil {
 		return hw.Topology(gpus)
 	}
 	return nvlink.DGXStation(gpus)
+}
+
+// cluster returns the cluster geometry implied by Nodes (Nodes > 0 only).
+func (hw HardwareParams) cluster(gpus int) fabric.Cluster {
+	return fabric.Cluster{Nodes: hw.Nodes, GPUsPerNode: gpus / hw.Nodes, IntraLinks: 2}
+}
+
+// normalized fills the cluster knobs' zero values with their defaults.
+func (hw HardwareParams) normalized() HardwareParams {
+	if hw.Nodes > 0 {
+		if hw.NIC == (fabric.NICParams{}) {
+			hw.NIC = fabric.DefaultNICParams()
+		}
+		if hw.Proxy == (pgas.ProxyConfig{}) {
+			hw.Proxy = pgas.DefaultProxyConfig()
+		}
+	}
+	return hw
 }
 
 // DefaultHardware returns the calibrated DGX Station V100 parameter set.
@@ -46,6 +83,15 @@ func DefaultHardware() HardwareParams {
 		Link:       nvlink.DefaultParams(),
 		Collective: collective.DefaultParams(),
 	}
+}
+
+// ClusterHardware returns the default multi-node machine: `nodes` DGX
+// Station-style NVLink islands joined by the default NIC fabric, with the
+// default proxy coalescing configuration.
+func ClusterHardware(nodes int) HardwareParams {
+	hw := DefaultHardware()
+	hw.Nodes = nodes
+	return hw
 }
 
 // A100Hardware returns an A100-generation machine: faster devices, NVLink
@@ -74,7 +120,12 @@ type System struct {
 	Fab  *nvlink.Fabric
 	PGAS *pgas.Runtime
 	Comm *collective.Comm
+	// Net is the inter-node NIC interconnect; nil when HW.Nodes == 0.
+	Net  *fabric.Interconnect
 	Plan [][]int // Plan[g] = global feature IDs resident on GPU g (shared with Spec; read-only)
+
+	// cluster is the node geometry (zero value when HW.Nodes == 0).
+	cluster fabric.Cluster
 
 	// Caches is the per-GPU hot-row cache set, built lazily on the first
 	// batch when Cfg.CacheFraction > 0 (or installed warm via AttachCaches).
@@ -253,6 +304,11 @@ type BatchData struct {
 	// DedupStage[src][dst] is the consumer-side staging buffer owner src
 	// streams its unique rows into (functional wire pairs only).
 	DedupStage [][][]float32
+	// NodeStage[src][node] is the node-level staging buffer: owner src
+	// streams each node-unique row into it once, addressed at the node's
+	// stage-lane GPU; the node's consumers expand from it after the dedup
+	// barrier (functional node-wire pairings only).
+	NodeStage [][][]float32
 	// dedupBarrier is the post-quiet rendezvous PGAS backends await before
 	// consumer-side expansion (nil when dedup is off or single-GPU).
 	dedupBarrier *sim.Barrier
@@ -399,6 +455,11 @@ type Result struct {
 	// DedupStats summarises the run's index-deduplication savings
 	// (zero-valued when Config.Dedup is off).
 	DedupStats metrics.DedupCounters
+	// NICMessages, NICPayloadBytes and NICWireBytes summarise the run's
+	// inter-node traffic (all zero on single-node machines).
+	NICMessages     int64
+	NICPayloadBytes float64
+	NICWireBytes    float64
 }
 
 // Run executes the configured number of batches under the given backend and
@@ -429,6 +490,9 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 	s.PGAS.ResetCounters()
 	s.Comm.ResetVolume()
 	s.Fab.Reset()
+	if s.Net != nil {
+		s.Net.Reset()
+	}
 
 	batches := make([]*BatchData, s.Cfg.Batches)
 	for i := range batches {
@@ -470,6 +534,11 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 	res.Breakdown = trace.MergeMax(res.PerGPU...)
 	res.CommTrace = s.commTrace(b)
 	res.DedupStats = s.dedupStats
+	if s.Net != nil {
+		res.NICMessages = s.Net.Messages()
+		res.NICPayloadBytes = s.Net.PayloadBytes()
+		res.NICWireBytes = s.Net.WireBytes()
+	}
 	if s.Cfg.Functional && len(batches) > 0 {
 		last := batches[len(batches)-1]
 		res.Final = last.Final

@@ -25,8 +25,10 @@ import (
 	"pgasemb/internal/cache"
 	"pgasemb/internal/dlrm"
 	"pgasemb/internal/experiments"
+	"pgasemb/internal/fabric"
 	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
+	"pgasemb/internal/pgas"
 	"pgasemb/internal/retrieval"
 	"pgasemb/internal/serve"
 	"pgasemb/internal/workload"
@@ -107,11 +109,36 @@ func DefaultHardware() HardwareParams { return retrieval.DefaultHardware() }
 // 3.0), for cross-hardware sensitivity runs.
 func A100Hardware() HardwareParams { return retrieval.A100Hardware() }
 
+// ClusterHardware returns the default hardware composed into `nodes` NVLink
+// nodes joined by modeled NICs: inter-node traffic rides the fabric
+// interconnect (contention, message chunking, launch overhead), baseline
+// collectives go hierarchical, and PGAS one-sided stores to remote nodes
+// coalesce through per-GPU proxies. The experiment's GPU count must be
+// divisible by `nodes`; a count that is not is rejected with a descriptive
+// error by NewSystemSpec / NewSystem.
+func ClusterHardware(nodes int) HardwareParams { return retrieval.ClusterHardware(nodes) }
+
+// NICParams tunes the per-node NIC model (HardwareParams.NIC): count,
+// bandwidth, latency, header bytes, message chunking and launch overhead.
+type NICParams = fabric.NICParams
+
+// DefaultNICParams returns the calibrated HDR-InfiniBand-class NIC model.
+func DefaultNICParams() NICParams { return fabric.DefaultNICParams() }
+
+// ProxyConfig tunes the inter-node PGAS proxy (HardwareParams.Proxy): the
+// staging-buffer threshold that flushes coalesced stores into one NIC
+// message, and the drain interval bounding staging delay.
+type ProxyConfig = pgas.ProxyConfig
+
+// DefaultProxyConfig returns the default proxy coalescing parameters.
+func DefaultProxyConfig() ProxyConfig { return pgas.DefaultProxyConfig() }
+
 // MultiNodeHardware returns the default hardware with the interconnect
-// split into `nodes` chassis joined by thin network links — the future-work
-// §V multi-node setting. The experiment's GPU count must be divisible by
-// `nodes`; a count that is not is rejected with an error by NewSystemSpec /
-// NewSystem.
+// split into `nodes` chassis joined by thin NVLink-modeled network links —
+// the legacy topology-only multi-node approximation. Prefer ClusterHardware,
+// which models NICs, hierarchical collectives and proxy coalescing. The
+// experiment's GPU count must be divisible by `nodes`; a count that is not
+// is rejected with an error by NewSystemSpec / NewSystem.
 func MultiNodeHardware(nodes int) HardwareParams {
 	hw := retrieval.DefaultHardware()
 	hw.Topology = func(gpus int) nvlink.Topology {
@@ -245,6 +272,40 @@ func RunCommVolume(kind ScalingKind, gpus, bins int, opts ExperimentOptions) (*C
 // RunCommVolumeContext is RunCommVolume with cancellation.
 func RunCommVolumeContext(ctx context.Context, kind ScalingKind, gpus, bins int, opts ExperimentOptions) (*CommVolumeResult, error) {
 	return experiments.RunCommVolumeContext(ctx, kind, gpus, bins, opts)
+}
+
+// Multi-node sweep types.
+type (
+	// MultiNodeOptions tunes the multi-node scaling sweep (node count,
+	// GPUs per node, batch overrides, parallelism).
+	MultiNodeOptions = experiments.MultiNodeOptions
+	// MultiNodeResult is a sweep over node counts with both backends.
+	MultiNodeResult = experiments.MultiNodeResult
+	// MultiNodePoint is one node count's pair of runs.
+	MultiNodePoint = experiments.MultiNodePoint
+)
+
+// MultiNodeConfig returns the multi-node weak-scaling configuration (16
+// tables per GPU, Zipf-skewed serving-style stream).
+func MultiNodeConfig(nodes, gpusPerNode int) Config {
+	return retrieval.MultiNodeConfig(nodes, gpusPerNode)
+}
+
+// MultiNodeStrongConfig is MultiNodeConfig with the table population fixed
+// while nodes are added.
+func MultiNodeStrongConfig(nodes, gpusPerNode int) Config {
+	return retrieval.MultiNodeStrongConfig(nodes, gpusPerNode)
+}
+
+// RunMultiNode executes the multi-node scaling sweep: both backends at every
+// node count, with NIC-traffic accounting alongside the speedups.
+func RunMultiNode(kind ScalingKind, opts MultiNodeOptions) (*MultiNodeResult, error) {
+	return experiments.RunMultiNode(kind, opts)
+}
+
+// RunMultiNodeContext is RunMultiNode with cancellation.
+func RunMultiNodeContext(ctx context.Context, kind ScalingKind, opts MultiNodeOptions) (*MultiNodeResult, error) {
+	return experiments.RunMultiNodeContext(ctx, kind, opts)
 }
 
 // Scorecard renders the headline paper-vs-measured comparison.
