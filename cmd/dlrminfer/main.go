@@ -6,11 +6,12 @@
 // Usage:
 //
 //	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20] [-dedup] [-seed 0]
-//	          [-timeout 0]
+//	          [-backend baseline,pgas-fused] [-timeout 0]
 //
-// -dedup enables batch-level index deduplication on both backends (unique
+// -dedup enables batch-level index deduplication on all backends (unique
 // rows are shipped once per destination shard and expanded locally).
-// A failing backend is reported and skipped, the other still runs, and the
+// -backend takes a comma-separated list of registered backend names.
+// A failing backend is reported and skipped, the others still run, and the
 // command exits non-zero. -timeout bounds host wall-clock time.
 package main
 
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pgasemb"
 )
@@ -28,9 +30,28 @@ func main() {
 	kind := flag.String("kind", "weak", "workload: weak or strong scaling configuration")
 	batches := flag.Int("batches", 20, "inference batches")
 	dedup := flag.Bool("dedup", false, "enable batch-level index deduplication")
+	backendNames := flag.String("backend", "baseline,pgas-fused", "comma-separated registered backend names to run")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = configuration default)")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
+
+	var backends []pgasemb.Backend
+	for _, name := range strings.Split(*backendNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		be, err := pgasemb.NewBackendByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlrminfer: %v\n", err)
+			os.Exit(2)
+		}
+		backends = append(backends, be)
+	}
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "dlrminfer: -backend selected no backends")
+		os.Exit(2)
+	}
 
 	var cfg pgasemb.Config
 	switch *kind {
@@ -60,7 +81,7 @@ func main() {
 	fmt.Printf("%-12s  %-14s  %-14s  %-10s\n", "backend", "total", "EMB segment", "EMB share")
 	results := make(map[string]*pgasemb.PipelineResult)
 	failed := false
-	for _, backend := range []pgasemb.Backend{pgasemb.NewBaseline(), pgasemb.NewPGASFused()} {
+	for _, backend := range backends {
 		pl, err := pgasemb.NewPipeline(cfg, pgasemb.DefaultHardware(), backend)
 		if err == nil {
 			var res *pgasemb.PipelineResult

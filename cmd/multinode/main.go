@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	multinode [-nodes 4] [-gpus-per-node 4] [-batches 20] [-csv]
+//	multinode [-nodes 4] [-gpus-per-node 4] [-batches 20]
+//	          [-backend pgas-fused] [-csv]
+//
+// -backend swaps the accelerated column's backend for any registered name
+// (e.g. hybrid); the baseline column always runs for comparison.
 package main
 
 import (
@@ -23,14 +27,20 @@ func main() {
 	batches := flag.Int("batches", 0, "inference batches per run (0 = configuration default)")
 	batchSize := flag.Int("batchsize", 0, "global batch size (0 = configuration default)")
 	parallel := flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS); results are identical for every value")
+	backend := flag.String("backend", "pgas-fused", "registered backend for the accelerated column (baseline always runs for comparison)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()
 
+	if _, err := pgasemb.NewBackendByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "multinode:", err)
+		os.Exit(2)
+	}
 	opts := pgasemb.MultiNodeOptions{
 		MaxNodes:    *nodes,
 		GPUsPerNode: *gpusPerNode,
 		Batches:     *batches,
 		BatchSize:   *batchSize,
+		Backend:     *backend,
 		Parallel:    *parallel,
 	}
 	var tables []*pgasemb.RenderedTable

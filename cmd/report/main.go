@@ -7,11 +7,13 @@
 // Usage:
 //
 //	report [-out results] [-batches 100] [-seeds 3] [-dedup] [-bench]
-//	       [-parallel N] [-timeout 0]
+//	       [-backend pgas-fused] [-parallel N] [-timeout 0]
 //
 // -dedup adds the batch-level index-deduplication axis to the scaling
 // sweeps (each backend runs with dedup off and on; the tables grow the
-// dedup columns). -bench additionally measures the per-batch retrieval hot
+// dedup columns). -backend swaps the accelerated column's backend for any
+// registered name (e.g. hybrid); the baseline column always runs for
+// comparison. -bench additionally measures the per-batch retrieval hot
 // paths with Go benchmarks and records them in bench.json.
 //
 // Independent simulation runs within each experiment execute concurrently
@@ -35,6 +37,7 @@ func main() {
 	batches := flag.Int("batches", 100, "batches per run (paper: 100)")
 	seeds := flag.Int("seeds", 3, "workload seeds for the statistics tables (0 = skip)")
 	dedup := flag.Bool("dedup", false, "add the index-deduplication axis to the scaling sweeps")
+	backend := flag.String("backend", "pgas-fused", "registered backend for the accelerated column (baseline always runs for comparison)")
 	benchHot := flag.Bool("bench", false, "measure the per-batch hot paths and record them in bench.json")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs per experiment")
 	timeout := flag.Duration("timeout", 0, "abort the whole report after this duration (0 = no limit)")
@@ -53,8 +56,11 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	if _, err := pgasemb.NewBackendByName(*backend); err != nil {
+		fatal(err)
+	}
 	bench := pgasemb.NewBench()
-	opts := pgasemb.ExperimentOptions{Batches: *batches, Dedup: *dedup, Parallel: *parallel, Bench: bench}
+	opts := pgasemb.ExperimentOptions{Batches: *batches, Backend: *backend, Dedup: *dedup, Parallel: *parallel, Bench: bench}
 
 	write := func(name string, t *pgasemb.RenderedTable) {
 		if err := os.WriteFile(filepath.Join(*out, name+".txt"), []byte(t.Render()), 0o644); err != nil {

@@ -38,7 +38,7 @@ func main() {
 	cacheFracs := flag.String("cache", "0,0.01,0.05", "comma-separated hot-row cache sizes (fraction of device memory)")
 	duration := flag.Duration("duration", 2*time.Second, "simulated arrival window per sweep point")
 	gpus := flag.Int("gpus", 4, "GPUs in the serving machine")
-	backend := flag.String("backend", "both", "backend to sweep: baseline, pgas, or both")
+	backend := flag.String("backend", "both", "backend to sweep: a registered backend name (see -backend help), pgas (alias for pgas-fused), or both")
 	arrival := flag.String("arrival", "poisson", "arrival process: poisson or bursty")
 	dedup := flag.Bool("dedup", false, "add the batch-level index-deduplication axis (each point runs with dedup off and on)")
 	seed := flag.Uint64("seed", 0, "arrival-process seed (0 = workload default)")
@@ -59,14 +59,16 @@ func main() {
 
 	var backends []pgasemb.Backend
 	switch *backend {
-	case "baseline":
-		backends = []pgasemb.Backend{pgasemb.NewBaseline()}
-	case "pgas":
-		backends = []pgasemb.Backend{pgasemb.NewPGASFused()}
 	case "both":
 		backends = []pgasemb.Backend{pgasemb.NewBaseline(), pgasemb.NewPGASFused()}
+	case "pgas": // legacy alias
+		backends = []pgasemb.Backend{pgasemb.NewPGASFused()}
 	default:
-		fatal(fmt.Errorf("unknown -backend %q (want baseline, pgas, or both)", *backend))
+		be, err := pgasemb.NewBackendByName(*backend)
+		if err != nil {
+			fatal(fmt.Errorf("%w; also accepted: both, pgas", err))
+		}
+		backends = []pgasemb.Backend{be}
 	}
 	var arr pgasemb.Arrival
 	switch *arrival {

@@ -59,6 +59,10 @@ type Options struct {
 	BatchSize int
 	// HW selects the hardware model (zero value = calibrated defaults).
 	HW *retrieval.HardwareParams
+	// Backend names the registered backend occupying the accelerated slot
+	// of every sweep — the "PGAS" column of the rendered tables. Empty
+	// means "pgas-fused"; the comparison slot always runs the baseline.
+	Backend string
 	// Dedup adds the batch-level index-deduplication axis: every scaling
 	// point runs each backend twice, with deduplication off and on, and the
 	// rendered tables grow the dedup columns.
@@ -84,6 +88,16 @@ func (o Options) hardware() retrieval.HardwareParams {
 		return *o.HW
 	}
 	return retrieval.DefaultHardware()
+}
+
+// pgasBackend resolves Options.Backend through the backend registry; a
+// fresh instance is built per call so concurrent runs never share one.
+func (o Options) pgasBackend() (retrieval.Backend, error) {
+	name := o.Backend
+	if name == "" {
+		name = "pgas-fused"
+	}
+	return retrieval.NewBackendByName(name)
 }
 
 func (o Options) apply(cfg retrieval.Config) retrieval.Config {
@@ -170,7 +184,10 @@ func RunScalingContext(ctx context.Context, kind ScalingKind, opts Options) (*Sc
 		slot := i % perPoint
 		var backend retrieval.Backend = &retrieval.Baseline{}
 		if slot%2 == 1 {
-			backend = &retrieval.PGASFused{}
+			var berr error
+			if backend, berr = opts.pgasBackend(); berr != nil {
+				return fmt.Errorf("experiments: %w", berr)
+			}
 		}
 		spec := specs[gpus]
 		if slot >= 2 {
@@ -319,7 +336,10 @@ func RunCommVolumeContext(ctx context.Context, kind ScalingKind, gpus, bins int,
 	err = forEach(ctx, opts.parallel(), 2, func(i int) error {
 		var backend retrieval.Backend = &retrieval.Baseline{}
 		if i == 1 {
-			backend = &retrieval.PGASFused{}
+			var berr error
+			if backend, berr = opts.pgasBackend(); berr != nil {
+				return fmt.Errorf("experiments: %w", berr)
+			}
 		}
 		r, err := runSpec(ctx, spec, backend, spec.Config().Seed, opts.Bench)
 		if err != nil {

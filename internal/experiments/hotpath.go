@@ -53,6 +53,7 @@ func hotPathCases() []hotPathCase {
 		{"retrieval/pgas-fused-batch", base, hw, &retrieval.PGASFused{}},
 		{"retrieval/pgas-fused-batch-dedup", dedup, hw, &retrieval.PGASFused{}},
 		{"retrieval/pgas-fused-batch-cached", cached, hw, &retrieval.PGASFused{}},
+		{"retrieval/hybrid-batch", base, hw, &retrieval.Hybrid{}},
 		// Multi-node: the same batch on a 2-node cluster, so the proxy
 		// staging and NIC launch paths are on the measured loop.
 		{"retrieval/multinode-baseline-batch", base, cluster, &retrieval.Baseline{}},

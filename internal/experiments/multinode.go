@@ -31,6 +31,9 @@ type MultiNodeOptions struct {
 	// HW optionally overrides the base hardware model; its Nodes field is
 	// set per sweep point. Zero value = retrieval.ClusterHardware.
 	HW *retrieval.HardwareParams
+	// Backend names the registered backend occupying the accelerated slot
+	// (the "PGAS fused" column). Empty means "pgas-fused".
+	Backend string
 	// Parallel bounds concurrent simulation runs (0 = GOMAXPROCS). Results
 	// are identical for every value; only wall-clock time changes.
 	Parallel int
@@ -54,6 +57,10 @@ func (o MultiNodeOptions) gpusPerNode() int {
 
 func (o MultiNodeOptions) parallel() int {
 	return Options{Parallel: o.Parallel}.parallel()
+}
+
+func (o MultiNodeOptions) pgasBackend() (retrieval.Backend, error) {
+	return Options{Backend: o.Backend}.pgasBackend()
 }
 
 func (o MultiNodeOptions) hardware(nodes int) retrieval.HardwareParams {
@@ -135,7 +142,10 @@ func RunMultiNodeContext(ctx context.Context, kind ScalingKind, opts MultiNodeOp
 		nodes := i/2 + 1
 		var backend retrieval.Backend = &retrieval.Baseline{}
 		if i%2 == 1 {
-			backend = &retrieval.PGASFused{}
+			var berr error
+			if backend, berr = opts.pgasBackend(); berr != nil {
+				return fmt.Errorf("experiments: %w", berr)
+			}
 		}
 		spec := specs[nodes]
 		r, err := runSpec(ctx, spec, backend, spec.Config().Seed, opts.Bench)

@@ -222,17 +222,61 @@ type Fabric struct {
 	pipes  [][]*sim.Pipe // pipes[src][dst]
 }
 
-// NewFabric wires up the fabric. Unconnected pairs have no pipe; sending
-// between them panics (this model has no routing — the paper's testbed is
-// fully connected).
-func NewFabric(env *sim.Env, params Params, topo Topology) *Fabric {
-	if err := params.Validate(); err != nil {
-		panic(err)
+// ValidateTopology checks a topology's wiring at construction time:
+// positive GPU count, zero diagonal, no negative link counts, symmetric
+// pairs. Topologies carrying their own Validate method (e.g. Custom) are
+// checked with it first, so structural defects like a ragged link matrix
+// surface as descriptive errors instead of panicking during the pairwise
+// probe below.
+func ValidateTopology(topo Topology) error {
+	if v, ok := topo.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
 	}
 	n := topo.NumGPUs()
 	if n <= 0 {
-		panic("nvlink: topology with no GPUs")
+		return fmt.Errorf("nvlink: topology with no GPUs (NumGPUs() = %d)", n)
 	}
+	for a := 0; a < n; a++ {
+		if links := topo.Links(a, a); links != 0 {
+			return fmt.Errorf("nvlink: GPU %d has %d self links, want 0", a, links)
+		}
+		for b := a + 1; b < n; b++ {
+			ab, ba := topo.Links(a, b), topo.Links(b, a)
+			if ab < 0 || ba < 0 {
+				return fmt.Errorf("nvlink: negative link count between GPUs %d and %d", a, b)
+			}
+			if ab != ba {
+				return fmt.Errorf("nvlink: asymmetric links between GPUs %d and %d: %d vs %d", a, b, ab, ba)
+			}
+		}
+	}
+	return nil
+}
+
+// NewFabric wires up the fabric, panicking on invalid parameters or
+// topologies. Unconnected pairs have no pipe; sending between them panics
+// (this model has no routing — the paper's testbed is fully connected).
+func NewFabric(env *sim.Env, params Params, topo Topology) *Fabric {
+	f, err := NewFabricChecked(env, params, topo)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewFabricChecked is NewFabric returning construction problems as errors —
+// the form callers with their own error plumbing (spec construction, CLIs)
+// should use.
+func NewFabricChecked(env *sim.Env, params Params, topo Topology) (*Fabric, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateTopology(topo); err != nil {
+		return nil, err
+	}
+	n := topo.NumGPUs()
 	f := &Fabric{env: env, params: params, topo: topo, pipes: make([][]*sim.Pipe, n)}
 	for src := 0; src < n; src++ {
 		f.pipes[src] = make([]*sim.Pipe, n)
@@ -241,9 +285,6 @@ func NewFabric(env *sim.Env, params Params, topo Topology) *Fabric {
 				continue
 			}
 			links := topo.Links(src, dst)
-			if links != topo.Links(dst, src) {
-				panic(fmt.Sprintf("nvlink: asymmetric topology between %d and %d", src, dst))
-			}
 			if links <= 0 {
 				continue
 			}
@@ -252,7 +293,7 @@ func NewFabric(env *sim.Env, params Params, topo Topology) *Fabric {
 			name := fmt.Sprintf("nvlink-%d->%d", src, dst)
 			if ct, ok := topo.(ClassedTopology); ok && ct.Class(src, dst) == InterNode {
 				if params.InterNodeBandwidth <= 0 {
-					panic("nvlink: inter-node topology needs positive InterNodeBandwidth")
+					return nil, fmt.Errorf("nvlink: inter-node topology needs positive InterNodeBandwidth")
 				}
 				bw = float64(links) * params.InterNodeBandwidth
 				lat = params.InterNodeLatency
@@ -261,7 +302,7 @@ func NewFabric(env *sim.Env, params Params, topo Topology) *Fabric {
 			f.pipes[src][dst] = sim.NewPipe(env, name, bw, lat)
 		}
 	}
-	return f
+	return f, nil
 }
 
 // Params returns the fabric's link parameters.

@@ -1,6 +1,7 @@
 package nvlink
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -220,4 +221,70 @@ func TestNewFabricRejectsEmptyTopology(t *testing.T) {
 		}
 	}()
 	NewFabric(sim.NewEnv(), DefaultParams(), FullyConnected{N: 0, LinksPerPair: 2})
+}
+
+// ValidateTopology must return descriptive errors for every defect class —
+// and, for a ragged Custom matrix, must not panic the way a raw pairwise
+// Links probe would.
+func TestValidateTopologyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		want string
+	}{
+		{"ragged", Custom{LinkMatrix: [][]int{{0, 1}, {1}}}, "row 1 has 1 entries"},
+		{"asymmetric", zeroDiagAsymTopo{}, "asymmetric links between GPUs 0 and 1"},
+		{"asymmetric-custom", Custom{LinkMatrix: [][]int{{0, 2}, {1, 0}}}, "asymmetric links"},
+		{"negative", Custom{LinkMatrix: [][]int{{0, -1}, {-1, 0}}}, "negative link count"},
+		{"self-links", selfLinkTopo{}, "self links"},
+		{"empty", FullyConnected{N: 0, LinksPerPair: 2}, "no GPUs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateTopology(c.topo)
+			if err == nil {
+				t.Fatalf("ValidateTopology(%s) accepted a bad topology", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+type zeroDiagAsymTopo struct{}
+
+func (zeroDiagAsymTopo) NumGPUs() int { return 2 }
+func (zeroDiagAsymTopo) Links(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if a == 0 && b == 1 {
+		return 2
+	}
+	return 1
+}
+
+type selfLinkTopo struct{}
+
+func (selfLinkTopo) NumGPUs() int       { return 2 }
+func (selfLinkTopo) Links(a, b int) int { return 1 }
+
+func TestValidateTopologyAcceptsGoodWirings(t *testing.T) {
+	for _, topo := range []Topology{
+		DGXStation(4),
+		MultiNode{Nodes: 2, PerNode: 4, IntraLinks: 2},
+		Custom{LinkMatrix: [][]int{{0, 1}, {1, 0}}},
+	} {
+		if err := ValidateTopology(topo); err != nil {
+			t.Errorf("ValidateTopology(%T) = %v, want nil", topo, err)
+		}
+	}
+}
+
+func TestNewFabricCheckedReturnsError(t *testing.T) {
+	_, err := NewFabricChecked(sim.NewEnv(), DefaultParams(), asymTopo{})
+	if err == nil {
+		t.Fatal("NewFabricChecked accepted an asymmetric topology")
+	}
 }

@@ -45,6 +45,12 @@ func (b *Baseline) ValidateConfig(cfg Config) error {
 	return nil
 }
 
+// CommTrace implements CommTracer: the baseline's traffic is entirely the
+// collective's.
+func (b *Baseline) CommTrace(s *System) *trace.VolumeTrace {
+	return s.Comm.Volume()
+}
+
 func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
 	cfg := s.Cfg
 	dev := s.Devs[g]
@@ -56,9 +62,12 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 
 	// Hot-row cache discounts: vectors this owner skips (a hit at their
 	// consumer) and vectors this consumer pools from its own cache. Both are
-	// zero when the cache is disabled (bd.Cache == nil).
-	view := bd.Cache
-	dv := bd.Dedup
+	// zero when the cache is disabled (plan.Cache == nil). All routing
+	// decisions come from the batch's compiled plan; the views only supply
+	// counts.
+	plan := bd.Plan
+	view := plan.Cache
+	dv := plan.Dedup
 	skipVecs, skipIdx := view.SkipFrom(g)
 	hitVecs, hitIdx := view.HitAt(g)
 	vb := float64(cfg.VectorBytes())
@@ -89,11 +98,11 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 			uniq := dv.Uniq[g][d]
 			dense := int(dv.DenseVecs[g][d])
 			switch {
-			case dv.Wire[g][d]:
+			case plan.CollectiveClass(g, d) == RouteWire:
 				readBytes += float64(uniq) * vb
 				streamBytes += float64(uniq) * vb
 				items += int(uniq)
-			case dv.Gather[g][d]:
+			case plan.GatherDedup(g, d):
 				readBytes += float64(uniq)*vb + dev.HotReadEquivalent(float64(missIdx-uniq)*vb)
 				streamBytes += float64(dense+int(uniq)) * vb
 				items += dense
@@ -144,15 +153,14 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 		// ship miss vectors; pack-buffer demand covers every packed send.
 		recvFloats, packFloats := 0, 0
 		for peer := 0; peer < cfg.GPUs; peer++ {
-			recvFloats += b.recvVecs(s, g, peer, mini, view, dv) * cfg.Dim
+			recvFloats += plan.CollectiveVecs(peer, g) * cfg.Dim
 			if peer == g {
 				continue
 			}
-			plo, phi := s.Minibatch(peer)
-			if dv != nil && dv.Wire[g][peer] {
+			if plan.CollectiveClass(g, peer) == RouteWire {
 				packFloats += int(dv.Uniq[g][peer]) * cfg.Dim
 			} else if view != nil {
-				packFloats += ((phi-plo)*fg - view.WireVecs[g][peer]) * cfg.Dim
+				packFloats += plan.CollectiveVecs(g, peer) * cfg.Dim
 			}
 		}
 		recvBuf = scratchSlice(&sc.recvBuf, recvFloats)
@@ -162,7 +170,7 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 		for peer := 0; peer < cfg.GPUs; peer++ {
 			plo, phi := s.Minibatch(peer)
 			switch {
-			case dv != nil && peer != g && dv.Wire[g][peer]:
+			case plan.CollectiveClass(g, peer) == RouteWire:
 				// Wire dedup: gather each of the pair's unique rows once, in
 				// first-seen order; the consumer's expansion map addresses
 				// them by position.
@@ -193,7 +201,7 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 				packAt += len(seg)
 				sendSegs[peer] = seg
 			}
-			vecs := b.recvVecs(s, g, peer, mini, view, dv)
+			vecs := plan.CollectiveVecs(peer, g)
 			recvSegs[peer] = recvBuf[at : at+vecs*cfg.Dim]
 			at += vecs * cfg.Dim
 		}
@@ -207,25 +215,8 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 			if peer == g {
 				continue
 			}
-			var sendVecs, recvVecs int
-			if dv != nil {
-				if dv.Wire[g][peer] {
-					sendVecs = int(dv.Uniq[g][peer])
-				} else {
-					sendVecs = int(dv.DenseVecs[g][peer])
-				}
-				recvVecs = b.recvVecs(s, g, peer, mini, view, dv)
-			} else {
-				plo, phi := s.Minibatch(peer)
-				sendVecs = (phi - plo) * fg
-				recvVecs = mini * s.LocalTables(peer)
-				if view != nil {
-					sendVecs -= view.WireVecs[g][peer]
-					recvVecs -= view.WireVecs[peer][g]
-				}
-			}
-			sendBytes[peer] = float64(sendVecs) * vb
-			recvBytes[peer] = float64(recvVecs) * vb
+			sendBytes[peer] = float64(plan.CollectiveVecs(g, peer)) * vb
+			recvBytes[peer] = float64(plan.CollectiveVecs(peer, g)) * vb
 		}
 		s.Comm.AllToAllSingleSizes(p, g, sendBytes, recvBytes)
 	}
@@ -249,7 +240,7 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 			var remoteBytes float64
 			segments := 0
 			for src := 0; src < cfg.GPUs; src++ {
-				if src == g || dv.Wire[src][g] {
+				if plan.CollectiveClass(src, g) != RouteDense {
 					continue
 				}
 				remoteBytes += float64(dv.DenseVecs[src][g]) * vb
@@ -272,7 +263,7 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 		var refs int64
 		outVecs := 0
 		for src := 0; src < cfg.GPUs; src++ {
-			if src == g || !dv.Wire[src][g] {
+			if plan.CollectiveClass(src, g) != RouteWire {
 				continue
 			}
 			refs += dv.MissIdx[src][g]
@@ -286,29 +277,9 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 		}
 	}
 	if cfg.Functional {
-		b.functionalUnpack(s, g, mini, recvBuf, view, dv, bd)
+		b.functionalUnpack(s, g, mini, recvBuf, bd)
 	}
 	bk.Accumulate(CompSyncUnpack, p.Now()-unpackStart)
-}
-
-// recvVecs returns the vector count GPU g receives from src in the
-// all-to-all: its own contiguous segment, a wire source's unique rows, or a
-// dense source's miss vectors.
-func (b *Baseline) recvVecs(s *System, g, src, mini int, view *CacheView, dv *DedupView) int {
-	if src == g {
-		return mini * s.LocalTables(src)
-	}
-	if dv != nil {
-		if dv.Wire[src][g] {
-			return int(dv.Uniq[src][g])
-		}
-		return int(dv.DenseVecs[src][g])
-	}
-	vecs := mini * s.LocalTables(src)
-	if view != nil {
-		vecs -= view.WireVecs[src][g]
-	}
-	return vecs
 }
 
 // functionalUnpack rearranges the received rank-major buffer
@@ -319,14 +290,17 @@ func (b *Baseline) recvVecs(s *System, g, src, mini int, view *CacheView, dv *De
 // of vectors; those are expanded (re-pooled) in place. In the
 // DirectPlacement ablation this copy models what a scattering NIC would have
 // done; it costs no simulated time there.
-func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, view *CacheView, dv *DedupView, bd *BatchData) {
+func (b *Baseline) functionalUnpack(s *System, g, mini int, recvBuf []float32, bd *BatchData) {
 	cfg := s.Cfg
+	plan := bd.Plan
+	view := plan.Cache
+	dv := plan.Dedup
 	final := bd.Final[g]
 	lo, _ := s.Minibatch(g)
 	dst := final.Data()
 	at := 0
 	for src := 0; src < cfg.GPUs; src++ {
-		if dv != nil && src != g && dv.Wire[src][g] {
+		if plan.CollectiveClass(src, g) == RouteWire {
 			rows := recvBuf[at : at+int(dv.Uniq[src][g])*cfg.Dim]
 			at += len(rows)
 			s.functionalExpand(g, src, rows, dv.Expand[src][g], bd.Summary, view, dst)

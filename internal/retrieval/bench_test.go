@@ -120,6 +120,8 @@ func TestMultiNodeSteadyStateZeroAllocs(t *testing.T) {
 		{"pgas-fused", false, &PGASFused{}},
 		{"pgas-fused-dedup", true, &PGASFused{}},
 		{"baseline", false, &Baseline{}},
+		{"hybrid", false, &Hybrid{}},
+		{"hybrid-dedup", true, &Hybrid{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -18,10 +18,11 @@ import (
 // Parameter Server, which pays off exactly on the skewed streams
 // internal/workload generates.
 //
-// Classification (probe → hit/miss → admission) happens host-side in
-// NextBatchData, in one canonical order (consumer, then owner, then local
-// table, then sample), so outcomes are a pure function of the workload seed
-// and cache capacity — never of simulated-process interleaving. The refill
+// Classification (probe → hit/miss → admission) happens host-side during
+// route-plan compilation (plan.go), in one canonical order (consumer, then
+// owner, then local table, then sample), so outcomes are a pure function of
+// the workload seed and cache capacity — never of simulated-process
+// interleaving. The refill
 // path (admitting missed rows) models HPS-style lazy asynchronous insertion:
 // it rides along with the miss traffic the system already pays for and is
 // not charged to batch latency. Cache-hit gathers are priced through
@@ -103,81 +104,6 @@ func (v *CacheView) HitAt(g int) (vecs int, idx int64) {
 		idx += v.WireIdx[src][g]
 	}
 	return vecs, idx
-}
-
-// classifyCache probes every remote-owned output vector of the batch against
-// the consumer's cache, admits missed rows, and (in functional mode) pools
-// hit vectors into bd.Final immediately — with the cache contents as of this
-// classification, so later evictions cannot corrupt earlier batches.
-func (s *System) classifyCache(bd *BatchData) *CacheView {
-	s.ensureCaches()
-	cfg := s.Cfg
-	B := cfg.BatchSize
-	view := &CacheView{
-		Hit:      make([][]bool, cfg.GPUs),
-		WireVecs: make([][]int, cfg.GPUs),
-		WireIdx:  make([][]int64, cfg.GPUs),
-	}
-	for p := 0; p < cfg.GPUs; p++ {
-		view.Hit[p] = make([]bool, len(s.Plan[p])*B)
-		view.WireVecs[p] = make([]int, cfg.GPUs)
-		view.WireIdx[p] = make([]int64, cfg.GPUs)
-	}
-	var rowScratch []int32
-	for g := 0; g < cfg.GPUs; g++ {
-		c := s.Caches.GPU(g)
-		lo, hi := s.Minibatch(g)
-		for p := 0; p < cfg.GPUs; p++ {
-			if p == g {
-				continue
-			}
-			for fi, fid := range s.Plan[p] {
-				rows := cfg.tableRows(fid)
-				fb := bd.Sparse.FeatureByID(fid)
-				var w []float32
-				if cfg.Functional {
-					w = s.colls[p].Tables[fi].Weights.Data()
-				}
-				for smp := lo; smp < hi; smp++ {
-					bag := fb.Bag(smp)
-					if len(bag) == 0 {
-						continue // zero vector; nothing to gather or send
-					}
-					rowScratch = rowScratch[:0]
-					hit := true
-					for _, raw := range bag {
-						row := int32(embedding.HashIndex(raw, rows))
-						rowScratch = append(rowScratch, row)
-						if !c.Touch(cache.Key{Feature: int32(fid), Row: row}) {
-							hit = false
-						}
-					}
-					if !hit {
-						// Lazy refill: admit the whole bag (resident rows are
-						// refreshed, missing ones inserted), off the critical
-						// path alongside the miss fetch the batch pays anyway.
-						for _, row := range rowScratch {
-							var vec []float32
-							if cfg.Functional {
-								vec = w[int(row)*cfg.Dim : (int(row)+1)*cfg.Dim]
-							}
-							c.Admit(cache.Key{Feature: int32(fid), Row: row}, vec)
-						}
-						continue
-					}
-					view.Hit[p][fi*B+smp] = true
-					view.WireVecs[p][g]++
-					view.WireIdx[p][g] += int64(len(bag))
-					if cfg.Functional {
-						off := ((smp-lo)*cfg.TotalTables + fid) * cfg.Dim
-						out := bd.Final[g].Data()[off : off+cfg.Dim]
-						poolFromCache(c, int32(fid), rowScratch, cfg.Pooling, out)
-					}
-				}
-			}
-		}
-	}
-	return view
 }
 
 // poolFromCache reproduces embedding.Table.LookupPooled bit-exactly from

@@ -2,9 +2,6 @@ package retrieval
 
 import (
 	"pgasemb/internal/embedding"
-	"pgasemb/internal/metrics"
-	"pgasemb/internal/sim"
-	"pgasemb/internal/sparse"
 	"pgasemb/internal/workload"
 )
 
@@ -28,7 +25,8 @@ import (
 //     hot-row efficiency (gpu.GatherDedupWins decides). Output data is
 //     unchanged, so this needs no functional counterpart.
 //
-// Classification happens host-side in NextBatchData in one canonical order
+// Classification happens host-side during route-plan compilation (plan.go)
+// in one canonical order
 // (owner, consumer, then the consumer's samples ascending, the owner's local
 // tables in plan order, bag order), after cache classification — cache-hit
 // vectors never enter the key sets, so a row served from the hot-row cache is
@@ -110,240 +108,6 @@ func (v *DedupView) newKeysIn(s *System, src, dst, s0, s1 int) int {
 		n += int(newAt[smp-dlo])
 	}
 	return n
-}
-
-// classifyDedup scans the materialised batch and builds the view, folding
-// the batch's savings into the run's counters.
-func (s *System) classifyDedup(bd *BatchData) *DedupView {
-	cfg := s.Cfg
-	B, G := cfg.BatchSize, cfg.GPUs
-	vb := float64(cfg.VectorBytes())
-	view := bd.Cache
-	dv := &DedupView{
-		MissIdx:   make([][]int64, G),
-		Uniq:      make([][]int64, G),
-		DenseVecs: make([][]int64, G),
-		Wire:      make([][]bool, G),
-		Gather:    make([][]bool, G),
-		NewAt:     make([][][]int32, G),
-		Keys:      make([][][]uint64, G),
-		Expand:    make([][][]int32, G),
-	}
-	ctr := metrics.DedupCounters{Batches: 1}
-	seen := make(map[uint64]int32)
-	for src := 0; src < G; src++ {
-		fg := len(s.Plan[src])
-		dv.MissIdx[src] = make([]int64, G)
-		dv.Uniq[src] = make([]int64, G)
-		dv.DenseVecs[src] = make([]int64, G)
-		dv.Wire[src] = make([]bool, G)
-		dv.Gather[src] = make([]bool, G)
-		dv.NewAt[src] = make([][]int32, G)
-		dv.Keys[src] = make([][]uint64, G)
-		dv.Expand[src] = make([][]int32, G)
-		fbs := make([]*sparse.FeatureBag, fg)
-		rowsPer := make([]int, fg)
-		for fi, fid := range s.Plan[src] {
-			fbs[fi] = bd.Sparse.FeatureByID(fid)
-			rowsPer[fi] = cfg.tableRows(fid)
-		}
-		for dst := 0; dst < G; dst++ {
-			dlo, dhi := s.Minibatch(dst)
-			clear(seen)
-			newAt := make([]int32, dhi-dlo)
-			var missIdx, denseVecs int64
-			var keys []uint64
-			var expand []int32
-			for smp := dlo; smp < dhi; smp++ {
-				var newHere int32
-				for fi := 0; fi < fg; fi++ {
-					if src != dst && view != nil && view.Hit[src][fi*B+smp] {
-						continue
-					}
-					denseVecs++
-					rows := rowsPer[fi]
-					for _, raw := range fbs[fi].Bag(smp) {
-						key := uint64(fi)<<32 | uint64(uint32(embedding.HashIndex(raw, rows)))
-						pos, ok := seen[key]
-						if !ok {
-							pos = int32(len(seen))
-							seen[key] = pos
-							newHere++
-							if cfg.Functional {
-								keys = append(keys, key)
-							}
-						}
-						missIdx++
-						if cfg.Functional {
-							expand = append(expand, pos)
-						}
-					}
-				}
-				newAt[smp-dlo] = newHere
-			}
-			uniq := int64(len(seen))
-			wire := src != dst && uniq < denseVecs
-			dv.MissIdx[src][dst] = missIdx
-			dv.Uniq[src][dst] = uniq
-			dv.DenseVecs[src][dst] = denseVecs
-			dv.Wire[src][dst] = wire
-			dv.Gather[src][dst] = !wire && s.Devs[src].GatherDedupWins(uniq, missIdx)
-			dv.NewAt[src][dst] = newAt
-			if cfg.Functional && wire {
-				dv.Keys[src][dst] = keys
-				dv.Expand[src][dst] = expand
-			}
-			if src != dst {
-				ctr.EligibleIdx += missIdx
-				ctr.EligibleVecs += denseVecs
-				ctr.UniqueRows += uniq
-				if wire {
-					ctr.WireRows += uniq
-					ctr.WireSavedBytes += float64(denseVecs-uniq) * vb
-				} else {
-					ctr.WireVecs += denseVecs
-				}
-			}
-		}
-	}
-	if s.multiNode() {
-		s.classifyNodeDedup(bd, dv)
-	}
-	s.dedupStats = s.dedupStats.Add(ctr)
-	return dv
-}
-
-// classifyNodeDedup runs the second classification level on multi-node
-// machines: per (owner GPU, remote node), the union of the owner's pair key
-// sets over the node's consumers, in the same canonical scan order (consumer
-// GPUs ascending — which is samples ascending, since a node's minibatches
-// are contiguous). A node-level wire win means the owner ships each unique
-// row across the NIC once for the whole node; the pair-level decision is
-// superseded for those pairs (PGAS backends only — the baseline's
-// all-to-all segments stay pair-addressed).
-func (s *System) classifyNodeDedup(bd *BatchData, dv *DedupView) {
-	cfg := s.Cfg
-	B, G, N := cfg.BatchSize, cfg.GPUs, s.cluster.Nodes
-	per := s.cluster.GPUsPerNode
-	view := bd.Cache
-	dv.NodeUniq = make([][]int64, G)
-	dv.NodeDense = make([][]int64, G)
-	dv.NodeWire = make([][]bool, G)
-	dv.NodeNewAt = make([][][]int32, G)
-	dv.NodeKeys = make([][][]uint64, G)
-	dv.NodeExpand = make([][][]int32, G)
-	seen := make(map[uint64]int32)
-	expTmp := make([][]int32, per)
-	for src := 0; src < G; src++ {
-		fg := len(s.Plan[src])
-		dv.NodeUniq[src] = make([]int64, N)
-		dv.NodeDense[src] = make([]int64, N)
-		dv.NodeWire[src] = make([]bool, N)
-		dv.NodeNewAt[src] = make([][]int32, N)
-		dv.NodeKeys[src] = make([][]uint64, N)
-		dv.NodeExpand[src] = make([][]int32, G)
-		fbs := make([]*sparse.FeatureBag, fg)
-		rowsPer := make([]int, fg)
-		for fi, fid := range s.Plan[src] {
-			fbs[fi] = bd.Sparse.FeatureByID(fid)
-			rowsPer[fi] = cfg.tableRows(fid)
-		}
-		srcNode := s.nodeOf(src)
-		for node := 0; node < N; node++ {
-			if node == srcNode {
-				continue
-			}
-			nlo, nhi := s.nodeSampleRange(node)
-			clear(seen)
-			newAt := make([]int32, nhi-nlo)
-			var keys []uint64
-			var dense int64
-			for li := 0; li < per; li++ {
-				dst := node*per + li
-				dlo, dhi := s.Minibatch(dst)
-				var expand []int32
-				for smp := dlo; smp < dhi; smp++ {
-					var newHere int32
-					for fi := 0; fi < fg; fi++ {
-						if view != nil && view.Hit[src][fi*B+smp] {
-							continue
-						}
-						dense++
-						rows := rowsPer[fi]
-						for _, raw := range fbs[fi].Bag(smp) {
-							key := uint64(fi)<<32 | uint64(uint32(embedding.HashIndex(raw, rows)))
-							pos, ok := seen[key]
-							if !ok {
-								pos = int32(len(seen))
-								seen[key] = pos
-								newHere++
-								if cfg.Functional {
-									keys = append(keys, key)
-								}
-							}
-							if cfg.Functional {
-								expand = append(expand, pos)
-							}
-						}
-					}
-					newAt[smp-nlo] = newHere
-				}
-				expTmp[li] = expand
-			}
-			uniq := int64(len(seen))
-			wire := uniq < dense
-			dv.NodeUniq[src][node] = uniq
-			dv.NodeDense[src][node] = dense
-			dv.NodeWire[src][node] = wire
-			dv.NodeNewAt[src][node] = newAt
-			if cfg.Functional && wire {
-				dv.NodeKeys[src][node] = keys
-				for li := 0; li < per; li++ {
-					dv.NodeExpand[src][node*per+li] = expTmp[li]
-				}
-			}
-		}
-	}
-}
-
-// attachDedup allocates the batch's cross-GPU expansion plumbing: the
-// consumer-side staging buffers the owners stream unique rows into
-// (functional wire pairs), and the post-quiet barrier PGAS backends
-// rendezvous on before expanding — quiet only drains a PE's OWN pipes, so a
-// consumer must not expand until every owner has finished streaming. The
-// baseline never awaits the barrier (its collective is already a global
-// synchronisation point); an unawaited barrier is inert.
-func (s *System) attachDedup(bd *BatchData, dv *DedupView) {
-	bd.Dedup = dv
-	if s.Cfg.GPUs <= 1 {
-		return
-	}
-	bd.dedupBarrier = sim.NewBarrier(s.Env, s.Cfg.GPUs)
-	if !s.Cfg.Functional {
-		return
-	}
-	bd.DedupStage = make([][][]float32, s.Cfg.GPUs)
-	for src := range bd.DedupStage {
-		bd.DedupStage[src] = make([][]float32, s.Cfg.GPUs)
-		for dst := range bd.DedupStage[src] {
-			if dv.Wire[src][dst] && !s.nodeWirePair(dv, src, dst) {
-				bd.DedupStage[src][dst] = make([]float32, int(dv.Uniq[src][dst])*s.Cfg.Dim)
-			}
-		}
-	}
-	if dv.NodeWire != nil {
-		// Node-level staging: one buffer per (owner, destination node), held
-		// by the node's stage-lane GPU.
-		bd.NodeStage = make([][][]float32, s.Cfg.GPUs)
-		for src := range bd.NodeStage {
-			bd.NodeStage[src] = make([][]float32, s.cluster.Nodes)
-			for node := range bd.NodeStage[src] {
-				if dv.NodeWire[src][node] {
-					bd.NodeStage[src][node] = make([]float32, int(dv.NodeUniq[src][node])*s.Cfg.Dim)
-				}
-			}
-		}
-	}
 }
 
 // functionalExpand re-pools consumer g's miss vectors of a wire pairing with

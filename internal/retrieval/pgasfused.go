@@ -76,25 +76,27 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	vecBytes := cfg.VectorBytes()
 	fvb := float64(vecBytes)
 
-	// Hot-row cache discounts (zero when bd.Cache is nil): the kernel's
+	// Hot-row cache discounts (zero when plan.Cache is nil): the kernel's
 	// occupancy is set by the whole batch's real item count — skipped hit
 	// vectors removed, consumer-side cache gathers added. With dedup, wire
 	// pairs contribute their unique rows as items instead of dense vectors.
-	view := bd.Cache
-	dv := bd.Dedup
+	// All routing decisions come from the batch's compiled plan.
+	plan := bd.Plan
+	view := plan.Cache
+	dv := plan.Dedup
 	batchSkipVecs, _ := view.SkipFrom(g)
 	batchHitVecs, _ := view.HitAt(g)
 	kernelItems := cfg.BatchSize*fg - batchSkipVecs + batchHitVecs
 	if dv != nil {
 		for d := 0; d < cfg.GPUs; d++ {
-			if dv.Wire[g][d] && !s.nodeWirePair(dv, g, d) {
+			if plan.Class(g, d) == RouteWire {
 				kernelItems += int(dv.Uniq[g][d]) - int(dv.DenseVecs[g][d])
 			}
 		}
 		if dv.NodeWire != nil {
-			for b, wire := range dv.NodeWire[g] {
-				if wire {
-					kernelItems += int(dv.NodeUniq[g][b]) - int(dv.NodeDense[g][b])
+			for node := range dv.NodeWire[g] {
+				if plan.NodeWire(g, node) {
+					kernelItems += int(dv.NodeUniq[g][node]) - int(dv.NodeDense[g][node])
 				}
 			}
 		}
@@ -138,8 +140,8 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 			for i := range perPeer {
 				perPeer[i] = 0
 			}
-			skipVecs, skipIdx := s.cacheChunkOwner(view, bd.Summary, g, s0, s1, perPeer)
-			hitVecs, hitIdx := s.cacheChunkConsumer(view, bd.Summary, g, s0, s1)
+			skipVecs, skipIdx := plan.OwnerChunkHits(bd.Summary, g, s0, s1, perPeer)
+			hitVecs, hitIdx := plan.ConsumerChunkHits(bd.Summary, g, s0, s1)
 			chunkIdx := s.localIndexTotal(bd.Summary, g, s0, s1) - skipIdx
 			// Local outputs store to HBM; remote outputs leave from registers.
 			localSamples := overlap(s0, s1, lo, hi)
@@ -156,7 +158,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		p.Wait(cost)
 
 		if cfg.Functional {
-			b.functionalChunk(s, p, g, bd, view, dv, s0, s1, scratch, cursors, nodeCursors, agg)
+			b.functionalChunk(s, p, g, bd, s0, s1, scratch, cursors, nodeCursors, agg)
 			continue
 		}
 		for peer := 0; peer < cfg.GPUs; peer++ {
@@ -165,24 +167,24 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 			}
 			var vecs int
 			target := peer
-			switch {
-			case dv != nil && s.nodeWirePair(dv, g, peer):
+			switch plan.Class(g, peer) {
+			case RouteNodeWire:
 				// Node-level wire dedup: only the keys FIRST seen in this
 				// peer's share of the chunk cross the NIC, addressed at the
 				// destination node's stage-lane GPU.
 				node := s.nodeOf(peer)
 				plo, phi := s.Minibatch(peer)
 				o0, o1 := clampRange(s0, s1, plo, phi)
-				vecs = s.nodeNewKeysIn(dv, g, node, o0, o1)
+				vecs = plan.NodeNewKeysIn(g, node, o0, o1)
 				target = s.stageGPU(g, node)
-			case dv != nil && dv.Wire[g][peer]:
-				vecs = dv.newKeysIn(s, g, peer, s0, s1)
+			case RouteWire:
+				vecs = plan.NewKeysIn(g, peer, s0, s1)
 			default:
 				plo, phi := s.Minibatch(peer)
 				vecs = overlap(s0, s1, plo, phi) * fg
 				if dv != nil {
 					o0, o1 := clampRange(s0, s1, plo, phi)
-					hitV, _ := s.cacheChunkOwner(view, bd.Summary, g, o0, o1, nil)
+					hitV, _ := plan.OwnerChunkHits(bd.Summary, g, o0, o1, nil)
 					vecs -= hitV
 				} else if perPeer != nil {
 					vecs -= perPeer[peer]
@@ -218,8 +220,8 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 			if src == g {
 				continue
 			}
-			switch {
-			case s.nodeWirePair(dv, src, g):
+			switch plan.Class(src, g) {
+			case RouteNodeWire:
 				refs += dv.MissIdx[src][g]
 				outVecs += int(dv.DenseVecs[src][g])
 				if lane := s.stageGPU(src, myNode); lane != g {
@@ -230,7 +232,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 						redist = done
 					}
 				}
-			case dv.Wire[src][g]:
+			case RouteWire:
 				refs += dv.MissIdx[src][g]
 				outVecs += int(dv.DenseVecs[src][g])
 			}
@@ -246,10 +248,10 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 					if src == g {
 						continue
 					}
-					switch {
-					case s.nodeWirePair(dv, src, g):
+					switch plan.Class(src, g) {
+					case RouteNodeWire:
 						s.functionalExpand(g, src, bd.NodeStage[src][myNode], dv.NodeExpand[src][g], bd.Summary, view, bd.Final[g].Data())
-					case dv.Wire[src][g]:
+					case RouteWire:
 						s.functionalExpand(g, src, bd.DedupStage[src][g], dv.Expand[src][g], bd.Summary, view, bd.Final[g].Data())
 					}
 				}
@@ -270,13 +272,13 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 				if src == g {
 					continue
 				}
-				switch {
-				case s.nodeWirePair(dv, src, g):
+				switch plan.Class(src, g) {
+				case RouteNodeWire:
 					// Node-staged rows land on the stage-lane GPU only.
 					if s.stageGPU(src, myNode) == g {
 						remoteBytes += float64(dv.NodeUniq[src][myNode]) * fvb
 					}
-				case dv.Wire[src][g]:
+				case RouteWire:
 					remoteBytes += float64(dv.Uniq[src][g]) * fvb
 				default:
 					remoteBytes += float64(dv.DenseVecs[src][g]) * fvb
@@ -302,8 +304,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 func (b *PGASFused) dedupChunkCost(s *System, g int, bd *BatchData, s0, s1, kernelItems int) sim.Duration {
 	cfg := s.Cfg
 	dev := s.Devs[g]
-	view := bd.Cache
-	dv := bd.Dedup
+	plan := bd.Plan
 	fg := s.LocalTables(g)
 	fvb := float64(cfg.VectorBytes())
 	var readBytes, streamBytes float64
@@ -319,8 +320,8 @@ func (b *PGASFused) dedupChunkCost(s *System, g int, bd *BatchData, s0, s1, kern
 		pairIdx := s.localIndexTotal(bd.Summary, g, o0, o1)
 		if d == g {
 			chunkIdx += pairIdx
-			if dv.Gather[g][g] {
-				nk := int64(dv.newKeysIn(s, g, g, o0, o1))
+			if plan.GatherDedup(g, g) {
+				nk := int64(plan.NewKeysIn(g, g, o0, o1))
 				readBytes += float64(nk)*fvb + dev.HotReadEquivalent(float64(pairIdx-nk)*fvb)
 				streamBytes += float64(nk) * fvb
 			} else {
@@ -330,26 +331,26 @@ func (b *PGASFused) dedupChunkCost(s *System, g int, bd *BatchData, s0, s1, kern
 			items += ovl * fg
 			continue
 		}
-		hitV, hitI := s.cacheChunkOwner(view, bd.Summary, g, o0, o1, nil)
+		hitV, hitI := plan.OwnerChunkHits(bd.Summary, g, o0, o1, nil)
 		missIdx := pairIdx - hitI
 		chunkIdx += missIdx
-		if s.nodeWirePair(dv, g, d) {
-			nk := s.nodeNewKeysIn(dv, g, s.nodeOf(d), o0, o1)
+		switch plan.Class(g, d) {
+		case RouteNodeWire:
+			nk := plan.NodeNewKeysIn(g, s.nodeOf(d), o0, o1)
 			readBytes += float64(nk) * fvb
 			items += nk
 			issues += nk
 			continue
-		}
-		if dv.Wire[g][d] {
-			nk := dv.newKeysIn(s, g, d, o0, o1)
+		case RouteWire:
+			nk := plan.NewKeysIn(g, d, o0, o1)
 			readBytes += float64(nk) * fvb
 			items += nk
 			issues += nk
 			continue
 		}
 		missVecs := ovl*fg - hitV
-		if dv.Gather[g][d] {
-			nk := int64(dv.newKeysIn(s, g, d, o0, o1))
+		if plan.GatherDedup(g, d) {
+			nk := int64(plan.NewKeysIn(g, d, o0, o1))
 			readBytes += float64(nk)*fvb + dev.HotReadEquivalent(float64(missIdx-nk)*fvb)
 			streamBytes += float64(nk) * fvb
 		} else {
@@ -358,7 +359,7 @@ func (b *PGASFused) dedupChunkCost(s *System, g int, bd *BatchData, s0, s1, kern
 		items += missVecs
 		issues += missVecs
 	}
-	hitVecs, hitIdx := s.cacheChunkConsumer(view, bd.Summary, g, s0, s1)
+	hitVecs, hitIdx := plan.ConsumerChunkHits(bd.Summary, g, s0, s1)
 	readBytes += dev.HotReadEquivalent(float64(hitIdx) * fvb)
 	streamBytes += float64(chunkIdx+hitIdx)*8 + float64(hitVecs)*fvb
 	items += hitVecs
@@ -384,15 +385,18 @@ func clampRange(a0, a1, b0, b1 int) (int, int) {
 // pairs, where only the unique rows first referenced in this chunk are
 // streamed (in canonical first-seen order) into the owner's staging buffer;
 // the owner expands them after the dedup barrier.
-func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, view *CacheView, dv *DedupView, s0, s1 int, scratch []float32, cursors, nodeCursors []int, agg *pgas.Aggregator) {
+func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData, s0, s1 int, scratch []float32, cursors, nodeCursors []int, agg *pgas.Aggregator) {
 	cfg := s.Cfg
+	plan := bd.Plan
+	view := plan.Cache
+	dv := plan.Dedup
 	pe := s.PGAS.PE(g)
 	part := bd.Parts[g]
 	coll := s.colls[g]
 	for smp := s0; smp < s1; smp++ {
 		owner := sparse.OwnerOfSample(cfg.BatchSize, cfg.GPUs, smp)
 		olo, _ := s.Minibatch(owner)
-		if dv != nil && s.nodeWirePair(dv, g, owner) {
+		if plan.Class(g, owner) == RouteNodeWire {
 			// Node-level wire dedup: stream the node keys this sample
 			// introduces into the destination node's staging buffer, via its
 			// stage-lane PE (one NIC crossing per node-unique row).
@@ -422,7 +426,7 @@ func (b *PGASFused) functionalChunk(s *System, p *sim.Proc, g int, bd *BatchData
 			nodeCursors[node] = cur + n
 			continue
 		}
-		if dv != nil && dv.Wire[g][owner] {
+		if plan.Class(g, owner) == RouteWire {
 			// Stream the keys this sample introduces; everything else in
 			// this sample's bags is already staged (or will never be — only
 			// first references ship).

@@ -1,0 +1,518 @@
+package retrieval
+
+import (
+	"pgasemb/internal/cache"
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/metrics"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/sparse"
+	"pgasemb/internal/workload"
+)
+
+// Route-plan compilation. Every batch's key classification — which output
+// vectors are cache hits, which (owner, consumer) pairs ship unique rows
+// instead of dense pooled vectors, which pairs ride node-level staging — used
+// to be consulted ad hoc by each backend in each mode. It now happens in ONE
+// host-side pass per batch: NextBatchData compiles a RoutePlan, and backends
+// only ask the plan how a pair is routed. Timing and functional execution
+// therefore follow the same decisions by construction, and a new
+// classification feature is wired once, here, instead of once per backend
+// per mode.
+//
+// The plan is a pure function of the workload seed, the cache state and the
+// machine shape — never of simulated-process interleaving — so every GPU's
+// process reads identical routes, which is what lets backends make
+// whole-machine decisions (e.g. the hybrid backend's per-pair transport
+// choice) without any cross-process agreement protocol.
+
+// PairClass is the route of one (owner, consumer) pair.
+type PairClass uint8
+
+const (
+	// RouteLocal marks the diagonal: the owner's own minibatch, pooled
+	// straight into local HBM.
+	RouteLocal PairClass = iota
+	// RouteDense ships one pooled vector per (sample, table) — the paper's
+	// base scheme, minus cache hits.
+	RouteDense
+	// RouteWire ships the pair's unique rows once; the consumer expands
+	// (pair-level index deduplication).
+	RouteWire
+	// RouteNodeWire ships each row once per destination NODE, staged on a
+	// lane GPU and redistributed over NVLink (multi-node machines, one-sided
+	// transports only — a pair-addressed collective cannot use it).
+	RouteNodeWire
+)
+
+// String labels the class for diagnostics.
+func (c PairClass) String() string {
+	switch c {
+	case RouteLocal:
+		return "local"
+	case RouteDense:
+		return "dense"
+	case RouteWire:
+		return "wire"
+	case RouteNodeWire:
+		return "node-wire"
+	default:
+		return "unknown"
+	}
+}
+
+// RoutePlan is one batch's compiled classification: the hot-row cache view,
+// the deduplication view, and the per-pair route queries every backend
+// shares. Cache and Dedup are nil when the corresponding feature is off.
+type RoutePlan struct {
+	sys   *System
+	Cache *CacheView
+	Dedup *DedupView
+}
+
+// Class returns the (owner src → consumer dst) route under a one-sided
+// transport, where node-level wire dedup supersedes the pair-level decision.
+func (p *RoutePlan) Class(src, dst int) PairClass {
+	if src == dst {
+		return RouteLocal
+	}
+	dv := p.Dedup
+	if dv == nil {
+		return RouteDense
+	}
+	if p.sys.nodeWirePair(dv, src, dst) {
+		return RouteNodeWire
+	}
+	if dv.Wire[src][dst] {
+		return RouteWire
+	}
+	return RouteDense
+}
+
+// CollectiveClass returns the pair's route under a pair-addressed collective:
+// the all-to-all's segments are addressed per (owner, consumer), so node-level
+// staging never applies and the pair-level wire decision stands.
+func (p *RoutePlan) CollectiveClass(src, dst int) PairClass {
+	if src == dst {
+		return RouteLocal
+	}
+	if dv := p.Dedup; dv != nil && dv.Wire[src][dst] {
+		return RouteWire
+	}
+	return RouteDense
+}
+
+// NodeWire reports whether owner src ships node-deduplicated rows to node.
+func (p *RoutePlan) NodeWire(src, node int) bool {
+	dv := p.Dedup
+	return dv != nil && dv.NodeWire != nil && dv.NodeWire[src][node]
+}
+
+// CollectiveVecs returns how many vectors owner src contributes to consumer
+// dst's receive segment of the pair-addressed all-to-all: the contiguous
+// local segment on the diagonal, the pair's unique rows on a wire route, the
+// cache-missed dense vectors otherwise.
+func (p *RoutePlan) CollectiveVecs(src, dst int) int {
+	s := p.sys
+	dlo, dhi := s.Minibatch(dst)
+	mini := dhi - dlo
+	if src == dst {
+		return mini * s.LocalTables(src)
+	}
+	if dv := p.Dedup; dv != nil {
+		if dv.Wire[src][dst] {
+			return int(dv.Uniq[src][dst])
+		}
+		return int(dv.DenseVecs[src][dst])
+	}
+	vecs := mini * s.LocalTables(src)
+	if v := p.Cache; v != nil {
+		vecs -= v.WireVecs[src][dst]
+	}
+	return vecs
+}
+
+// GatherDedup reports whether the pair's owner-side gather stages each unique
+// row once and serves duplicate references from the staged working set
+// (timing model only; output data is unchanged).
+func (p *RoutePlan) GatherDedup(src, dst int) bool {
+	dv := p.Dedup
+	return dv != nil && dv.Gather[src][dst]
+}
+
+// NewKeysIn returns the pair's unique keys first seen in sample range
+// [s0, s1), clamped to the consumer's minibatch. Wire and gather-dedup routes
+// only.
+func (p *RoutePlan) NewKeysIn(src, dst, s0, s1 int) int {
+	return p.Dedup.newKeysIn(p.sys, src, dst, s0, s1)
+}
+
+// NodeNewKeysIn returns owner src's node-level unique keys first seen in
+// sample range [s0, s1), clamped to the node's sample range. Node-wire routes
+// only.
+func (p *RoutePlan) NodeNewKeysIn(src, node, s0, s1 int) int {
+	return p.sys.nodeNewKeysIn(p.Dedup, src, node, s0, s1)
+}
+
+// OwnerChunkHits returns the cache-hit vectors (and pooled indices) owner g
+// skips within sample range [s0, s1); see cacheChunkOwner.
+func (p *RoutePlan) OwnerChunkHits(sum *workload.Summary, g, s0, s1 int, perPeer []int) (vecs int, idx int64) {
+	return p.sys.cacheChunkOwner(p.Cache, sum, g, s0, s1, perPeer)
+}
+
+// ConsumerChunkHits returns the cache-hit vectors (and pooled indices)
+// consumer g pools locally within [s0, s1); see cacheChunkConsumer.
+func (p *RoutePlan) ConsumerChunkHits(sum *workload.Summary, g, s0, s1 int) (vecs int, idx int64) {
+	return p.sys.cacheChunkConsumer(p.Cache, sum, g, s0, s1)
+}
+
+// planScratch is the per-run arena for plan COMPILATION: working state that
+// never outlives one compileRoutePlan call (per-batch outputs — the views,
+// key lists, expansion maps, staging buffers — must stay per-batch
+// allocations, because a run pre-generates every batch before executing).
+// NextBatchData runs host-side on one goroutine, so no synchronisation.
+type planScratch struct {
+	seen       map[uint64]int32     // pair/node unique-key index
+	fbs        []*sparse.FeatureBag // one owner's feature bags
+	rowsPer    []int                // one owner's table row counts
+	expTmp     [][]int32            // node classifier's per-consumer expansion holder
+	rowScratch []int32              // cache classifier's hashed-bag scratch
+}
+
+// compileRoutePlan runs the classifier passes for one batch and attaches the
+// resulting plan (plus the legacy Cache/Dedup views it owns) to bd.
+func (s *System) compileRoutePlan(bd *BatchData) {
+	plan := &RoutePlan{sys: s}
+	bd.Plan = plan
+	if s.cacheEnabled() {
+		// Cache classification first: hit vectors never enter the dedup key
+		// sets, so the dedup pass below sees only cache misses.
+		plan.Cache = s.classifyCache(bd)
+		bd.Cache = plan.Cache
+	}
+	if s.dedupEnabled() {
+		plan.Dedup = s.classifyDedup(bd)
+		s.attachDedup(bd, plan.Dedup) // sets bd.Dedup and the expansion plumbing
+	}
+}
+
+// classifyCache probes every remote-owned output vector of the batch against
+// the consumer's cache, admits missed rows, and (in functional mode) pools
+// hit vectors into bd.Final immediately — with the cache contents as of this
+// classification, so later evictions cannot corrupt earlier batches.
+func (s *System) classifyCache(bd *BatchData) *CacheView {
+	s.ensureCaches()
+	cfg := s.Cfg
+	B := cfg.BatchSize
+	view := &CacheView{
+		Hit:      make([][]bool, cfg.GPUs),
+		WireVecs: make([][]int, cfg.GPUs),
+		WireIdx:  make([][]int64, cfg.GPUs),
+	}
+	for p := 0; p < cfg.GPUs; p++ {
+		view.Hit[p] = make([]bool, len(s.Plan[p])*B)
+		view.WireVecs[p] = make([]int, cfg.GPUs)
+		view.WireIdx[p] = make([]int64, cfg.GPUs)
+	}
+	rowScratch := s.planScr.rowScratch
+	defer func() { s.planScr.rowScratch = rowScratch }()
+	for g := 0; g < cfg.GPUs; g++ {
+		c := s.Caches.GPU(g)
+		lo, hi := s.Minibatch(g)
+		for p := 0; p < cfg.GPUs; p++ {
+			if p == g {
+				continue
+			}
+			for fi, fid := range s.Plan[p] {
+				rows := cfg.tableRows(fid)
+				fb := bd.Sparse.FeatureByID(fid)
+				var w []float32
+				if cfg.Functional {
+					w = s.colls[p].Tables[fi].Weights.Data()
+				}
+				for smp := lo; smp < hi; smp++ {
+					bag := fb.Bag(smp)
+					if len(bag) == 0 {
+						continue // zero vector; nothing to gather or send
+					}
+					rowScratch = rowScratch[:0]
+					hit := true
+					for _, raw := range bag {
+						row := int32(embedding.HashIndex(raw, rows))
+						rowScratch = append(rowScratch, row)
+						if !c.Touch(cache.Key{Feature: int32(fid), Row: row}) {
+							hit = false
+						}
+					}
+					if !hit {
+						// Lazy refill: admit the whole bag (resident rows are
+						// refreshed, missing ones inserted), off the critical
+						// path alongside the miss fetch the batch pays anyway.
+						for _, row := range rowScratch {
+							var vec []float32
+							if cfg.Functional {
+								vec = w[int(row)*cfg.Dim : (int(row)+1)*cfg.Dim]
+							}
+							c.Admit(cache.Key{Feature: int32(fid), Row: row}, vec)
+						}
+						continue
+					}
+					view.Hit[p][fi*B+smp] = true
+					view.WireVecs[p][g]++
+					view.WireIdx[p][g] += int64(len(bag))
+					if cfg.Functional {
+						off := ((smp-lo)*cfg.TotalTables + fid) * cfg.Dim
+						out := bd.Final[g].Data()[off : off+cfg.Dim]
+						poolFromCache(c, int32(fid), rowScratch, cfg.Pooling, out)
+					}
+				}
+			}
+		}
+	}
+	return view
+}
+
+// classifyDedup scans the materialised batch and builds the dedup view,
+// folding the batch's savings into the run's counters.
+func (s *System) classifyDedup(bd *BatchData) *DedupView {
+	cfg := s.Cfg
+	B, G := cfg.BatchSize, cfg.GPUs
+	vb := float64(cfg.VectorBytes())
+	view := bd.Cache
+	dv := &DedupView{
+		MissIdx:   make([][]int64, G),
+		Uniq:      make([][]int64, G),
+		DenseVecs: make([][]int64, G),
+		Wire:      make([][]bool, G),
+		Gather:    make([][]bool, G),
+		NewAt:     make([][][]int32, G),
+		Keys:      make([][][]uint64, G),
+		Expand:    make([][][]int32, G),
+	}
+	ctr := metrics.DedupCounters{Batches: 1}
+	seen := s.seenScratch()
+	for src := 0; src < G; src++ {
+		fg := len(s.Plan[src])
+		dv.MissIdx[src] = make([]int64, G)
+		dv.Uniq[src] = make([]int64, G)
+		dv.DenseVecs[src] = make([]int64, G)
+		dv.Wire[src] = make([]bool, G)
+		dv.Gather[src] = make([]bool, G)
+		dv.NewAt[src] = make([][]int32, G)
+		dv.Keys[src] = make([][]uint64, G)
+		dv.Expand[src] = make([][]int32, G)
+		fbs, rowsPer := s.ownerScratch(bd, src)
+		for dst := 0; dst < G; dst++ {
+			dlo, dhi := s.Minibatch(dst)
+			clear(seen)
+			newAt := make([]int32, dhi-dlo)
+			var missIdx, denseVecs int64
+			var keys []uint64
+			var expand []int32
+			for smp := dlo; smp < dhi; smp++ {
+				var newHere int32
+				for fi := 0; fi < fg; fi++ {
+					if src != dst && view != nil && view.Hit[src][fi*B+smp] {
+						continue
+					}
+					denseVecs++
+					rows := rowsPer[fi]
+					for _, raw := range fbs[fi].Bag(smp) {
+						key := uint64(fi)<<32 | uint64(uint32(embedding.HashIndex(raw, rows)))
+						pos, ok := seen[key]
+						if !ok {
+							pos = int32(len(seen))
+							seen[key] = pos
+							newHere++
+							if cfg.Functional {
+								keys = append(keys, key)
+							}
+						}
+						missIdx++
+						if cfg.Functional {
+							expand = append(expand, pos)
+						}
+					}
+				}
+				newAt[smp-dlo] = newHere
+			}
+			uniq := int64(len(seen))
+			wire := src != dst && uniq < denseVecs
+			dv.MissIdx[src][dst] = missIdx
+			dv.Uniq[src][dst] = uniq
+			dv.DenseVecs[src][dst] = denseVecs
+			dv.Wire[src][dst] = wire
+			dv.Gather[src][dst] = !wire && s.Devs[src].GatherDedupWins(uniq, missIdx)
+			dv.NewAt[src][dst] = newAt
+			if cfg.Functional && wire {
+				dv.Keys[src][dst] = keys
+				dv.Expand[src][dst] = expand
+			}
+			if src != dst {
+				ctr.EligibleIdx += missIdx
+				ctr.EligibleVecs += denseVecs
+				ctr.UniqueRows += uniq
+				if wire {
+					ctr.WireRows += uniq
+					ctr.WireSavedBytes += float64(denseVecs-uniq) * vb
+				} else {
+					ctr.WireVecs += denseVecs
+				}
+			}
+		}
+	}
+	if s.multiNode() {
+		s.classifyNodeDedup(bd, dv)
+	}
+	s.dedupStats = s.dedupStats.Add(ctr)
+	return dv
+}
+
+// classifyNodeDedup runs the second classification level on multi-node
+// machines: per (owner GPU, remote node), the union of the owner's pair key
+// sets over the node's consumers, in the same canonical scan order (consumer
+// GPUs ascending — which is samples ascending, since a node's minibatches
+// are contiguous). A node-level wire win means the owner ships each unique
+// row across the NIC once for the whole node; the pair-level decision is
+// superseded for those pairs (one-sided transports only — a pair-addressed
+// collective's segments cannot share rows across consumers).
+func (s *System) classifyNodeDedup(bd *BatchData, dv *DedupView) {
+	cfg := s.Cfg
+	B, G, N := cfg.BatchSize, cfg.GPUs, s.cluster.Nodes
+	per := s.cluster.GPUsPerNode
+	view := bd.Cache
+	dv.NodeUniq = make([][]int64, G)
+	dv.NodeDense = make([][]int64, G)
+	dv.NodeWire = make([][]bool, G)
+	dv.NodeNewAt = make([][][]int32, G)
+	dv.NodeKeys = make([][][]uint64, G)
+	dv.NodeExpand = make([][][]int32, G)
+	seen := s.seenScratch()
+	expTmp := scratchSlice(&s.planScr.expTmp, per)
+	for src := 0; src < G; src++ {
+		fg := len(s.Plan[src])
+		dv.NodeUniq[src] = make([]int64, N)
+		dv.NodeDense[src] = make([]int64, N)
+		dv.NodeWire[src] = make([]bool, N)
+		dv.NodeNewAt[src] = make([][]int32, N)
+		dv.NodeKeys[src] = make([][]uint64, N)
+		dv.NodeExpand[src] = make([][]int32, G)
+		fbs, rowsPer := s.ownerScratch(bd, src)
+		srcNode := s.nodeOf(src)
+		for node := 0; node < N; node++ {
+			if node == srcNode {
+				continue
+			}
+			nlo, nhi := s.nodeSampleRange(node)
+			clear(seen)
+			newAt := make([]int32, nhi-nlo)
+			var keys []uint64
+			var dense int64
+			for li := 0; li < per; li++ {
+				dst := node*per + li
+				dlo, dhi := s.Minibatch(dst)
+				var expand []int32
+				for smp := dlo; smp < dhi; smp++ {
+					var newHere int32
+					for fi := 0; fi < fg; fi++ {
+						if view != nil && view.Hit[src][fi*B+smp] {
+							continue
+						}
+						dense++
+						rows := rowsPer[fi]
+						for _, raw := range fbs[fi].Bag(smp) {
+							key := uint64(fi)<<32 | uint64(uint32(embedding.HashIndex(raw, rows)))
+							pos, ok := seen[key]
+							if !ok {
+								pos = int32(len(seen))
+								seen[key] = pos
+								newHere++
+								if cfg.Functional {
+									keys = append(keys, key)
+								}
+							}
+							if cfg.Functional {
+								expand = append(expand, pos)
+							}
+						}
+					}
+					newAt[smp-nlo] = newHere
+				}
+				expTmp[li] = expand
+			}
+			uniq := int64(len(seen))
+			wire := uniq < dense
+			dv.NodeUniq[src][node] = uniq
+			dv.NodeDense[src][node] = dense
+			dv.NodeWire[src][node] = wire
+			dv.NodeNewAt[src][node] = newAt
+			if cfg.Functional && wire {
+				dv.NodeKeys[src][node] = keys
+				for li := 0; li < per; li++ {
+					dv.NodeExpand[src][node*per+li] = expTmp[li]
+				}
+			}
+		}
+	}
+}
+
+// seenScratch returns the run's reusable unique-key map (cleared per use by
+// the classifier loops).
+func (s *System) seenScratch() map[uint64]int32 {
+	if s.planScr.seen == nil {
+		s.planScr.seen = make(map[uint64]int32)
+	}
+	return s.planScr.seen
+}
+
+// ownerScratch fills the run's per-owner classifier scratch: src's feature
+// bags and table row counts, in plan order.
+func (s *System) ownerScratch(bd *BatchData, src int) ([]*sparse.FeatureBag, []int) {
+	fg := len(s.Plan[src])
+	fbs := scratchSlice(&s.planScr.fbs, fg)
+	rowsPer := scratchSlice(&s.planScr.rowsPer, fg)
+	for fi, fid := range s.Plan[src] {
+		fbs[fi] = bd.Sparse.FeatureByID(fid)
+		rowsPer[fi] = s.Cfg.tableRows(fid)
+	}
+	return fbs, rowsPer
+}
+
+// attachDedup allocates the batch's cross-GPU expansion plumbing: the
+// consumer-side staging buffers the owners stream unique rows into
+// (functional wire pairs), and the post-quiet barrier one-sided backends
+// rendezvous on before expanding — quiet only drains a PE's OWN pipes, so a
+// consumer must not expand until every owner has finished streaming. The
+// baseline never awaits the barrier (its collective is already a global
+// synchronisation point); an unawaited barrier is inert.
+func (s *System) attachDedup(bd *BatchData, dv *DedupView) {
+	bd.Dedup = dv
+	if s.Cfg.GPUs <= 1 {
+		return
+	}
+	bd.dedupBarrier = sim.NewBarrier(s.Env, s.Cfg.GPUs)
+	if !s.Cfg.Functional {
+		return
+	}
+	bd.DedupStage = make([][][]float32, s.Cfg.GPUs)
+	for src := range bd.DedupStage {
+		bd.DedupStage[src] = make([][]float32, s.Cfg.GPUs)
+		for dst := range bd.DedupStage[src] {
+			if dv.Wire[src][dst] && !s.nodeWirePair(dv, src, dst) {
+				bd.DedupStage[src][dst] = make([]float32, int(dv.Uniq[src][dst])*s.Cfg.Dim)
+			}
+		}
+	}
+	if dv.NodeWire != nil {
+		// Node-level staging: one buffer per (owner, destination node), held
+		// by the node's stage-lane GPU.
+		bd.NodeStage = make([][][]float32, s.Cfg.GPUs)
+		for src := range bd.NodeStage {
+			bd.NodeStage[src] = make([][]float32, s.cluster.Nodes)
+			for node := range bd.NodeStage[src] {
+				if dv.NodeWire[src][node] {
+					bd.NodeStage[src][node] = make([]float32, int(dv.NodeUniq[src][node])*s.Cfg.Dim)
+				}
+			}
+		}
+	}
+}

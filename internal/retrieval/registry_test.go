@@ -1,0 +1,118 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"pgasemb/internal/tensor"
+)
+
+func TestRegistryContents(t *testing.T) {
+	names := RegisteredBackends()
+	want := []string{"baseline", "baseline-direct-placement", "hybrid", "pgas-fused", "pgas-overlap-only"}
+	if len(names) != len(want) {
+		t.Fatalf("registered backends = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registered backends = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		b, err := NewBackendByName(n)
+		if err != nil {
+			t.Fatalf("NewBackendByName(%q): %v", n, err)
+		}
+		if b.Name() != n {
+			t.Errorf("backend registered as %q reports Name() == %q", n, b.Name())
+		}
+		if BackendSummary(n) == "" {
+			t.Errorf("backend %q has no summary", n)
+		}
+	}
+}
+
+func TestRegistryUnknownBackendListsNames(t *testing.T) {
+	_, err := NewBackendByName("nope")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, n := range RegisteredBackends() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention registered backend %q", err, n)
+		}
+	}
+}
+
+// TestRegistryBitExactnessGate is the registry-driven correctness gate:
+// every registered backend, across the dedup × cache grid and on
+// single-node, 1-node-cluster and 2-node-cluster machines, must (a)
+// reproduce the serial Reference bit-exactly in functional mode and (b)
+// finish a timing-only run at exactly the functional run's simulated time.
+// Registering a backend is what opts it into this gate — a new backend is
+// held to the invariants automatically.
+func TestRegistryBitExactnessGate(t *testing.T) {
+	machines := []struct {
+		name string
+		hw   HardwareParams
+	}{
+		{"single", DefaultHardware()},
+		{"cluster1", ClusterHardware(1)},
+		{"cluster2", ClusterHardware(2)},
+	}
+	for _, name := range RegisteredBackends() {
+		for _, m := range machines {
+			for _, dedup := range []bool{false, true} {
+				for _, cached := range []bool{false, true} {
+					label := fmt.Sprintf("%s/%s", name, m.name)
+					if dedup {
+						label += "+dedup"
+					}
+					if cached {
+						label += "+cache"
+					}
+					t.Run(label, func(t *testing.T) {
+						run := func(functional bool) *Result {
+							cfg := clusterTestConfig(4)
+							cfg.Dedup = dedup
+							cfg.Functional = functional
+							if cached {
+								cfg.CacheFraction = 1e-8
+							}
+							s, err := NewSystem(cfg, m.hw)
+							if err != nil {
+								t.Fatal(err)
+							}
+							be, err := NewBackendByName(name)
+							if err != nil {
+								t.Fatal(err)
+							}
+							res, err := s.Run(be)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if functional {
+								want := mustReference(t, s, res.LastBatch)
+								for g := range want {
+									if !tensor.Equal(res.Final[g], want[g]) {
+										t.Fatalf("GPU %d differs from reference (max diff %g)",
+											g, tensor.MaxAbsDiff(res.Final[g], want[g]))
+									}
+								}
+							}
+							return res
+						}
+						fRes := run(true)
+						tRes := run(false)
+						if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
+							t.Errorf("functional total %g != timing total %g",
+								fRes.TotalTime, tRes.TotalTime)
+						}
+					})
+				}
+			}
+		}
+	}
+}

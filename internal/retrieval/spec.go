@@ -75,6 +75,9 @@ func NewSystemSpec(cfg Config, hw HardwareParams) (*SystemSpec, error) {
 		}
 	}
 	topo := hw.topology(cfg.GPUs)
+	if err := nvlink.ValidateTopology(topo); err != nil {
+		return nil, fmt.Errorf("retrieval: bad topology: %w", err)
+	}
 	if n := topo.NumGPUs(); n != cfg.GPUs {
 		return nil, fmt.Errorf("retrieval: topology wires %d GPUs but the configuration needs %d "+
 			"(multi-node topologies need a GPU count divisible by the node count)", n, cfg.GPUs)
@@ -170,7 +173,10 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		return nil, err
 	}
 	env := sim.NewEnv()
-	fab := nvlink.NewFabric(env, spec.hw.Link, spec.hw.topology(cfg.GPUs))
+	fab, err := nvlink.NewFabricChecked(env, spec.hw.Link, spec.hw.topology(cfg.GPUs))
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		Spec:    spec,
 		Cfg:     cfg,

@@ -139,6 +139,10 @@ type System struct {
 	// g's simulated process touches scratch[g].
 	scratch []gpuScratch
 
+	// planScr is the route-plan compiler's per-run arena (host-side; see
+	// plan.go).
+	planScr planScratch
+
 	// dedupStats accumulates the run's deduplication savings (classifyDedup
 	// folds one batch in at a time; host-side, so no synchronisation).
 	dedupStats metrics.DedupCounters
@@ -292,9 +296,15 @@ type BatchData struct {
 	// extension experiments.
 	Grads []*tensor.Tensor
 
+	// Plan is the batch's compiled route plan: the per-(owner, consumer)
+	// routing every backend consults in both timing and functional mode.
+	// Always non-nil once NextBatchData returns; its Cache/Dedup views are
+	// nil when the corresponding feature is off.
+	Plan *RoutePlan
+
 	// Cache is the batch's hot-row classification (nil when the cache is
 	// disabled): which vectors each backend may skip sending and each
-	// consumer pools locally.
+	// consumer pools locally. Owned by Plan; kept for direct access.
 	Cache *CacheView
 
 	// Dedup is the batch's index-deduplication classification (nil when
@@ -319,22 +329,18 @@ func (s *System) NextBatchData() (*BatchData, error) {
 	bd := &BatchData{}
 	if !s.Cfg.Functional {
 		if s.cacheEnabled() || s.dedupEnabled() {
-			// The cache and the dedup classifier need real indices; materialise
-			// the batch, classify, then drop it — timing runs keep no data
-			// plane. The pooling stream (and so all timing inputs) is identical
-			// to what NextSummary would have produced.
+			// The route-plan compiler needs real indices; materialise the
+			// batch, compile, then drop it — timing runs keep no data plane.
+			// The pooling stream (and so all timing inputs) is identical to
+			// what NextSummary would have produced.
 			bd.Sparse = s.gen.NextBatch()
 			bd.Summary = summaryFromBatch(bd.Sparse)
-			if s.cacheEnabled() {
-				bd.Cache = s.classifyCache(bd)
-			}
-			if s.dedupEnabled() {
-				s.attachDedup(bd, s.classifyDedup(bd))
-			}
+			s.compileRoutePlan(bd)
 			bd.Sparse = nil
 			return bd, nil
 		}
 		bd.Summary = s.gen.NextSummary()
+		s.compileRoutePlan(bd)
 		return bd, nil
 	}
 	bd.Sparse = s.gen.NextBatch()
@@ -362,14 +368,10 @@ func (s *System) NextBatchData() (*BatchData, error) {
 		grad.RandomUniform(s.gradRng, -0.1, 0.1)
 		bd.Grads = append(bd.Grads, grad)
 	}
-	if s.cacheEnabled() {
-		// After Final is allocated: classification pools hit vectors into it.
-		bd.Cache = s.classifyCache(bd)
-	}
-	if s.dedupEnabled() {
-		// After cache classification: hit vectors never enter the key sets.
-		s.attachDedup(bd, s.classifyDedup(bd))
-	}
+	// After Final is allocated: cache classification pools hit vectors into
+	// it, and dedup classification (which runs after, so hit vectors never
+	// enter the key sets) sizes the staging buffers.
+	s.compileRoutePlan(bd)
 	return bd, nil
 }
 
@@ -547,20 +549,29 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 	return res, nil
 }
 
+// CommTracer is implemented by backends whose communication rides a single,
+// known plane (e.g. the baseline's collective); the Result's volume trace
+// comes from the backend itself instead of a type switch. Backends that do
+// not implement it get the merged one-sided + collective trace, which is
+// correct for any mix of the two transports.
+type CommTracer interface {
+	// CommTrace returns the backend's communication-volume-over-time trace
+	// for the run that just completed on s.
+	CommTrace(s *System) *trace.VolumeTrace
+}
+
 // commTrace picks the volume trace that corresponds to the backend's
 // communication path.
 func (s *System) commTrace(b Backend) *trace.VolumeTrace {
-	switch b.(type) {
-	case *Baseline:
-		return s.Comm.Volume()
-	default:
-		merged := &trace.VolumeTrace{}
-		for _, iv := range s.PGAS.TotalTrace().Intervals() {
-			merged.Add(iv.Start, iv.End, iv.Bytes)
-		}
-		for _, iv := range s.Comm.Volume().Intervals() {
-			merged.Add(iv.Start, iv.End, iv.Bytes)
-		}
-		return merged
+	if ct, ok := b.(CommTracer); ok {
+		return ct.CommTrace(s)
 	}
+	merged := &trace.VolumeTrace{}
+	for _, iv := range s.PGAS.TotalTrace().Intervals() {
+		merged.Add(iv.Start, iv.End, iv.Bytes)
+	}
+	for _, iv := range s.Comm.Volume().Intervals() {
+		merged.Add(iv.Start, iv.End, iv.Bytes)
+	}
+	return merged
 }

@@ -186,6 +186,22 @@ func NewBaseline() Backend { return &retrieval.Baseline{} }
 // NewPGASFused returns the paper's PGAS fused-kernel backend.
 func NewPGASFused() Backend { return &retrieval.PGASFused{} }
 
+// NewHybrid returns the size-adaptive backend: per (owner, consumer) pair it
+// routes traffic over one-sided stores or the collective, whichever the
+// batch's route plan prices cheaper on the configured hardware.
+func NewHybrid() Backend { return &retrieval.Hybrid{} }
+
+// NewBackendByName constructs a registered backend by its registry name; an
+// unknown name errors with the list of registered names.
+func NewBackendByName(name string) (Backend, error) { return retrieval.NewBackendByName(name) }
+
+// RegisteredBackends returns the names of all registered backends, sorted.
+func RegisteredBackends() []string { return retrieval.RegisteredBackends() }
+
+// BackendSummary returns the registered one-line description for a backend
+// name ("" if unregistered).
+func BackendSummary(name string) string { return retrieval.BackendSummary(name) }
+
 // NewUnpackOnlyAblation returns ablation A1: collective communication kept,
 // unpack step eliminated (direct placement).
 func NewUnpackOnlyAblation() Backend { return &retrieval.Baseline{DirectPlacement: true} }
