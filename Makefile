@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke report fmt vet
+.PHONY: build test race bench bench-smoke chaos report fmt vet
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ bench:
 # keeps the bench harness from bit-rotting.
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
+
+# chaos regenerates results/chaos.{txt,csv}: the fault-injection resilience
+# sweep (backend x fault profile x replica count) with the degraded-serving
+# policy active.
+chaos:
+	$(GO) run ./cmd/chaos -out results
 
 report:
 	$(GO) run ./cmd/report

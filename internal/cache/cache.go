@@ -40,6 +40,11 @@ type Cache struct {
 	index map[Key]int32
 	rows  []float32 // used*dim values in functional mode
 	stats metrics.CacheCounters
+	// frozen blocks new admissions (and so evictions): the serving layer's
+	// stale-cache degradation policy freezes contents while the machine is
+	// unhealthy, trading freshness for stability. Probes and resident-key
+	// refreshes still work.
+	frozen bool
 }
 
 // New returns an empty cache with the given slot count and row dimension.
@@ -78,15 +83,20 @@ func (c *Cache) Touch(k Key) bool {
 
 // Admit inserts the row for k, evicting a victim by CLOCK second-chance if
 // the cache is full. Re-admitting a resident key refreshes its reference bit
-// (and value, in functional mode) without counting an insertion. In
-// functional mode row must hold the key's dim values; in timing mode it is
-// ignored and may be nil.
+// (and value, in functional mode) without counting an insertion. While the
+// cache is frozen (SetFrozen), admissions of non-resident keys are refused
+// and counted instead. In functional mode row must hold the key's dim
+// values; in timing mode it is ignored and may be nil.
 func (c *Cache) Admit(k Key, row []float32) {
 	if slot, ok := c.index[k]; ok {
 		c.ref[slot] = true
 		if c.funct {
 			copy(c.rows[int(slot)*c.dim:], row[:c.dim])
 		}
+		return
+	}
+	if c.frozen {
+		c.stats.FrozenRejects++
 		return
 	}
 	var slot int
@@ -133,6 +143,15 @@ func (c *Cache) Slots() int { return len(c.keys) }
 // Len returns the number of resident rows.
 func (c *Cache) Len() int { return c.used }
 
+// SetFrozen freezes (or thaws) the cache's contents: while frozen, Admit
+// refuses non-resident keys so the working set cannot churn. Used by the
+// serving layer to serve stale-but-stable cache contents during degraded
+// dispatches.
+func (c *Cache) SetFrozen(frozen bool) { c.frozen = frozen }
+
+// Frozen reports whether admissions are currently refused.
+func (c *Cache) Frozen() bool { return c.frozen }
+
 // Stats returns the cache's counters so far.
 func (c *Cache) Stats() metrics.CacheCounters { return c.stats }
 
@@ -177,6 +196,13 @@ func (s *Set) Dim() int { return s.dim }
 
 // Functional reports whether the caches store row values.
 func (s *Set) Functional() bool { return s.funct }
+
+// SetFrozen freezes or thaws every GPU's cache (see Cache.SetFrozen).
+func (s *Set) SetFrozen(frozen bool) {
+	for _, c := range s.caches {
+		c.SetFrozen(frozen)
+	}
+}
 
 // Stats returns the counters summed across all GPUs.
 func (s *Set) Stats() metrics.CacheCounters {

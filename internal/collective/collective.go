@@ -100,10 +100,23 @@ type pendingOp struct {
 	sizes   [][]float64   // [rank][dst] -> send bytes (hierarchical schedules)
 }
 
-// New creates a communicator over every fabric endpoint.
+// New creates a communicator over every fabric endpoint. It panics on
+// invalid parameters; run setup paths that want an error instead use
+// NewChecked.
 func New(env *sim.Env, fabric *nvlink.Fabric, params Params) *Comm {
-	if err := params.Validate(); err != nil {
+	c, err := NewChecked(env, fabric, params)
+	if err != nil {
 		panic(err)
+	}
+	return c
+}
+
+// NewChecked is New returning invalid parameters as an error instead of a
+// panic — the variant run setup uses so misconfiguration surfaces as a
+// descriptive error before any simulated process starts.
+func NewChecked(env *sim.Env, fabric *nvlink.Fabric, params Params) (*Comm, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
 	}
 	return &Comm{
 		env:     env,
@@ -111,7 +124,7 @@ func New(env *sim.Env, fabric *nvlink.Fabric, params Params) *Comm {
 		params:  params,
 		volume:  &trace.VolumeTrace{},
 		barrier: sim.NewBarrier(env, fabric.NumGPUs()),
-	}
+	}, nil
 }
 
 // NumRanks returns the number of participants.

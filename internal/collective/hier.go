@@ -15,14 +15,28 @@ import (
 // schedules with cross-node hops priced and occupied on the NIC rails. fab
 // must be wired over net's Cluster topology.
 func NewCluster(env *sim.Env, fab *nvlink.Fabric, params Params, net *fabric.Interconnect) *Comm {
-	if fab.NumGPUs() != net.Cluster().NumGPUs() {
-		panic(fmt.Sprintf("collective: NVLink fabric has %d GPUs but the cluster %d",
-			fab.NumGPUs(), net.Cluster().NumGPUs()))
+	c, err := NewClusterChecked(env, fab, params, net)
+	if err != nil {
+		panic(err)
 	}
-	c := New(env, fab, params)
+	return c
+}
+
+// NewClusterChecked is NewCluster returning a mismatched fabric/cluster or
+// invalid parameters as an error instead of a panic — the variant run setup
+// uses so misconfiguration surfaces before any simulated process starts.
+func NewClusterChecked(env *sim.Env, fab *nvlink.Fabric, params Params, net *fabric.Interconnect) (*Comm, error) {
+	if fab.NumGPUs() != net.Cluster().NumGPUs() {
+		return nil, fmt.Errorf("collective: NVLink fabric has %d GPUs but the cluster %d",
+			fab.NumGPUs(), net.Cluster().NumGPUs())
+	}
+	c, err := NewChecked(env, fab, params)
+	if err != nil {
+		return nil, err
+	}
 	c.net = net
 	c.hier = make([]hierScratch, fab.NumGPUs())
-	return c
+	return c, nil
 }
 
 // hierScratch is one rank's reusable working set for hierarchical

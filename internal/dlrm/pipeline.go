@@ -169,8 +169,9 @@ func (pl *Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 				interFLOPs+pl.Model.Bottom.FLOPs(mini),
 				pl.Model.DensePathBytes(mini)-pl.Model.Top.Bytes(mini))
 
-			for _, in := range batches {
+			for bi, in := range batches {
 				barrier.Await(p)
+				s.ApplyFaults(bi)
 				// Dense path and EMB retrieval run concurrently (Figure 4):
 				// the top MLP is queued on its own stream, then the EMB
 				// backend drives this process.

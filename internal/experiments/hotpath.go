@@ -46,6 +46,8 @@ func hotPathCases() []hotPathCase {
 	dedup.Dedup = true
 	cached := base
 	cached.CacheFraction = 0.0001
+	replicated := base
+	replicated.Replicas = 2
 	cluster := retrieval.ClusterHardware(2)
 	return []hotPathCase{
 		{"retrieval/baseline-batch", base, hw, &retrieval.Baseline{}},
@@ -53,6 +55,7 @@ func hotPathCases() []hotPathCase {
 		{"retrieval/pgas-fused-batch", base, hw, &retrieval.PGASFused{}},
 		{"retrieval/pgas-fused-batch-dedup", dedup, hw, &retrieval.PGASFused{}},
 		{"retrieval/pgas-fused-batch-cached", cached, hw, &retrieval.PGASFused{}},
+		{"retrieval/pgas-fused-batch-replicas2", replicated, hw, &retrieval.PGASFused{}},
 		{"retrieval/hybrid-batch", base, hw, &retrieval.Hybrid{}},
 		// Multi-node: the same batch on a 2-node cluster, so the proxy
 		// staging and NIC launch paths are on the measured loop.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"pgasemb/internal/metrics"
 	"pgasemb/internal/retrieval"
 	"pgasemb/internal/serve"
 	"pgasemb/internal/sim"
@@ -99,6 +100,10 @@ type ServingPoint struct {
 	Dropped    int
 	Dispatches int
 
+	// Resilience carries the run's degraded-serving and proxy-retry counters
+	// (all zero without a fault schedule on the sweep's hardware).
+	Resilience metrics.RetryCounters
+
 	HitRate float64
 	// UniqueFrac is the batch-level dedup ratio across every dispatched
 	// batch (0 when dedup is off).
@@ -174,6 +179,7 @@ func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult
 			Completed:     r.Completed,
 			Dropped:       r.Dropped,
 			Dispatches:    r.Dispatches,
+			Resilience:    r.Resilience,
 			HitRate:       r.HitRate(),
 			UniqueFrac:    r.DedupStats.UniqueFraction(),
 			WireSavedMB:   r.DedupStats.WireSavedBytes / 1e6,

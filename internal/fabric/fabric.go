@@ -272,6 +272,21 @@ func (ic *Interconnect) Send(src, dstNode, payload int) sim.Time {
 	return ic.SendAt(ic.env.Now(), src, dstNode, payload)
 }
 
+// SetRailDegrade scales the bandwidth of one node's NIC rail by factor
+// (1 = healthy) — the fault-injection hook for a flapping or degraded NIC.
+// Both the egress and ingress pipe of the rail degrade together, since a
+// sick NIC hurts every direction through it.
+func (ic *Interconnect) SetRailDegrade(node, rail int, factor float64) {
+	if node < 0 || node >= ic.cluster.Nodes {
+		panic(fmt.Sprintf("fabric: degrade on node %d out of range (%d nodes)", node, ic.cluster.Nodes))
+	}
+	if rail < 0 || rail >= ic.nic.NICsPerNode {
+		panic(fmt.Sprintf("fabric: degrade on rail %d out of range (%d rails)", rail, ic.nic.NICsPerNode))
+	}
+	ic.egress[node][rail].SetDegrade(factor)
+	ic.ingress[node][rail].SetDegrade(factor)
+}
+
 // Messages returns the cumulative NIC message count since the last Reset.
 func (ic *Interconnect) Messages() int64 { return ic.messages }
 

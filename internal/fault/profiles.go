@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// profileBuilders maps profile names to schedule constructors. Profiles are
+// written against the smallest interesting machine (2 GPUs, or 2 nodes for
+// the NIC/proxy faults) and stay valid on anything larger; the layers that
+// apply them ignore faults naming hardware the machine does not have.
+var profileBuilders = map[string]func(seed uint64) *Schedule{
+	// none is the healthy control: an empty schedule, byte- and
+	// time-identical to running without a schedule at all.
+	"none": func(seed uint64) *Schedule {
+		return &Schedule{Seed: seed}
+	},
+
+	// flaky-link degrades the 0<->1 NVLink pair to a quarter of its
+	// bandwidth early on, then takes it out entirely for a window — the
+	// case replica failover is built for.
+	"flaky-link": func(seed uint64) *Schedule {
+		return &Schedule{Seed: seed, Events: []Event{
+			{Kind: LinkDegrade, FromBatch: 1, ToBatch: 4, Src: 0, Dst: 1, Factor: 0.25},
+			{Kind: LinkDegrade, FromBatch: 1, ToBatch: 4, Src: 1, Dst: 0, Factor: 0.25},
+			{Kind: LinkDegrade, FromBatch: 5, ToBatch: 8, Src: 0, Dst: 1, Factor: OutageFactor},
+			{Kind: LinkDegrade, FromBatch: 5, ToBatch: 8, Src: 1, Dst: 0, Factor: OutageFactor},
+		}}
+	},
+
+	// degraded-nic throttles every rail of node 0 to 30% from batch 2 on —
+	// the flapping-NIC case that stretches inter-node collectives and proxy
+	// flushes alike.
+	"degraded-nic": func(seed uint64) *Schedule {
+		return &Schedule{Seed: seed, Events: []Event{
+			{Kind: NICDegrade, FromBatch: 2, Node: 0, Rail: -1, Factor: 0.3},
+		}}
+	},
+
+	// straggler doubles GPU 1's kernel costs from batch 2 on — thermal
+	// throttling on one card, the classic tail-latency source.
+	"straggler": func(seed uint64) *Schedule {
+		return &Schedule{Seed: seed, Events: []Event{
+			{Kind: Straggler, FromBatch: 2, GPU: 1, Factor: 2},
+		}}
+	},
+
+	// lossy-proxy drops 20% of coalesced proxy deliveries everywhere — the
+	// delivery-loss case the retry-at-Quiet machinery absorbs.
+	"lossy-proxy": func(seed uint64) *Schedule {
+		return &Schedule{Seed: seed, Events: []Event{
+			{Kind: ProxyDrop, FromBatch: 0, Src: -1, Node: -1, DropProb: 0.2},
+		}}
+	},
+
+	// mixed layers a degraded link, a straggler and proxy loss — the
+	// everything-is-on-fire drill.
+	"mixed": func(seed uint64) *Schedule {
+		return &Schedule{Seed: seed, Events: []Event{
+			{Kind: LinkDegrade, FromBatch: 1, Src: 0, Dst: 1, Factor: 0.25},
+			{Kind: LinkDegrade, FromBatch: 1, Src: 1, Dst: 0, Factor: 0.25},
+			{Kind: Straggler, FromBatch: 3, GPU: 1, Factor: 1.5},
+			{Kind: ProxyDrop, FromBatch: 0, Src: -1, Node: -1, DropProb: 0.1},
+		}}
+	},
+}
+
+// Profiles returns the registered profile names, sorted.
+func Profiles() []string {
+	names := make([]string, 0, len(profileBuilders))
+	for n := range profileBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile builds the named fault schedule with the given drop seed. Unknown
+// names error descriptively, listing what exists.
+func Profile(name string, seed uint64) (*Schedule, error) {
+	build, ok := profileBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown profile %q (have %v)", name, Profiles())
+	}
+	s := build(seed)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: profile %q: %w", name, err)
+	}
+	return s, nil
+}

@@ -14,6 +14,8 @@ type Device struct {
 	id     int
 	params Params
 
+	slow float64 // straggler slowdown factor on kernel costs (1 = healthy)
+
 	allocated int64
 	buffers   map[string]*Buffer
 	streams   []*Stream
@@ -38,9 +40,26 @@ func NewDevice(env *sim.Env, id int, params Params) *Device {
 		env:     env,
 		id:      id,
 		params:  params,
+		slow:    1,
 		buffers: make(map[string]*Buffer),
 	}
 }
+
+// SetSlowdown scales every kernel cost on the device by factor — the
+// fault-injection hook for straggler GPUs (thermal throttling, ECC retirement
+// pressure, a noisy neighbour on the host). A factor of 1 restores full speed
+// and is exact: cost*1.0 is the same IEEE-754 value as cost, so a device that
+// was never slowed is bit-identical to one without the hook. Factors below 1
+// (a device mysteriously faster than its parameters) are rejected.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("gpu%d: slowdown factor %g below 1", d.id, factor))
+	}
+	d.slow = factor
+}
+
+// Slowdown returns the current straggler factor (1 = healthy).
+func (d *Device) Slowdown() float64 { return d.slow }
 
 // ID returns the device ordinal.
 func (d *Device) ID() int { return d.id }

@@ -43,7 +43,7 @@ func (d *Device) GatherKernelCost(readBytes, writeBytes float64, workItems int) 
 	read := readBytes / (d.params.HBMBandwidth * d.params.GatherEfficiency)
 	write := writeBytes / (d.params.HBMBandwidth * d.params.StreamEfficiency)
 	items := sim.Duration(workItems) * d.params.ItemOverhead
-	return (read + write + items) / util
+	return (read + write + items) / util * sim.Duration(d.slow)
 }
 
 // GatherKernelChunkCost prices one progress chunk of a larger gather
@@ -66,7 +66,7 @@ func (d *Device) GatherKernelChunkCost(readBytes, writeBytes float64, chunkItems
 	read := readBytes / (d.params.HBMBandwidth * d.params.GatherEfficiency)
 	write := writeBytes / (d.params.HBMBandwidth * d.params.StreamEfficiency)
 	items := sim.Duration(chunkItems) * d.params.ItemOverhead
-	return (read + write + items) / util
+	return (read + write + items) / util * sim.Duration(d.slow)
 }
 
 // HotReadEquivalent converts bytes gathered from the hot-row cache into the
@@ -107,7 +107,7 @@ func (d *Device) ExpandKernelCost(refs int64, outItems, vecBytes int) sim.Durati
 	read := float64(refs) * float64(vecBytes) / (d.params.HBMBandwidth * readEff)
 	write := (float64(outItems)*float64(vecBytes) + float64(refs)*4) /
 		(d.params.HBMBandwidth * d.params.StreamEfficiency)
-	return sim.Duration(read) + sim.Duration(write)
+	return (sim.Duration(read) + sim.Duration(write)) * sim.Duration(d.slow)
 }
 
 // GatherDedupWins reports whether a gather over refs pooled-index references
@@ -139,7 +139,7 @@ func (d *Device) RemoteIssueCost(n int) sim.Duration {
 	if n < 0 {
 		panic(fmt.Sprintf("gpu%d: negative remote store count %d", d.id, n))
 	}
-	return sim.Duration(n) * d.params.RemoteIssueOverhead
+	return sim.Duration(n) * d.params.RemoteIssueOverhead * sim.Duration(d.slow)
 }
 
 // UnpackKernelCost models the post-collective unpack/rearrangement of
@@ -154,9 +154,9 @@ func (d *Device) UnpackKernelCost(receivedBytes float64, segments int) sim.Durat
 		panic(fmt.Sprintf("gpu%d: negative unpack segments %d", d.id, segments))
 	}
 	moved := 2 * receivedBytes // read staging + write destination
-	return d.params.UnpackFixed +
+	return (d.params.UnpackFixed +
 		sim.Duration(segments)*d.params.UnpackPerSegment +
-		moved/(d.params.HBMBandwidth*d.params.UnpackEfficiency)
+		moved/(d.params.HBMBandwidth*d.params.UnpackEfficiency)) * sim.Duration(d.slow)
 }
 
 // CopyKernelCost models a contiguous device-to-device-memory copy of the
@@ -165,7 +165,7 @@ func (d *Device) CopyKernelCost(bytes float64) sim.Duration {
 	if bytes < 0 {
 		panic(fmt.Sprintf("gpu%d: negative copy bytes %g", d.id, bytes))
 	}
-	return 2 * bytes / (d.params.HBMBandwidth * d.params.StreamEfficiency)
+	return 2 * bytes / (d.params.HBMBandwidth * d.params.StreamEfficiency) * sim.Duration(d.slow)
 }
 
 // MLPKernelCost models a dense layer batch: flops of fp32 work, plus the
@@ -177,7 +177,7 @@ func (d *Device) MLPKernelCost(flops, bytes float64) sim.Duration {
 	compute := flops / (d.params.PeakFLOPS * d.params.MLPEfficiency)
 	memory := bytes / (d.params.HBMBandwidth * d.params.StreamEfficiency)
 	if memory > compute {
-		return memory
+		return memory * sim.Duration(d.slow)
 	}
-	return compute
+	return compute * sim.Duration(d.slow)
 }

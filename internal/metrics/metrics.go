@@ -9,12 +9,14 @@ import (
 	"sort"
 )
 
-// Geomean returns the geometric mean of strictly positive values. It panics
-// on an empty slice or non-positive input — both indicate a broken
-// experiment, not a value to average over.
+// Geomean returns the geometric mean of strictly positive values, or 0 for
+// an empty slice (the documented "no data" value — a sweep that filtered
+// everything out reports zero instead of crashing the whole experiment). It
+// still panics on non-positive input, which indicates a broken experiment,
+// not a value to average over.
 func Geomean(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("metrics: geomean of nothing")
+		return 0
 	}
 	var logSum float64
 	for _, x := range xs {
@@ -83,10 +85,12 @@ func WithinFactor(got, want, f float64) bool {
 
 // Percentile returns the p-th percentile (0 < p <= 100) of xs by the
 // nearest-rank method on a sorted copy; serving latency tails (p50/p95/p99)
-// use it. It panics on an empty slice or a percentile outside (0, 100].
+// use it. An empty slice returns 0 (the documented "no data" value — a
+// degraded serving run that completed zero requests has no tail to report).
+// It panics on a percentile outside (0, 100].
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("metrics: percentile of nothing")
+		return 0
 	}
 	if p <= 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %g outside (0, 100]", p))
@@ -109,6 +113,9 @@ type CacheCounters struct {
 	Misses     int64 // probes that fell through to the owning GPU
 	Insertions int64 // rows admitted (including those that evicted a victim)
 	Evictions  int64 // resident rows displaced by an admission
+	// FrozenRejects counts admissions refused while the cache was frozen by
+	// the serving layer's stale-cache degradation policy.
+	FrozenRejects int64
 }
 
 // Accesses returns the total probe count.
@@ -125,10 +132,34 @@ func (c CacheCounters) HitRate() float64 {
 // Add returns the element-wise sum of the two counter sets.
 func (c CacheCounters) Add(o CacheCounters) CacheCounters {
 	return CacheCounters{
-		Hits:       c.Hits + o.Hits,
-		Misses:     c.Misses + o.Misses,
-		Insertions: c.Insertions + o.Insertions,
-		Evictions:  c.Evictions + o.Evictions,
+		Hits:          c.Hits + o.Hits,
+		Misses:        c.Misses + o.Misses,
+		Insertions:    c.Insertions + o.Insertions,
+		Evictions:     c.Evictions + o.Evictions,
+		FrozenRejects: c.FrozenRejects + o.FrozenRejects,
+	}
+}
+
+// RetryCounters aggregates fault-recovery activity: proxy delivery losses and
+// retransmissions on the inter-node fabric, plus the serving layer's
+// degradation actions (health-aware shedding and queue-timeout rejects). One
+// run owns one counter set; Add folds runs into sweep-level views.
+type RetryCounters struct {
+	Drops     int64 // proxy deliveries lost to injected faults
+	Retries   int64 // retransmissions issued by the proxy retry loop
+	Exhausted int64 // messages that hit the attempt cap undelivered
+	Shed      int64 // arrivals shed by health-aware load shedding
+	Rejected  int64 // queued requests rejected by queue timeout
+}
+
+// Add returns the element-wise sum of the two counter sets.
+func (c RetryCounters) Add(o RetryCounters) RetryCounters {
+	return RetryCounters{
+		Drops:     c.Drops + o.Drops,
+		Retries:   c.Retries + o.Retries,
+		Exhausted: c.Exhausted + o.Exhausted,
+		Shed:      c.Shed + o.Shed,
+		Rejected:  c.Rejected + o.Rejected,
 	}
 }
 

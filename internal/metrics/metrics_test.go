@@ -25,23 +25,29 @@ func TestGeomeanSingle(t *testing.T) {
 	}
 }
 
+func TestGeomeanEmpty(t *testing.T) {
+	// Empty input is the documented "no data" value, not a crash: a chaos
+	// sweep whose filter matched nothing still renders its table.
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("empty geomean = %v, want 0", g)
+	}
+}
+
 func TestGeomeanPanics(t *testing.T) {
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("empty geomean did not panic")
-			}
-		}()
-		Geomean(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive geomean did not panic")
+		}
 	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("non-positive geomean did not panic")
-			}
-		}()
-		Geomean([]float64{1, 0})
-	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	// A degraded serving run that completed zero requests has no tail to
+	// report; the documented value is 0.
+	if p := Percentile(nil, 99); p != 0 {
+		t.Fatalf("empty percentile = %v, want 0", p)
+	}
 }
 
 func TestGeomeanLEArithmeticMeanProperty(t *testing.T) {

@@ -346,6 +346,14 @@ func (f *Fabric) WireBytes(payload int) float64 {
 	return float64(payload + fragments*f.params.HeaderBytes)
 }
 
+// SetLinkDegrade scales the bandwidth of the directed src->dst pipe by
+// factor (1 = healthy) — the fault-injection hook for degraded or flapping
+// links. Both directions of a pair degrade independently; callers wanting a
+// symmetric fault set both. Unconnected pairs panic like Pipe does.
+func (f *Fabric) SetLinkDegrade(src, dst int, factor float64) {
+	f.Pipe(src, dst).SetDegrade(factor)
+}
+
 // SetRecording toggles completion recording on every pipe (needed for
 // delivered-volume traces).
 func (f *Fabric) SetRecording(on bool) {

@@ -31,6 +31,57 @@ type Runtime struct {
 	fabric *nvlink.Fabric
 	net    *fabric.Interconnect // nil on single-node runtimes
 	pes    []*PE
+	hooks  *FaultHooks // nil = perfect delivery
+}
+
+// FaultHooks injects delivery faults into a cluster runtime's proxy layer.
+// One-sided stores have no acknowledgement visible to the issuing kernel, so
+// the quiet/flush boundary is exactly where loss must be detected and
+// retried (as the NVSHMEM system analyses observe): a dropped coalesced NIC
+// message is retransmitted after a timeout, with exponential backoff, and
+// Quiet only returns once the retransmission has landed.
+type FaultHooks struct {
+	// Drop reports whether the seq-th coalesced flush from PE pe to dstNode
+	// is lost on the given (0-based) delivery attempt. It must be a pure
+	// function of its arguments so same-seed runs replay identically.
+	Drop func(pe, dstNode int, seq int64, attempt int) bool
+
+	// RetryTimeout is how long after the expected delivery time the proxy
+	// waits before retransmitting a lost message.
+	RetryTimeout sim.Duration
+
+	// RetryBackoff multiplies the timeout after every failed attempt.
+	// Values below 1 are treated as 1 (constant timeout).
+	RetryBackoff float64
+
+	// MaxAttempts caps total delivery attempts per message; when it is
+	// reached the message is declared delivered by the out-of-band recovery
+	// path and counted in RetriesExhausted. Non-positive means 16.
+	MaxAttempts int
+}
+
+func (h *FaultHooks) maxAttempts() int {
+	if h.MaxAttempts <= 0 {
+		return 16
+	}
+	return h.MaxAttempts
+}
+
+func (h *FaultHooks) backoff() float64 {
+	if h.RetryBackoff < 1 {
+		return 1
+	}
+	return h.RetryBackoff
+}
+
+// SetFaultHooks installs (or, with nil, removes) delivery-fault injection.
+// Hooks only affect inter-node proxy traffic; intra-node NVLink stores are
+// load/store operations with hardware-level delivery.
+func (rt *Runtime) SetFaultHooks(h *FaultHooks) {
+	if h != nil && h.Drop != nil && h.RetryTimeout <= 0 {
+		panic(fmt.Sprintf("pgas: fault hooks with non-positive RetryTimeout %g", h.RetryTimeout))
+	}
+	rt.hooks = h
 }
 
 // New creates a runtime with one PE per fabric endpoint.
@@ -96,6 +147,9 @@ func (rt *Runtime) ResetCounters() {
 		pe.puts = 0
 		pe.payloadBytes = 0
 		pe.wireBytes = 0
+		pe.drops = 0
+		pe.retries = 0
+		pe.exhausted = 0
 		if pe.proxy != nil {
 			pe.proxy.reset()
 		}
@@ -124,6 +178,9 @@ type PE struct {
 	puts         int64
 	payloadBytes float64
 	wireBytes    float64
+	drops        int64 // delivery attempts lost to injected faults
+	retries      int64 // retransmissions issued by the proxy
+	exhausted    int64 // messages that hit MaxAttempts
 	counter      *trace.VolumeTrace
 }
 
@@ -138,6 +195,16 @@ func (pe *PE) PayloadBytes() float64 { return pe.payloadBytes }
 
 // WireBytes returns the cumulative on-the-wire bytes (payload + headers).
 func (pe *PE) WireBytes() float64 { return pe.wireBytes }
+
+// Drops returns how many delivery attempts were lost to injected faults.
+func (pe *PE) Drops() int64 { return pe.drops }
+
+// Retries returns how many retransmissions this PE's proxy issued.
+func (pe *PE) Retries() int64 { return pe.retries }
+
+// RetriesExhausted returns how many messages hit the attempt cap and were
+// recovered out of band.
+func (pe *PE) RetriesExhausted() int64 { return pe.exhausted }
 
 // Counter returns this PE's communication-volume trace.
 func (pe *PE) Counter() *trace.VolumeTrace { return pe.counter }

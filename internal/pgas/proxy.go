@@ -98,7 +98,11 @@ func (px *proxy) stage(dstNode, payload int) sim.Time {
 }
 
 // flush hands the pending bucket for dstNode to the NIC as one coalesced
-// send (fragmented per NICParams.MaxMessage, one header per fragment).
+// send (fragmented per NICParams.MaxMessage, one header per fragment). When
+// fault hooks are installed a lost delivery is retransmitted after the retry
+// timeout (exponential backoff per attempt, re-occupying the wire each
+// time); Quiet observes the final delivery through lastDelivery, so the
+// completion semantics hold under loss.
 func (px *proxy) flush(dstNode int) {
 	b := &px.bufs[dstNode]
 	payload := b.pending
@@ -106,10 +110,27 @@ func (px *proxy) flush(dstNode int) {
 	if payload == 0 {
 		return
 	}
+	seq := px.flushes
 	issued := px.pe.rt.env.Now()
 	delivered := px.net.SendAt(issued, px.pe.id, dstNode, payload)
 	px.pe.wireBytes += px.net.NIC().WireBytes(payload)
 	px.pe.counter.Add(issued, delivered, float64(payload))
+	if h := px.pe.rt.hooks; h != nil && h.Drop != nil {
+		timeout := h.RetryTimeout
+		for attempt := 0; h.Drop(px.pe.id, dstNode, seq, attempt); attempt++ {
+			px.pe.drops++
+			if attempt+1 >= h.maxAttempts() {
+				px.pe.exhausted++
+				break
+			}
+			retryAt := delivered + timeout
+			delivered = px.net.SendAt(retryAt, px.pe.id, dstNode, payload)
+			px.pe.wireBytes += px.net.NIC().WireBytes(payload)
+			px.pe.counter.Add(retryAt, delivered, float64(payload))
+			px.pe.retries++
+			timeout *= h.backoff()
+		}
+	}
 	if delivered > px.lastDelivery {
 		px.lastDelivery = delivered
 	}

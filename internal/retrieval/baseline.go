@@ -52,6 +52,10 @@ func (b *Baseline) CommTrace(s *System) *trace.VolumeTrace {
 }
 
 func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
+	if s.Cfg.Replicas > 1 {
+		b.runReplicated(s, p, g, bd, bk)
+		return
+	}
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb")

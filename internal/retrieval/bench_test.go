@@ -69,6 +69,18 @@ func BenchmarkPGASFusedBatchCached(b *testing.B) {
 	benchRun(b, cfg, &PGASFused{})
 }
 
+func BenchmarkPGASFusedBatchReplicated(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Replicas = 2
+	benchRun(b, cfg, &PGASFused{})
+}
+
+func BenchmarkBaselineBatchReplicated(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Replicas = 2
+	benchRun(b, cfg, &Baseline{})
+}
+
 func BenchmarkRowWisePGASBatch(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Sharding = RowWise
@@ -113,20 +125,24 @@ func TestMultiNodeSteadyStateZeroAllocs(t *testing.T) {
 		t.Skip("benchmark-backed test")
 	}
 	cases := []struct {
-		name    string
-		dedup   bool
-		backend Backend
+		name     string
+		dedup    bool
+		replicas int
+		backend  Backend
 	}{
-		{"pgas-fused", false, &PGASFused{}},
-		{"pgas-fused-dedup", true, &PGASFused{}},
-		{"baseline", false, &Baseline{}},
-		{"hybrid", false, &Hybrid{}},
-		{"hybrid-dedup", true, &Hybrid{}},
+		{"pgas-fused", false, 0, &PGASFused{}},
+		{"pgas-fused-dedup", true, 0, &PGASFused{}},
+		{"pgas-fused-replicas2", false, 2, &PGASFused{}},
+		{"baseline", false, 0, &Baseline{}},
+		{"baseline-replicas2", false, 2, &Baseline{}},
+		{"hybrid", false, 0, &Hybrid{}},
+		{"hybrid-dedup", true, 0, &Hybrid{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			cfg := benchConfig()
 			cfg.Dedup = c.dedup
+			cfg.Replicas = c.replicas
 			r := testing.Benchmark(func(b *testing.B) {
 				sys, err := NewSystem(cfg, ClusterHardware(2))
 				if err != nil {

@@ -109,6 +109,14 @@ type Config struct {
 	// unpacked once and expanded at the consumer (see dedup.go). Composes
 	// with the hot-row cache. Table-wise sharding only.
 	Dedup bool
+	// Replicas mirrors each GPU's table shard on this many GPUs (shard o
+	// lives on GPUs (o+k) mod GPUs for k < Replicas): the HPS-style
+	// replication that lets the route-plan compiler serve any (owner,
+	// consumer) pair from the healthiest replica — including the consumer
+	// itself, turning remote reads into local ones — and fail over around
+	// degraded links. 0 and 1 both mean no replication. Table-wise,
+	// dense-routing only (no Dedup, no CacheFraction).
+	Replicas int
 }
 
 // Validate reports configuration errors.
@@ -149,6 +157,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("retrieval: the hot-row cache requires table-wise sharding (row-wise lookups are partial sums, not rows)")
 	case c.Dedup && c.Sharding == RowWise:
 		return fmt.Errorf("retrieval: index deduplication requires table-wise sharding (row-wise lookups are partial sums, not rows)")
+	case c.Replicas < 0:
+		return fmt.Errorf("retrieval: negative Replicas %d", c.Replicas)
+	case c.Replicas > c.GPUs:
+		return fmt.Errorf("retrieval: %d replicas need %d GPUs, have %d (a shard cannot be mirrored twice on one GPU)",
+			c.Replicas, c.Replicas, c.GPUs)
+	case c.Replicas > 1 && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: shard replication requires table-wise sharding (row-wise shards are row ranges, not serveable units)")
+	case c.Replicas > 1 && c.Dedup:
+		return fmt.Errorf("retrieval: shard replication does not compose with index deduplication " +
+			"(dedup key sets are per fixed (owner, consumer) pair; replica failover re-routes pairs per batch)")
+	case c.Replicas > 1 && c.CacheFraction > 0:
+		return fmt.Errorf("retrieval: shard replication does not compose with the hot-row cache " +
+			"(replicated shards already serve remote rows locally; cache hit state would diverge across replicas)")
 	}
 	if c.PerFeatureRows != nil {
 		for f, r := range c.PerFeatureRows {

@@ -51,10 +51,18 @@ func (b *PGASFused) ValidateConfig(cfg Config) error {
 	if cfg.Sharding != TableWise {
 		return fmt.Errorf("requires table-wise sharding; use RowWisePGAS for row-wise configurations")
 	}
+	if cfg.Replicas > 1 && (b.StageRemote || b.Aggregate != nil) {
+		return fmt.Errorf("shard replication supports the fused store path only (staging and aggregation " +
+			"address fixed owners; replica failover re-routes pairs per batch)")
+	}
 	return nil
 }
 
 func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown) {
+	if s.Cfg.Replicas > 1 {
+		b.runReplicated(s, p, g, bd, bk)
+		return
+	}
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb-fused")

@@ -67,6 +67,23 @@ type RoutePlan struct {
 	sys   *System
 	Cache *CacheView
 	Dedup *DedupView
+
+	// Serve is the batch's replica routing (nil unless Config.Replicas > 1):
+	// Serve[o][c] is the GPU that serves shard o's vectors to consumer c,
+	// chosen from the shard's healthy replicas — the consumer itself when it
+	// holds a mirror, otherwise the replica with the best degradation-aware
+	// path to the consumer. Computed host-side per batch from the fault
+	// schedule, so recompilation routes around links that fault mid-run.
+	Serve [][]int
+}
+
+// ServeGPU returns the GPU serving shard o to consumer c (o itself without
+// replication).
+func (p *RoutePlan) ServeGPU(o, c int) int {
+	if p.Serve == nil {
+		return o
+	}
+	return p.Serve[o][c]
 }
 
 // Class returns the (owner src → consumer dst) route under a one-sided
@@ -192,6 +209,9 @@ func (s *System) compileRoutePlan(bd *BatchData) {
 	if s.dedupEnabled() {
 		plan.Dedup = s.classifyDedup(bd)
 		s.attachDedup(bd, plan.Dedup) // sets bd.Dedup and the expansion plumbing
+	}
+	if s.Cfg.Replicas > 1 {
+		plan.Serve = s.computeServe(s.batchSeq + s.faultOffset)
 	}
 }
 

@@ -3,9 +3,11 @@ package retrieval
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
+	"pgasemb/internal/fault"
 	"pgasemb/internal/tensor"
 )
 
@@ -64,6 +66,7 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 	}
 	for _, name := range RegisteredBackends() {
 		for _, m := range machines {
+			registryFaultGate(t, name, m.name, m.hw)
 			for _, dedup := range []bool{false, true} {
 				for _, cached := range []bool{false, true} {
 					label := fmt.Sprintf("%s/%s", name, m.name)
@@ -115,4 +118,94 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 			}
 		}
 	}
+}
+
+// registryFaultGate is the fault-injection and replication extension of the
+// bit-exactness gate, run at the plain (no dedup, no cache) grid point:
+//
+//   - an empty fault schedule with Replicas = 1 must be byte- AND
+//     time-identical to running with no schedule at all (the hooks cost
+//     nothing when idle);
+//   - under seeded fault schedules, and with replicated shards, functional
+//     outputs must still match the serial reference bit-exactly and a
+//     timing-only run must land on the functional run's simulated time.
+func registryFaultGate(t *testing.T, name, machine string, hw HardwareParams) {
+	run := func(t *testing.T, sched *fault.Schedule, replicas int, functional bool) *Result {
+		t.Helper()
+		cfg := clusterTestConfig(4)
+		cfg.Functional = functional
+		cfg.Replicas = replicas
+		fhw := hw
+		fhw.Faults = sched
+		s, err := NewSystem(cfg, fhw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := NewBackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(be)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if functional {
+			want := mustReference(t, s, res.LastBatch)
+			for g := range want {
+				if !tensor.Equal(res.Final[g], want[g]) {
+					t.Fatalf("GPU %d differs from reference (max diff %g)",
+						g, tensor.MaxAbsDiff(res.Final[g], want[g]))
+				}
+			}
+		}
+		return res
+	}
+	timeGate := func(t *testing.T, sched *fault.Schedule, replicas int) {
+		fRes := run(t, sched, replicas, true)
+		tRes := run(t, sched, replicas, false)
+		if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
+			t.Errorf("functional total %g != timing total %g", fRes.TotalTime, tRes.TotalTime)
+		}
+	}
+
+	t.Run(fmt.Sprintf("%s/%s+empty-schedule-identity", name, machine), func(t *testing.T) {
+		plain := run(t, nil, 0, true)
+		empty := run(t, &fault.Schedule{Seed: 1}, 1, true)
+		// Replicas 0 and 1 both mean "unreplicated" and are recorded in
+		// Result.Cfg; mask the echoed configs so the comparison covers the
+		// simulation outputs — times, breakdowns, traces, tensors, counters.
+		pc, ec := *plain, *empty
+		pc.Cfg, ec.Cfg = Config{}, Config{}
+		if !reflect.DeepEqual(&pc, &ec) {
+			t.Errorf("empty schedule + Replicas=1 diverged from a no-schedule run")
+		}
+		if plain.TotalTime != empty.TotalTime {
+			t.Errorf("empty schedule changed simulated time: %g != %g",
+				empty.TotalTime, plain.TotalTime)
+		}
+	})
+	profiles := []string{"flaky-link", "straggler"}
+	if strings.HasPrefix(machine, "cluster") {
+		profiles = []string{"mixed"}
+	}
+	for _, profile := range profiles {
+		t.Run(fmt.Sprintf("%s/%s+fault-%s", name, machine, profile), func(t *testing.T) {
+			sched, err := fault.Profile(profile, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timeGate(t, sched, 0)
+		})
+	}
+	if name == "pgas-overlap-only" {
+		return // staging addresses fixed owners; replication is rejected by design
+	}
+	t.Run(fmt.Sprintf("%s/%s+replicas2", name, machine), func(t *testing.T) {
+		sched, err := fault.Profile("flaky-link", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timeGate(t, nil, 2)
+		timeGate(t, sched, 2)
+	})
 }

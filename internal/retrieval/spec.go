@@ -65,6 +65,9 @@ func NewSystemSpec(cfg Config, hw HardwareParams) (*SystemSpec, error) {
 		return nil, fmt.Errorf("retrieval: multi-node machines support table-wise sharding only " +
 			"(row-wise partial sums would cross the NIC per sample)")
 	}
+	if err := hw.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("retrieval: bad fault schedule: %w", err)
+	}
 	hw = hw.normalized()
 	if hw.Nodes > 0 {
 		if err := hw.NIC.Validate(); err != nil {
@@ -149,6 +152,19 @@ func (spec *SystemSpec) allocPlan(g int) []namedAlloc {
 			int64(slots) * int64(cfg.cacheSlotBytes()),
 		})
 	}
+	if cfg.Replicas > 1 {
+		// Mirrors of the other shards replicated onto this GPU: shard o is
+		// mirrored on GPUs (o+k) mod GPUs for k < Replicas, so GPU g holds
+		// mirrors of shards (g-k) mod GPUs for k in [1, Replicas).
+		var mirrorBytes int64
+		for k := 1; k < cfg.Replicas; k++ {
+			o := ((g-k)%cfg.GPUs + cfg.GPUs) % cfg.GPUs
+			for _, fid := range spec.plan[o] {
+				mirrorBytes += int64(cfg.tableRows(fid)) * int64(cfg.Dim) * 4
+			}
+		}
+		allocs = append(allocs, namedAlloc{"mirror-shards", mirrorBytes})
+	}
 	return allocs
 }
 
@@ -178,15 +194,16 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		Spec:    spec,
-		Cfg:     cfg,
-		HW:      spec.hw,
-		Env:     env,
-		Fab:     fab,
-		Plan:    spec.plan,
-		gen:     gen,
-		gradRng: sim.NewRNG(cfg.Seed ^ 0x6AAD),
-		scratch: make([]gpuScratch, cfg.GPUs),
+		Spec:       spec,
+		Cfg:        cfg,
+		HW:         spec.hw,
+		Env:        env,
+		Fab:        fab,
+		Plan:       spec.plan,
+		gen:        gen,
+		gradRng:    sim.NewRNG(cfg.Seed ^ 0x6AAD),
+		scratch:    make([]gpuScratch, cfg.GPUs),
+		faultBatch: -1,
 	}
 	if spec.hw.Nodes > 0 {
 		// Cluster machine: the NIC interconnect carries inter-node traffic,
@@ -195,10 +212,30 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		s.cluster = spec.hw.cluster(cfg.GPUs)
 		s.Net = fabric.NewInterconnect(env, s.cluster, spec.hw.NIC)
 		s.PGAS = pgas.NewCluster(env, fab, s.Net, spec.hw.Proxy)
-		s.Comm = collective.NewCluster(env, fab, spec.hw.Collective, s.Net)
+		s.Comm, err = collective.NewClusterChecked(env, fab, spec.hw.Collective, s.Net)
+		if err != nil {
+			return nil, fmt.Errorf("retrieval: wiring cluster communicator: %w", err)
+		}
 	} else {
 		s.PGAS = pgas.New(env, fab)
-		s.Comm = collective.New(env, fab, spec.hw.Collective)
+		s.Comm, err = collective.NewChecked(env, fab, spec.hw.Collective)
+		if err != nil {
+			return nil, fmt.Errorf("retrieval: wiring communicator: %w", err)
+		}
+	}
+	if sched := spec.hw.Faults; !sched.Empty() && spec.hw.Nodes > 0 && sched.HasProxyDrops() {
+		// Delivery-loss hooks only exist on cluster machines: drops model
+		// NIC-level delivery failure, and the retry loop lives in the proxy.
+		// The closure reads s.faultBatch so the loss process follows the
+		// batch the machine is currently executing.
+		s.PGAS.SetFaultHooks(&pgas.FaultHooks{
+			Drop: func(pe, dstNode int, seq int64, attempt int) bool {
+				return sched.Drops(s.faultBatch, pe, dstNode, seq, attempt)
+			},
+			RetryTimeout: sched.Retry.EffectiveTimeout(),
+			RetryBackoff: sched.Retry.EffectiveBackoff(),
+			MaxAttempts:  sched.Retry.EffectiveMaxAttempts(),
+		})
 	}
 	for g := 0; g < cfg.GPUs; g++ {
 		dev := gpu.NewDevice(env, g, spec.hw.GPU)

@@ -9,6 +9,7 @@ import (
 	"pgasemb/internal/collective"
 	"pgasemb/internal/embedding"
 	"pgasemb/internal/fabric"
+	"pgasemb/internal/fault"
 	"pgasemb/internal/gpu"
 	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
@@ -45,6 +46,12 @@ type HardwareParams struct {
 	// Proxy configures the per-GPU inter-node forwarding proxies; the zero
 	// value selects pgas.DefaultProxyConfig. Only meaningful with Nodes > 0.
 	Proxy pgas.ProxyConfig
+
+	// Faults is the run's deterministic fault schedule: link/NIC bandwidth
+	// degradation, per-GPU stragglers and proxy delivery drops, windowed on
+	// the batch index. Nil (or an empty schedule) injects nothing and is
+	// byte- and time-identical to a machine without fault hooks.
+	Faults *fault.Schedule
 }
 
 // topology resolves the wiring for the given GPU count.
@@ -134,6 +141,19 @@ type System struct {
 
 	gen     *workload.Generator
 	gradRng *sim.RNG // upstream gradients for the backward extension
+
+	// batchSeq counts NextBatchData calls: the batch index the route-plan
+	// compiler hands to the fault schedule when picking replica routes.
+	batchSeq int
+	// faultBatch is the batch whose fault factors are currently applied to
+	// the machine (-1 before the first ApplyFaults). Makes ApplyFaults
+	// idempotent so every GPU's process may call it at the batch barrier.
+	faultBatch int
+	// faultOffset shifts the machine's batch indices on the fault schedule's
+	// timeline. The serving layer executes each dispatch as its own one-batch
+	// run (internal index 0); SetFaultOffset maps that onto the dispatch
+	// sequence so faults unfold across a serving session.
+	faultOffset int
 
 	// scratch holds each GPU's reusable per-batch working buffers; only GPU
 	// g's simulated process touches scratch[g].
@@ -324,8 +344,53 @@ type BatchData struct {
 	dedupBarrier *sim.Barrier
 }
 
+// ApplyFaults installs the fault schedule's factors for the given batch onto
+// the machine: every connected NVLink pipe's degradation, every device's
+// straggler slowdown, and (on clusters) every NIC rail's degradation. It is
+// idempotent per batch, so every GPU's simulated process calls it right after
+// the batch barrier — the first one through applies, the rest no-op — and it
+// is a no-op when no schedule is installed (healthy factors are exactly 1.0,
+// and multiplying by 1.0 is IEEE-exact, so never-faulted runs are bit- and
+// time-identical to a machine without fault hooks).
+func (s *System) ApplyFaults(batch int) {
+	sched := s.HW.Faults
+	batch += s.faultOffset
+	if sched.Empty() || batch == s.faultBatch {
+		return
+	}
+	s.faultBatch = batch
+	topo := s.Fab.Topology()
+	for a := 0; a < s.Cfg.GPUs; a++ {
+		for b := 0; b < s.Cfg.GPUs; b++ {
+			if a == b || topo.Links(a, b) <= 0 {
+				continue
+			}
+			s.Fab.SetLinkDegrade(a, b, sched.LinkFactor(batch, a, b))
+		}
+	}
+	for g, dev := range s.Devs {
+		dev.SetSlowdown(sched.Slowdown(batch, g))
+	}
+	if s.Net != nil {
+		for node := 0; node < s.cluster.Nodes; node++ {
+			for rail := 0; rail < s.HW.NIC.NICsPerNode; rail++ {
+				s.Net.SetRailDegrade(node, rail, sched.NICFactor(batch, node, rail))
+			}
+		}
+	}
+}
+
+// SetFaultOffset shifts this run's batch indices by off on the fault
+// schedule's timeline: internal batch b is treated as schedule batch b+off
+// by ApplyFaults, the route-plan compiler's replica selection, and the proxy
+// drop process. The serving layer calls it with the dispatch sequence number
+// before each one-batch dispatch run, so a fault window expressed in
+// dispatches hits the right requests. Call before the first batch.
+func (s *System) SetFaultOffset(off int) { s.faultOffset = off }
+
 // NextBatchData draws the next batch in the mode the system was built for.
 func (s *System) NextBatchData() (*BatchData, error) {
+	defer func() { s.batchSeq++ }()
 	bd := &BatchData{}
 	if !s.Cfg.Functional {
 		if s.cacheEnabled() || s.dedupEnabled() {
@@ -462,6 +527,12 @@ type Result struct {
 	NICMessages     int64
 	NICPayloadBytes float64
 	NICWireBytes    float64
+	// ProxyDrops, ProxyRetries and ProxyRetriesExhausted summarise the
+	// fault-injected delivery losses the proxies absorbed (all zero without
+	// a fault schedule injecting ProxyDrop events).
+	ProxyDrops            int64
+	ProxyRetries          int64
+	ProxyRetriesExhausted int64
 }
 
 // Run executes the configured number of batches under the given backend and
@@ -519,8 +590,9 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 					runErr = fmt.Errorf("retrieval: GPU %d: %v", g, r)
 				}
 			}()
-			for _, bd := range batches {
+			for bi, bd := range batches {
 				barrier.Await(p)
+				s.ApplyFaults(bi)
 				b.RunBatch(s, p, g, bd, res.PerGPU[g])
 			}
 			barrier.Await(p) // final rendezvous so TotalTime is the makespan
@@ -540,6 +612,12 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 		res.NICMessages = s.Net.Messages()
 		res.NICPayloadBytes = s.Net.PayloadBytes()
 		res.NICWireBytes = s.Net.WireBytes()
+	}
+	for g := 0; g < s.PGAS.NumPEs(); g++ {
+		pe := s.PGAS.PE(g)
+		res.ProxyDrops += pe.Drops()
+		res.ProxyRetries += pe.Retries()
+		res.ProxyRetriesExhausted += pe.RetriesExhausted()
 	}
 	if s.Cfg.Functional && len(batches) > 0 {
 		last := batches[len(batches)-1]

@@ -53,6 +53,33 @@ type Config struct {
 	// Seed). Dispatched batches draw their workload from per-dispatch
 	// seeds derived from the base seed.
 	Seed uint64
+	// Degrade is the degraded-serving policy, consulted only while the
+	// hardware's fault schedule has an active event. The zero value serves
+	// every admitted request normally regardless of machine health.
+	Degrade DegradePolicy
+}
+
+// DegradePolicy decides what the serving layer sacrifices while the machine
+// is unhealthy (a fault-schedule event is active at the current dispatch
+// index): availability for new arrivals, latency for stale queue heads, or
+// freshness for cache stability. Each knob is independent; the zero value
+// disables all three.
+type DegradePolicy struct {
+	// QueueTimeout rejects queued requests older than this at dispatch time
+	// (0 disables): during an outage it fails the stale heads fast instead
+	// of serving hopelessly late responses, bounding the tail the survivors
+	// see.
+	QueueTimeout sim.Duration
+	// ShedAt sheds incoming arrivals while the machine is degraded and the
+	// queue has already grown past ShedAt × QueueCap (0 disables; 0.5 is a
+	// typical setting). Shedding at the door keeps the queue short enough
+	// that admitted requests still meet their latency targets.
+	ShedAt float64
+	// StaleCacheServe freezes the hot-row caches for the span of degraded
+	// dispatches: residency stops churning, so hits keep serving the
+	// (possibly stale) pre-fault working set instead of thrashing while the
+	// fabric is slow.
+	StaleCacheServe bool
 }
 
 // withDefaults resolves the zero-value knobs against the base configuration.
@@ -150,6 +177,12 @@ type Result struct {
 	Dropped   int // requests rejected at a full queue
 	Completed int // requests whose batch finished
 
+	// Resilience counts the degraded-serving actions and the proxy layer's
+	// fault recovery: arrivals shed at the door (Shed), queued requests
+	// rejected by the queue timeout (Rejected), and the dispatched runs'
+	// delivery drops/retries (all zero without a fault schedule).
+	Resilience metrics.RetryCounters
+
 	Dispatches    int // device batches executed
 	PaddedSamples int // bucket slack: shape minus real requests, summed
 
@@ -195,6 +228,16 @@ func (r *Result) Goodput() float64 {
 // HitRate returns the aggregate cache hit rate (0 without a cache).
 func (r *Result) HitRate() float64 { return r.CacheStats.HitRate() }
 
+// Availability returns the fraction of offered requests that completed —
+// the headline resilience number (sheds, queue-full drops and timeout
+// rejects all reduce it). 0 when nothing was offered.
+func (r *Result) Availability() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(r.Offered)
+}
+
 // Run executes the serving simulation.
 func (s *Server) Run() (*Result, error) {
 	return s.RunContext(context.Background())
@@ -233,6 +276,14 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 			}
 			p.WaitUntil(t)
 			res.Offered++
+			// Health-aware load shedding: while a fault window is active and
+			// the queue is already deep, refuse at the door. Keyed on the
+			// NEXT dispatch index — the one this request would ride.
+			if d := s.cfg.Degrade; d.ShedAt > 0 && s.hw.Faults.AnyActive(res.Dispatches) &&
+				float64(len(queue)) >= d.ShedAt*float64(s.cfg.QueueCap) {
+				res.Resilience.Shed++
+				continue
+			}
 			if len(queue) >= s.cfg.QueueCap {
 				res.Dropped++
 				continue
@@ -261,6 +312,22 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 			for len(queue) < s.cfg.MaxBatch && !arrivalsDone && p.Now() < deadline {
 				waitWork(p, env, newWork, deadline)
 			}
+			// Queue-timeout rejection at the dispatch point: when a slow
+			// (degraded) previous dispatch left heads older than the budget,
+			// fail them fast instead of serving hopelessly late responses.
+			if qt := s.cfg.Degrade.QueueTimeout; qt > 0 {
+				expired := 0
+				for expired < len(queue) && p.Now()-queue[expired] > sim.Time(qt) {
+					expired++
+				}
+				if expired > 0 {
+					res.Resilience.Rejected += int64(expired)
+					queue = append(queue[:0], queue[expired:]...)
+					if len(queue) == 0 {
+						continue
+					}
+				}
+			}
 			n := len(queue)
 			if n > s.cfg.MaxBatch {
 				n = s.cfg.MaxBatch
@@ -285,12 +352,26 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 				runErr = err
 				return
 			}
+			// The dispatch is one internal batch (index 0); shifting it onto
+			// the dispatch sequence lets fault windows expressed in dispatch
+			// indices unfold across the serving session.
+			pl.Sys.SetFaultOffset(res.Dispatches)
+			degraded := s.hw.Faults.AnyActive(res.Dispatches)
+			if s.cfg.Degrade.StaleCacheServe && s.caches != nil {
+				s.caches.SetFrozen(degraded)
+			}
 			plRes, err := pl.RunContext(ctx)
 			if err != nil {
 				runErr = err
 				return
 			}
 			res.DedupStats = res.DedupStats.Add(pl.Sys.DedupStats())
+			for g := 0; g < pl.Sys.PGAS.NumPEs(); g++ {
+				pe := pl.Sys.PGAS.PE(g)
+				res.Resilience.Drops += pe.Drops()
+				res.Resilience.Retries += pe.Retries()
+				res.Resilience.Exhausted += pe.RetriesExhausted()
+			}
 			p.Wait(plRes.TotalTime)
 			done := p.Now()
 			for _, arr := range taken {
@@ -310,6 +391,9 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 	}
 	res.Makespan = sim.Duration(env.Now())
 	if s.caches != nil {
+		// Thaw: the cache set outlives this run (warm across serving runs in
+		// sweeps) and must not stay frozen past a degraded final dispatch.
+		s.caches.SetFrozen(false)
 		res.CacheStats = s.caches.Stats()
 	}
 	return res, nil

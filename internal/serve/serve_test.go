@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"pgasemb/internal/fault"
 	"pgasemb/internal/retrieval"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/workload"
@@ -169,6 +170,138 @@ func TestServingBucketsPartialBatches(t *testing.T) {
 	if float64(res.PaddedSamples)/float64(res.Dispatches) >= float64(cfg.MaxBatch)/2 {
 		t.Fatalf("mean pad %g ≥ half the max batch; bucketing not effective",
 			float64(res.PaddedSamples)/float64(res.Dispatches))
+	}
+}
+
+func runOnceHW(t *testing.T, base retrieval.Config, hw retrieval.HardwareParams, cfg Config, backend retrieval.Backend) *Result {
+	t.Helper()
+	srv, err := NewServer(base, hw, backend, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// alwaysDegraded is a fault schedule active from the first dispatch on, for
+// exercising the health-keyed degradation paths.
+func alwaysDegraded() *fault.Schedule {
+	return &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.Straggler, FromBatch: 0, GPU: 1, Factor: 1.5},
+	}}
+}
+
+// A bounded admission queue must overflow under sustained overload: drops are
+// counted, conservation holds, and a rerun reproduces the run bit-exactly.
+func TestServingQueueOverflowDeterministic(t *testing.T) {
+	cfg := serveTestServeConfig()
+	cfg.Rate = 20000
+	cfg.MaxBatch = 8
+	cfg.QueueCap = 8
+	a := runOnce(t, serveTestConfig(), cfg, &retrieval.PGASFused{})
+	b := runOnce(t, serveTestConfig(), cfg, &retrieval.PGASFused{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed overflow runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Dropped == 0 {
+		t.Fatal("overloaded bounded queue dropped nothing; overflow not exercised")
+	}
+	if a.Completed == 0 {
+		t.Fatal("no request completed under overload")
+	}
+	if a.Offered != a.Admitted+a.Dropped {
+		t.Fatalf("offered %d != admitted %d + dropped %d", a.Offered, a.Admitted, a.Dropped)
+	}
+	if avail := a.Availability(); avail <= 0 || avail >= 1 {
+		t.Fatalf("availability %g under overload, want in (0, 1)", avail)
+	}
+}
+
+// DegradePolicy.QueueTimeout must fail stale queue heads at the dispatch
+// point: rejects are counted, rejected requests never complete (and produce
+// no latency samples), and reruns are bit-exact.
+func TestServingQueueTimeoutRejects(t *testing.T) {
+	cfg := serveTestServeConfig()
+	cfg.MaxWait = 5 * sim.Millisecond
+	cfg.Degrade = DegradePolicy{QueueTimeout: sim.Millisecond}
+	a := runOnce(t, serveTestConfig(), cfg, &retrieval.PGASFused{})
+	b := runOnce(t, serveTestConfig(), cfg, &retrieval.PGASFused{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed queue-timeout runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Resilience.Rejected == 0 {
+		t.Fatal("1ms queue timeout under a 5ms batching wait rejected nothing")
+	}
+	if int64(a.Completed)+a.Resilience.Rejected != int64(a.Admitted) {
+		t.Fatalf("completed %d + rejected %d != admitted %d",
+			a.Completed, a.Resilience.Rejected, a.Admitted)
+	}
+	if len(a.Latencies) != a.Completed {
+		t.Fatalf("%d latency samples for %d completions", len(a.Latencies), a.Completed)
+	}
+	if avail := a.Availability(); avail >= 1 {
+		t.Fatalf("availability %g with rejects, want < 1", avail)
+	}
+}
+
+// DegradePolicy.ShedAt must refuse arrivals at the door while a fault window
+// is active and the queue is deep; shed requests are neither admitted nor
+// dropped.
+func TestServingDegradedShedding(t *testing.T) {
+	hw := retrieval.DefaultHardware()
+	hw.Faults = alwaysDegraded()
+	cfg := serveTestServeConfig()
+	cfg.Rate = 20000
+	cfg.MaxBatch = 8
+	cfg.QueueCap = 16
+	cfg.Degrade = DegradePolicy{ShedAt: 0.5}
+	a := runOnceHW(t, serveTestConfig(), hw, cfg, &retrieval.PGASFused{})
+	b := runOnceHW(t, serveTestConfig(), hw, cfg, &retrieval.PGASFused{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed shedding runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Resilience.Shed == 0 {
+		t.Fatal("degraded overload shed nothing")
+	}
+	if int64(a.Offered) != int64(a.Admitted+a.Dropped)+a.Resilience.Shed {
+		t.Fatalf("offered %d != admitted %d + dropped %d + shed %d",
+			a.Offered, a.Admitted, a.Dropped, a.Resilience.Shed)
+	}
+	if a.Completed != a.Admitted {
+		t.Fatalf("completed %d != admitted %d (no queue timeout set)", a.Completed, a.Admitted)
+	}
+	// Shedding holds the queue at the threshold, so plain queue-full drops
+	// cannot also fire: the door refuses before the queue fills.
+	if a.Dropped != 0 {
+		t.Fatalf("shedding at half capacity left %d queue-full drops", a.Dropped)
+	}
+}
+
+// DegradePolicy.StaleCacheServe must freeze hot-row cache admission during
+// degraded dispatches: misses are counted as frozen rejects instead of
+// churning residency.
+func TestServingStaleCacheServe(t *testing.T) {
+	base := serveTestConfig()
+	base.CacheFraction = 0.003
+	hw := retrieval.DefaultHardware()
+	hw.GPU.MemoryCapacity = 1 << 20
+	hw.Faults = alwaysDegraded()
+	cfg := serveTestServeConfig()
+	cfg.Degrade = DegradePolicy{StaleCacheServe: true}
+	res := runOnceHW(t, base, hw, cfg, &retrieval.PGASFused{})
+	if res.Dispatches == 0 {
+		t.Fatal("no dispatches")
+	}
+	// The schedule is active from dispatch 0, so the cache is frozen for the
+	// whole run: admission never happens, every miss is a frozen reject.
+	if res.CacheStats.Insertions != 0 {
+		t.Fatalf("frozen cache admitted %d rows", res.CacheStats.Insertions)
+	}
+	if res.CacheStats.FrozenRejects == 0 {
+		t.Fatal("frozen cache counted no rejected admissions")
 	}
 }
 

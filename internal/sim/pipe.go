@@ -22,6 +22,8 @@ type Pipe struct {
 	bandwidth float64  // bytes per second
 	latency   Duration // fixed per-transfer latency (wire + protocol)
 
+	scale float64 // degrade factor on bandwidth (1 = healthy)
+
 	busyUntil  Time // when the last queued transfer finishes draining
 	totalBytes float64
 	transfers  int64
@@ -46,8 +48,24 @@ func NewPipe(e *Env, name string, bandwidth float64, latency Duration) *Pipe {
 	if latency < 0 {
 		panic(fmt.Sprintf("sim: pipe %q with negative latency %g", name, latency))
 	}
-	return &Pipe{env: e, name: name, bandwidth: bandwidth, latency: latency}
+	return &Pipe{env: e, name: name, bandwidth: bandwidth, latency: latency, scale: 1}
 }
+
+// SetDegrade scales the pipe's effective bandwidth by factor — the fault
+// injection hook for degraded or flapping links. A factor of 1 restores full
+// health and is exact: bytes/(bandwidth*1.0) is the same IEEE-754 value as
+// bytes/bandwidth, so a never-degraded pipe is bit-identical to one that
+// never had the hook. Factors must be positive; outages are modelled as a
+// tiny residual factor so queued traffic still terminates.
+func (p *Pipe) SetDegrade(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q degraded to non-positive factor %g", p.name, factor))
+	}
+	p.scale = factor
+}
+
+// Degrade returns the current bandwidth degrade factor (1 = healthy).
+func (p *Pipe) Degrade() float64 { return p.scale }
 
 // SetRecording toggles completion recording. Recording is off by default to
 // keep long simulations lean; experiment harnesses switch it on.
@@ -82,7 +100,7 @@ func (p *Pipe) OfferAt(readyAt Time, bytes float64) Time {
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
-	p.busyUntil = start + bytes/p.bandwidth
+	p.busyUntil = start + bytes/(p.bandwidth*p.scale)
 	delivered := p.busyUntil + p.latency
 	p.totalBytes += bytes
 	p.transfers++
@@ -133,11 +151,13 @@ func (p *Pipe) DeliveredBy(t Time) float64 {
 	return sum
 }
 
-// Reset clears counters, recorded completions and the busy horizon. Intended
-// for reusing a topology across measurement repetitions.
+// Reset clears counters, recorded completions, the busy horizon and any
+// degrade factor. Intended for reusing a topology across measurement
+// repetitions.
 func (p *Pipe) Reset() {
 	p.busyUntil = 0
 	p.totalBytes = 0
 	p.transfers = 0
 	p.completions = nil
+	p.scale = 1
 }

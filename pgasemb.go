@@ -26,6 +26,7 @@ import (
 	"pgasemb/internal/dlrm"
 	"pgasemb/internal/experiments"
 	"pgasemb/internal/fabric"
+	"pgasemb/internal/fault"
 	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/pgas"
@@ -466,4 +467,63 @@ func RunServing(opts ServingOptions) (*ServingResult, error) {
 // RunServingContext is RunServing with cancellation.
 func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult, error) {
 	return experiments.RunServingContext(ctx, opts)
+}
+
+// Fault-injection and resilience types.
+type (
+	// FaultSchedule is a deterministic, batch-indexed fault schedule:
+	// link/NIC bandwidth degradation, per-GPU stragglers and proxy delivery
+	// drops, installed via HardwareParams.Faults.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one windowed fault.
+	FaultEvent = fault.Event
+	// FaultKind names a fault event's mechanism.
+	FaultKind = fault.Kind
+	// FaultRetryPolicy tunes the proxy retransmission loop (timeout,
+	// backoff, attempt cap) for dropped deliveries.
+	FaultRetryPolicy = fault.RetryPolicy
+	// DegradePolicy decides what the serving layer sacrifices while the
+	// machine is unhealthy (ServeConfig.Degrade).
+	DegradePolicy = serve.DegradePolicy
+	// RetryCounters aggregates proxy drop/retry volume and the serving
+	// layer's shed/reject actions.
+	RetryCounters = metrics.RetryCounters
+	// ChaosOptions tunes the backend × fault-profile × replica-count sweep.
+	ChaosOptions = experiments.ChaosOptions
+	// ChaosResult is the chaos sweep's point grid.
+	ChaosResult = experiments.ChaosResult
+	// ChaosPoint is one (backend, fault profile, replica count) serving run.
+	ChaosPoint = experiments.ChaosPoint
+)
+
+// Fault event kinds (FaultEvent.Kind).
+const (
+	LinkDegrade = fault.LinkDegrade
+	NICDegrade  = fault.NICDegrade
+	Straggler   = fault.Straggler
+	ProxyDrop   = fault.ProxyDrop
+)
+
+// FaultProfiles lists the named fault profiles, sorted.
+func FaultProfiles() []string { return fault.Profiles() }
+
+// FaultProfile builds the named canned fault schedule with the given seed.
+func FaultProfile(name string, seed uint64) (*FaultSchedule, error) {
+	return fault.Profile(name, seed)
+}
+
+// DefaultDegradePolicy is the degraded-serving policy the chaos sweep
+// applies when none is given.
+func DefaultDegradePolicy() DegradePolicy { return experiments.DefaultDegradePolicy() }
+
+// RunChaos executes the resilience sweep: every (backend, fault profile,
+// replica count) point is a full serving simulation under that fault
+// schedule, reporting availability, tail latency, goodput and retry volume.
+func RunChaos(opts ChaosOptions) (*ChaosResult, error) {
+	return experiments.RunChaos(opts)
+}
+
+// RunChaosContext is RunChaos with cancellation.
+func RunChaosContext(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
+	return experiments.RunChaosContext(ctx, opts)
 }
