@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke chaos report fmt vet
+.PHONY: build test race bench benchdiff bench-smoke chaos report fmt vet
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,23 @@ race:
 
 # bench regenerates results/bench.json: the experiment wall-clock records
 # plus the per-batch hot-path benchmarks (ns/op, allocs/op) future PRs diff
-# against for regressions.
+# against for regressions. The diff against the previous baseline is printed
+# first (non-fatal here — regenerating is how an accepted change lands).
 bench:
 	$(GO) run ./cmd/report -bench -batches 10 -seeds 0 -out .bench-tmp >/dev/null
+	-$(GO) run ./cmd/benchdiff -old results/bench.json -new .bench-tmp/bench.json
 	@mkdir -p results
 	@cp .bench-tmp/bench.json results/bench.json && rm -rf .bench-tmp
 	@echo "wrote results/bench.json"
+
+# benchdiff measures the hot paths fresh and FAILS on regressions against
+# the committed results/bench.json — the CI gate. Override the ns/op
+# tolerance (percent) with TOLERANCE; allocs/op regressions always fail.
+TOLERANCE ?= 15
+benchdiff:
+	$(GO) run ./cmd/report -bench -batches 10 -seeds 0 -out .bench-tmp >/dev/null
+	$(GO) run ./cmd/benchdiff -old results/bench.json -new .bench-tmp/bench.json -tolerance $(TOLERANCE)
+	@rm -rf .bench-tmp
 
 # bench-smoke compiles and runs every Go benchmark once — the CI guard that
 # keeps the bench harness from bit-rotting.

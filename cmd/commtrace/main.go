@@ -5,9 +5,11 @@
 // Usage:
 //
 //	commtrace [-kind weak|strong] [-gpus N] [-bins 120] [-batches 3] [-csv]
+//	          [-timeout 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +24,15 @@ func main() {
 	batches := flag.Int("batches", 3, "inference batches to profile")
 	height := flag.Int("height", 10, "chart height in rows")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	kind := pgasemb.WeakScaling
 	defaultGPUs := 2
@@ -37,7 +47,7 @@ func main() {
 		*gpus = defaultGPUs
 	}
 
-	cv, err := pgasemb.RunCommVolume(kind, *gpus, *bins, pgasemb.ExperimentOptions{Batches: *batches})
+	cv, err := pgasemb.RunCommVolumeContext(ctx, kind, *gpus, *bins, pgasemb.ExperimentOptions{Batches: *batches})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "commtrace:", err)
 		os.Exit(1)

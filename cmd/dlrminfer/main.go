@@ -6,11 +6,14 @@
 // Usage:
 //
 //	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20] [-dedup] [-seed 0]
-//	          [-backend baseline,pgas-fused] [-timeout 0]
+//	          [-backend baseline,pgas-fused] [-pipeline 1] [-timeout 0]
 //
 // -dedup enables batch-level index deduplication on all backends (unique
 // rows are shipped once per destination shard and expanded locally).
 // -backend takes a comma-separated list of registered backend names.
+// -pipeline sets the inter-batch software-pipelining depth (1 = serial,
+// 2 = double-buffered EMB prefetch overlapping the next batch's exchange
+// with the current batch's dense tail).
 // A failing backend is reported and skipped, the others still run, and the
 // command exits non-zero. -timeout bounds host wall-clock time.
 package main
@@ -32,6 +35,7 @@ func main() {
 	dedup := flag.Bool("dedup", false, "enable batch-level index deduplication")
 	backendNames := flag.String("backend", "baseline,pgas-fused", "comma-separated registered backend names to run")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = configuration default)")
+	pipeline := flag.Int("pipeline", 1, "inter-batch pipeline depth (1 = serial, 2 = double buffering)")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
@@ -65,6 +69,7 @@ func main() {
 	}
 	cfg.Batches = *batches
 	cfg.Dedup = *dedup
+	cfg.PipelineDepth = *pipeline
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -76,8 +81,8 @@ func main() {
 		defer cancel()
 	}
 
-	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches, seed %d\n\n",
-		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches, cfg.Seed)
+	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches, pipeline depth %d, seed %d\n\n",
+		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches, cfg.PipelineSlots(), cfg.Seed)
 	fmt.Printf("%-12s  %-14s  %-14s  %-10s\n", "backend", "total", "EMB segment", "EMB share")
 	results := make(map[string]*pgasemb.PipelineResult)
 	failed := false

@@ -7,13 +7,14 @@
 // Usage:
 //
 //	multinode [-nodes 4] [-gpus-per-node 4] [-batches 20]
-//	          [-backend pgas-fused] [-csv]
+//	          [-backend pgas-fused] [-csv] [-timeout 0]
 //
 // -backend swaps the accelerated column's backend for any registered name
 // (e.g. hybrid); the baseline column always runs for comparison.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,11 +30,18 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS); results are identical for every value")
 	backend := flag.String("backend", "pgas-fused", "registered backend for the accelerated column (baseline always runs for comparison)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
 	if _, err := pgasemb.NewBackendByName(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "multinode:", err)
 		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	opts := pgasemb.MultiNodeOptions{
 		MaxNodes:    *nodes,
@@ -45,7 +53,7 @@ func main() {
 	}
 	var tables []*pgasemb.RenderedTable
 	for _, kind := range []pgasemb.ScalingKind{pgasemb.WeakScaling, pgasemb.StrongScaling} {
-		res, err := pgasemb.RunMultiNode(kind, opts)
+		res, err := pgasemb.RunMultiNodeContext(ctx, kind, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "multinode:", err)
 			os.Exit(1)

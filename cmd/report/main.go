@@ -126,6 +126,13 @@ func main() {
 	}
 	write("ablations", pgasemb.AblationTable(ab))
 
+	fmt.Println("== Inter-batch pipelining ==")
+	pd, err := pgasemb.RunPipelineDepthContext(ctx, 4, []int{1, 2}, opts)
+	if err != nil {
+		fatal(err)
+	}
+	write("pipeline_depth", pgasemb.PipelineDepthTable(pd))
+
 	if *seeds > 0 {
 		fmt.Println("== Multi-seed statistics ==")
 		for _, kind := range []pgasemb.ScalingKind{pgasemb.WeakScaling, pgasemb.StrongScaling} {

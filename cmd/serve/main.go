@@ -8,8 +8,8 @@
 // Usage:
 //
 //	serve [-rate 4000,8000] [-cache 0,0.01,0.05] [-duration 2s] [-gpus 4]
-//	      [-backend both] [-arrival poisson] [-dedup] [-seed 0] [-parallel N]
-//	      [-out results] [-timeout 0]
+//	      [-backend both] [-arrival poisson] [-dedup] [-seed 0] [-pipeline 1]
+//	      [-parallel N] [-out results] [-timeout 0]
 //
 // -rate and -cache take comma-separated sweeps; -duration is SIMULATED
 // time (the arrival window of each point). -dedup adds the batch-level
@@ -42,6 +42,7 @@ func main() {
 	arrival := flag.String("arrival", "poisson", "arrival process: poisson or bursty")
 	dedup := flag.Bool("dedup", false, "add the batch-level index-deduplication axis (each point runs with dedup off and on)")
 	seed := flag.Uint64("seed", 0, "arrival-process seed (0 = workload default)")
+	pipeline := flag.Int("pipeline", 1, "inter-batch pipeline depth (1 = serial dispatch, 2 = overlapped dispatches)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points")
 	out := flag.String("out", "results", "output directory")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
@@ -87,6 +88,7 @@ func main() {
 		GPUs:           *gpus,
 		Duration:       duration.Seconds(),
 		Serve:          pgasemb.ServeConfig{Arrival: arr, Seed: *seed},
+		PipelineDepth:  *pipeline,
 		Parallel:       *parallel,
 	}
 	if *dedup {

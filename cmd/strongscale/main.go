@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	strongscale [-batches 100] [-maxgpus 4] [-csv]
+//	strongscale [-batches 100] [-maxgpus 4] [-csv] [-timeout 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +20,17 @@ func main() {
 	batches := flag.Int("batches", 100, "inference batches per run (paper: 100)")
 	maxGPUs := flag.Int("maxgpus", 4, "largest GPU count in the sweep")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
-	res, err := pgasemb.RunScaling(pgasemb.StrongScaling, pgasemb.ExperimentOptions{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := pgasemb.RunScalingContext(ctx, pgasemb.StrongScaling, pgasemb.ExperimentOptions{
 		Batches: *batches,
 		MaxGPUs: *maxGPUs,
 	})

@@ -6,10 +6,17 @@
 //
 // Usage:
 //
-//	sweep -axis batch|pooling|dim|tables|chunks [-gpus 4] [-batches 10] [-csv]
+//	sweep -axis batch|pooling|dim|tables|chunks|skew|criteo|pipeline
+//	      [-gpus 4] [-batches 10] [-csv] [-timeout 0]
+//
+// The pipeline axis runs the full DLRM inference pipeline (the others run
+// the EMB layer alone) at increasing inter-batch software-pipelining depths,
+// showing how much of each scheme's exchange hides behind dense compute.
+// -timeout bounds host wall-clock time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,6 +80,12 @@ func sweepPoints(axis string, gpus int) ([]point, error) {
 		cfg := pgasemb.CriteoShapedConfig(gpus)
 		pts = append(pts, point{"criteo-shaped", cfg})
 		pts = append(pts, point{"paper-weak", base})
+	case "pipeline":
+		for _, d := range []int{1, 2, 3, 4} {
+			cfg := base
+			cfg.PipelineDepth = d
+			pts = append(pts, point{fmt.Sprintf("depth=%d", d), cfg})
+		}
 	default:
 		return nil, fmt.Errorf("unknown axis %q", axis)
 	}
@@ -80,16 +93,23 @@ func sweepPoints(axis string, gpus int) ([]point, error) {
 }
 
 func main() {
-	axis := flag.String("axis", "batch", "sweep axis: batch, pooling, dim, tables, chunks, skew or criteo")
+	axis := flag.String("axis", "batch", "sweep axis: batch, pooling, dim, tables, chunks, skew, criteo or pipeline")
 	gpus := flag.Int("gpus", 4, "GPU count")
 	batches := flag.Int("batches", 10, "inference batches per run")
 	csv := flag.Bool("csv", false, "emit CSV")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
 	pts, err := sweepPoints(*axis, *gpus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *csv {
 		fmt.Println("point,baseline_s,pgas_s,speedup")
@@ -101,17 +121,35 @@ func main() {
 		cfg.Batches = *batches
 		var times []float64
 		for _, backend := range []pgasemb.Backend{pgasemb.NewBaseline(), pgasemb.NewPGASFused()} {
-			sys, err := pgasemb.NewSystem(cfg, pgasemb.DefaultHardware())
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
-				os.Exit(1)
+			var total float64
+			if *axis == "pipeline" {
+				// The pipelining win only exists against dense compute, so
+				// this axis times the full DLRM pipeline.
+				pl, err := pgasemb.NewPipeline(cfg, pgasemb.DefaultHardware(), backend)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
+					os.Exit(1)
+				}
+				res, err := pl.RunContext(ctx)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
+					os.Exit(1)
+				}
+				total = float64(res.TotalTime)
+			} else {
+				sys, err := pgasemb.NewSystem(cfg, pgasemb.DefaultHardware())
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
+					os.Exit(1)
+				}
+				res, err := sys.RunContext(ctx, backend)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
+					os.Exit(1)
+				}
+				total = res.TotalTime
 			}
-			res, err := sys.Run(backend)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", pt.label, err)
-				os.Exit(1)
-			}
-			times = append(times, res.TotalTime)
+			times = append(times, total)
 		}
 		if *csv {
 			fmt.Printf("%s,%.6f,%.6f,%.3f\n", pt.label, times[0], times[1], times[0]/times[1])

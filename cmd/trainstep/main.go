@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	trainstep [-gpus 4] [-batches 10]
+//	trainstep [-gpus 4] [-batches 10] [-timeout 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,15 @@ import (
 func main() {
 	gpus := flag.Int("gpus", 4, "GPU count")
 	batches := flag.Int("batches", 10, "training steps")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := pgasemb.WeakScalingConfig(*gpus)
 	cfg.Batches = *batches
@@ -43,7 +52,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "trainstep:", err)
 			os.Exit(1)
 		}
-		res, err := tr.Run()
+		res, err := tr.RunContext(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "trainstep:", err)
 			os.Exit(1)

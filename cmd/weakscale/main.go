@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	weakscale [-batches 100] [-maxgpus 4] [-csv]
+//	weakscale [-batches 100] [-maxgpus 4] [-csv] [-timeout 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,17 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	ablations := flag.Bool("ablations", false, "also run the mechanism-isolation suite")
 	seeds := flag.Int("seeds", 0, "also report speedup statistics across this many workload seeds")
+	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
-	res, err := pgasemb.RunScaling(pgasemb.WeakScaling, pgasemb.ExperimentOptions{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := pgasemb.RunScalingContext(ctx, pgasemb.WeakScaling, pgasemb.ExperimentOptions{
 		Batches: *batches,
 		MaxGPUs: *maxGPUs,
 	})
@@ -33,7 +42,7 @@ func main() {
 	}
 	tables := []*pgasemb.RenderedTable{res.SpeedupTable(), res.FactorTable(), res.BreakdownTable()}
 	if *seeds > 0 {
-		stats, err := pgasemb.RunScalingStats(pgasemb.WeakScaling, *seeds,
+		stats, err := pgasemb.RunScalingStatsContext(ctx, pgasemb.WeakScaling, *seeds,
 			pgasemb.ExperimentOptions{Batches: *batches, MaxGPUs: *maxGPUs})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
@@ -42,7 +51,7 @@ func main() {
 		tables = append(tables, pgasemb.StatsTable(pgasemb.WeakScaling, stats))
 	}
 	if *ablations {
-		ab, err := pgasemb.RunAblations(*maxGPUs, pgasemb.ExperimentOptions{Batches: *batches})
+		ab, err := pgasemb.RunAblationsContext(ctx, *maxGPUs, pgasemb.ExperimentOptions{Batches: *batches})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
 			os.Exit(1)

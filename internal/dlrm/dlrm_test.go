@@ -323,3 +323,91 @@ func TestPipelineWithRowWiseBackend(t *testing.T) {
 		}
 	}
 }
+
+// The software-pipelined schedule must not change the math: at any depth the
+// predictions are byte-identical to the serial (depth 1) schedule's.
+func TestPipelineDepthPredictionsBitExact(t *testing.T) {
+	for _, name := range []string{"baseline", "pgas-fused", "hybrid"} {
+		collect := func(depth int) []*tensor.Tensor {
+			backend, err := retrieval.NewBackendByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := retrieval.TestScaleConfig(3)
+			cfg.PipelineDepth = depth
+			pl, err := NewPipeline(cfg, retrieval.DefaultHardware(), backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pl.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Predictions
+		}
+		ref := collect(1)
+		for _, depth := range []int{2, 3} {
+			got := collect(depth)
+			for g := range ref {
+				if !tensor.Equal(got[g], ref[g]) {
+					t.Fatalf("%s: depth %d GPU %d predictions differ from serial (max diff %g)",
+						name, depth, g, tensor.MaxAbsDiff(got[g], ref[g]))
+				}
+			}
+		}
+	}
+}
+
+// Deepening the pipeline can only hide more of the EMB exchange behind dense
+// compute: for the one-sided backends the EMB-visible stall (total minus
+// dense compute) is non-increasing in depth, the dense-compute floor itself
+// is depth-invariant, and double buffering buys pgas-fused a ≥10% end-to-end
+// win on the default 4-GPU weak-scaling shape.
+func TestPipelineDepthMonotonicStall(t *testing.T) {
+	run := func(t *testing.T, name string, depth int) *PipelineResult {
+		t.Helper()
+		backend, err := retrieval.NewBackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := retrieval.WeakScalingConfig(4)
+		cfg.Batches = 6
+		cfg.PipelineDepth = depth
+		pl, err := NewPipeline(cfg, retrieval.DefaultHardware(), backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, name := range []string{"pgas-fused", "pgas-overlap-only", "hybrid"} {
+		var prev *PipelineResult
+		for _, depth := range []int{1, 2, 3} {
+			res := run(t, name, depth)
+			if res.EMBStall <= 0 {
+				t.Fatalf("%s depth %d: non-positive EMB stall %v (total %v, dense %v)",
+					name, depth, res.EMBStall, res.TotalTime, res.DenseTime)
+			}
+			if prev != nil {
+				if res.DenseTime != prev.DenseTime {
+					t.Errorf("%s depth %d: dense floor %v changed from %v — it must be depth-invariant",
+						name, depth, res.DenseTime, prev.DenseTime)
+				}
+				if res.EMBStall > prev.EMBStall {
+					t.Errorf("%s depth %d: EMB stall %v grew from %v at the shallower depth",
+						name, depth, res.EMBStall, prev.EMBStall)
+				}
+			}
+			prev = res
+		}
+	}
+	serial := run(t, "pgas-fused", 1)
+	piped := run(t, "pgas-fused", 2)
+	if gain := 1 - piped.TotalTime/serial.TotalTime; gain < 0.10 {
+		t.Errorf("pgas-fused depth 2 end-to-end gain %.1f%% below the 10%% floor (%.2fms vs %.2fms)",
+			100*gain, float64(piped.TotalTime)*1e3, float64(serial.TotalTime)*1e3)
+	}
+}

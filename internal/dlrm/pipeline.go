@@ -94,6 +94,15 @@ type PipelineResult struct {
 	// EMBTime accumulates the EMB-layer segment (retrieval + communication
 	// + unpack), the paper's reported quantity.
 	EMBTime sim.Duration
+	// DenseTime is the slowest GPU's accumulated dense-path kernel time
+	// (top MLP + interaction/bottom MLP). It is a property of the model and
+	// batch shape, identical at every pipeline depth — the floor the
+	// pipelined schedule compresses the run toward.
+	DenseTime sim.Duration
+	// EMBStall is the EMB-visible stall: the part of the end-to-end time
+	// not covered by dense compute, max(0, TotalTime-DenseTime). Deeper
+	// pipelining can only shrink it (never grow it) for one-sided backends.
+	EMBStall sim.Duration
 	// EMBBreakdown is the slowest-GPU component view of the EMB segment.
 	EMBBreakdown *trace.Breakdown
 	// Predictions holds the last batch's per-GPU (minibatch, 1)
@@ -144,6 +153,8 @@ func (pl *Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 	}
 
 	barrier := sim.NewBarrier(s.Env, cfg.GPUs)
+	depth := s.PipelineDepth()
+	denseEnd := make([]sim.Duration, cfg.GPUs)
 	var preds []*tensor.Tensor
 	if cfg.Functional {
 		preds = make([]*tensor.Tensor, cfg.GPUs)
@@ -168,6 +179,45 @@ func (pl *Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 			tailCost := dev.MLPKernelCost(
 				interFLOPs+pl.Model.Bottom.FLOPs(mini),
 				pl.Model.DensePathBytes(mini)-pl.Model.Top.Bytes(mini))
+			denseEnd[g] = sim.Duration(len(batches)) * (topCost + tailCost)
+
+			if depth > 1 {
+				// Software-pipelined schedule (inter-batch double buffering):
+				// the interaction + bottom MLP of batch N stays queued on the
+				// dense stream while this process moves on to batch N+1's EMB
+				// exchange in the next staging slot. A slot is reused only
+				// once its previous occupant's tail has drained (the ring
+				// wait below); the exchange gate tells collective backends
+				// where the dense stream's queue ends, because a collective
+				// kernel cannot overtake compute kernels launched before it —
+				// which is why the baseline overlaps only its pre-collective
+				// phases while one-sided stores (issued from inside the fused
+				// gather kernel) proceed immediately.
+				tailRing := make([]sim.Time, depth)
+				var lastTail sim.Time
+				for _, in := range batches {
+					p.WaitUntil(tailRing[in.bd.Slot])
+					barrier.Await(p)
+					embStart := p.Now()
+					s.SetExchangeGate(g, denseStream.BusyUntil())
+					_, topEnd := denseStream.Launch(p, topCost)
+					pl.Backend.RunBatch(s, p, g, in.bd, perGPU[g])
+					barrier.Await(p)
+					embEnd[g] += p.Now() - embStart
+					if cfg.Functional {
+						denseMini := in.dense.Narrow(0, lo, mini).Contiguous()
+						preds[g] = pl.Model.Forward(denseMini, in.bd.Final[g])
+					}
+					p.WaitUntil(topEnd)
+					_, tailEnd := denseStream.Launch(p, tailCost)
+					tailRing[in.bd.Slot] = tailEnd
+					lastTail = tailEnd
+				}
+				p.WaitUntil(lastTail)
+				denseStream.Synchronize(p)
+				barrier.Await(p)
+				return
+			}
 
 			for bi, in := range batches {
 				barrier.Await(p)
@@ -210,6 +260,12 @@ func (pl *Pipeline) RunContext(ctx context.Context) (*PipelineResult, error) {
 		if embEnd[g] > res.EMBTime {
 			res.EMBTime = embEnd[g]
 		}
+		if denseEnd[g] > res.DenseTime {
+			res.DenseTime = denseEnd[g]
+		}
+	}
+	if stall := res.TotalTime - res.DenseTime; stall > 0 {
+		res.EMBStall = stall
 	}
 	res.EMBBreakdown = trace.MergeMax(perGPU...)
 	res.Predictions = preds

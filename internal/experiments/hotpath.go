@@ -30,12 +30,14 @@ func hotPathConfig() retrieval.Config {
 }
 
 // hotPathCase is one tracked per-batch hot path: a configuration, the
-// machine it runs on, and the backend under measurement.
+// machine it runs on, and the backend under measurement. planOnly cases
+// measure route-plan compilation alone (no backend runs).
 type hotPathCase struct {
-	name    string
-	cfg     retrieval.Config
-	hw      retrieval.HardwareParams
-	backend retrieval.Backend
+	name     string
+	cfg      retrieval.Config
+	hw       retrieval.HardwareParams
+	backend  retrieval.Backend
+	planOnly bool
 }
 
 // hotPathCases enumerates the per-batch hot paths tracked in bench.json.
@@ -48,19 +50,31 @@ func hotPathCases() []hotPathCase {
 	cached.CacheFraction = 0.0001
 	replicated := base
 	replicated.Replicas = 2
+	pipelined := base
+	pipelined.PipelineDepth = 2
+	dedupCached := dedup
+	dedupCached.CacheFraction = 0.0001
 	cluster := retrieval.ClusterHardware(2)
 	return []hotPathCase{
-		{"retrieval/baseline-batch", base, hw, &retrieval.Baseline{}},
-		{"retrieval/baseline-batch-dedup", dedup, hw, &retrieval.Baseline{}},
-		{"retrieval/pgas-fused-batch", base, hw, &retrieval.PGASFused{}},
-		{"retrieval/pgas-fused-batch-dedup", dedup, hw, &retrieval.PGASFused{}},
-		{"retrieval/pgas-fused-batch-cached", cached, hw, &retrieval.PGASFused{}},
-		{"retrieval/pgas-fused-batch-replicas2", replicated, hw, &retrieval.PGASFused{}},
-		{"retrieval/hybrid-batch", base, hw, &retrieval.Hybrid{}},
+		{name: "retrieval/baseline-batch", cfg: base, hw: hw, backend: &retrieval.Baseline{}},
+		{name: "retrieval/baseline-batch-dedup", cfg: dedup, hw: hw, backend: &retrieval.Baseline{}},
+		{name: "retrieval/pgas-fused-batch", cfg: base, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/pgas-fused-batch-dedup", cfg: dedup, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/pgas-fused-batch-cached", cfg: cached, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/pgas-fused-batch-replicas2", cfg: replicated, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/pgas-fused-batch-pipelined2", cfg: pipelined, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/hybrid-batch", cfg: base, hw: hw, backend: &retrieval.Hybrid{}},
 		// Multi-node: the same batch on a 2-node cluster, so the proxy
 		// staging and NIC launch paths are on the measured loop.
-		{"retrieval/multinode-baseline-batch", base, cluster, &retrieval.Baseline{}},
-		{"retrieval/multinode-pgas-batch-dedup", dedup, cluster, &retrieval.PGASFused{}},
+		{name: "retrieval/multinode-baseline-batch", cfg: base, hw: cluster, backend: &retrieval.Baseline{}},
+		{name: "retrieval/multinode-pgas-batch-dedup", cfg: dedup, hw: cluster, backend: &retrieval.PGASFused{}},
+		// Route-plan compilation alone: the shared classification +
+		// plan-build step every backend's RunBatch starts from, across the
+		// layers that change its shape (dedup, cache, cluster boundaries).
+		{name: "retrieval/plan-compile", cfg: base, hw: hw, planOnly: true},
+		{name: "retrieval/plan-compile-dedup", cfg: dedup, hw: hw, planOnly: true},
+		{name: "retrieval/plan-compile-dedup-cached", cfg: dedupCached, hw: hw, planOnly: true},
+		{name: "retrieval/multinode-plan-compile-dedup", cfg: dedup, hw: cluster, planOnly: true},
 	}
 }
 
@@ -80,9 +94,13 @@ func RunHotPaths(b *Bench) error {
 				firstErr = fmt.Errorf("experiments: hot path %s: %w", c.name, err)
 				tb.SkipNow()
 			}
+			loop := func(n int) error { return retrieval.BenchLoop(sys, c.backend, n) }
+			if c.planOnly {
+				loop = func(n int) error { return retrieval.PlanCompileLoop(sys, n) }
+			}
 			tb.ReportAllocs()
 			tb.ResetTimer()
-			if err := retrieval.BenchLoop(sys, c.backend, tb.N); err != nil {
+			if err := loop(tb.N); err != nil {
 				firstErr = fmt.Errorf("experiments: hot path %s: %w", c.name, err)
 				tb.SkipNow()
 			}

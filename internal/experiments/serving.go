@@ -34,6 +34,10 @@ type ServingOptions struct {
 	Base *retrieval.Config
 	// HW selects the hardware model (nil = calibrated defaults).
 	HW *retrieval.HardwareParams
+	// PipelineDepth sets the base configuration's inter-batch pipelining
+	// depth at every point (0 keeps the base configuration's own depth;
+	// 1 = serial dispatch, ≥2 overlaps in-flight dispatches).
+	PipelineDepth int
 	// Serve carries the batching knobs (MaxBatch, MaxWait, QueueCap,
 	// arrival process); Rate and Duration are overwritten by the sweep.
 	Serve serve.Config
@@ -156,6 +160,9 @@ func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult
 		cfg := base
 		cfg.CacheFraction = opts.CacheFractions[fi]
 		cfg.Dedup = dedups[di]
+		if opts.PipelineDepth > 0 {
+			cfg.PipelineDepth = opts.PipelineDepth
+		}
 		scfg := opts.Serve
 		scfg.Rate = opts.Rates[ri]
 		scfg.Duration = opts.duration()

@@ -129,6 +129,7 @@ func (b *BackwardPGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk
 	dev := s.Devs[g]
 	stream := dev.NewStream("emb-bwd-fused")
 	pe := s.PGAS.PE(g)
+	pe.SetSlot(bd.Slot)
 	fg := s.LocalTables(g)
 	lo, hi := s.Minibatch(g)
 	mini := hi - lo
@@ -169,7 +170,7 @@ func (b *BackwardPGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk
 			pe.PutVectors(s.PGAS.PE(peer), vecs, vecBytes)
 		}
 	}
-	pe.Quiet(p)
+	pe.QuietSlot(p, bd.Slot)
 	bk.Accumulate(CompGradFused, p.Now()-batchStart)
 
 	syncStart := p.Now()

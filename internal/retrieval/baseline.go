@@ -59,7 +59,7 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb")
-	sc := &s.scratch[g]
+	sc := s.scratchFor(g, bd)
 	fg := s.LocalTables(g)
 	lo, hi := s.Minibatch(g)
 	mini := hi - lo
@@ -145,8 +145,13 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	}
 
 	// --- Phase 2: all_to_all_single. Segment for dst = dst's minibatch
-	// rows of the local outputs.
+	// rows of the local outputs. The collective is stream-ordered: under a
+	// pipelined schedule it cannot launch past dense kernels already queued
+	// on the compute stream (the exchange gate), which is why the baseline
+	// overlaps only its pre-collective phases with the previous batch's
+	// dense compute.
 	commStart := p.Now()
+	s.awaitExchangeGate(p, g)
 	var recvBuf []float32
 	if cfg.Functional {
 		sendSegs := scratchSlice(&sc.sendSegs, cfg.GPUs)

@@ -20,6 +20,12 @@ import (
 // remote atomic-adds ACCUMULATE into the final tensor, so in functional mode
 // its outputs are only meaningful for n == 1; timing-only benchmarks (the
 // default here) are unaffected.
+//
+// With Config.PipelineDepth > 1 the loop drives the window-pipelined
+// schedule instead: one pre-generated batch per staging slot (cycled
+// round-robin), with the sliding-window rendezvous in place of the lockstep
+// barrier — the same per-slot hot path the pipelined DLRM scheduler runs,
+// still allocation-free in steady state.
 func BenchLoop(s *System, b Backend, n int) error {
 	if err := ValidateBackend(b, s.Cfg); err != nil {
 		return err
@@ -27,15 +33,24 @@ func BenchLoop(s *System, b Backend, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("retrieval: BenchLoop needs a positive batch count, got %d", n)
 	}
-	bd, err := s.NextBatchData()
-	if err != nil {
-		return err
+	depth := s.PipelineDepth()
+	bds := make([]*BatchData, depth)
+	for i := range bds {
+		bd, err := s.NextBatchData()
+		if err != nil {
+			return err
+		}
+		bds[i] = bd
 	}
 	bks := make([]*trace.Breakdown, s.Cfg.GPUs)
 	for g := range bks {
 		bks[g] = &trace.Breakdown{}
 	}
 	barrier := sim.NewBarrier(s.Env, s.Cfg.GPUs)
+	var win *sim.Window
+	if depth > 1 {
+		win = sim.NewWindow(s.Env, s.Cfg.GPUs, depth)
+	}
 	var runErr error
 	for g := 0; g < s.Cfg.GPUs; g++ {
 		g := g
@@ -45,13 +60,41 @@ func BenchLoop(s *System, b Backend, n int) error {
 					runErr = fmt.Errorf("retrieval: GPU %d: %v", g, r)
 				}
 			}()
+			if win != nil {
+				for i := 0; i < n; i++ {
+					win.Enter(p, i)
+					b.RunBatch(s, p, g, bds[i%depth], bks[g])
+					win.Retire(g)
+				}
+				barrier.Await(p)
+				return
+			}
 			for i := 0; i < n; i++ {
 				barrier.Await(p)
-				b.RunBatch(s, p, g, bd, bks[g])
+				b.RunBatch(s, p, g, bds[0], bks[g])
 			}
 			barrier.Await(p)
 		})
 	}
 	s.Env.Run()
 	return runErr
+}
+
+// PlanCompileLoop drives n route-plan compilations over ONE materialised
+// batch, for Go benchmarks of the host-side classifier passes (cache view,
+// dedup key sets, node-level dedup, replica serve map). Input generation runs
+// once outside the loop, so what the loop measures is exactly the per-batch
+// compile cost the pipelined scheduler pays on the host while the device
+// works on the previous batch.
+func PlanCompileLoop(s *System, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("retrieval: PlanCompileLoop needs a positive count, got %d", n)
+	}
+	bd := &BatchData{}
+	bd.Sparse = s.gen.NextBatch()
+	bd.Summary = summaryFromBatch(bd.Sparse)
+	for i := 0; i < n; i++ {
+		s.compileRoutePlan(bd)
+	}
+	return nil
 }

@@ -63,6 +63,15 @@ func BenchmarkPGASFusedBatchDedup(b *testing.B) {
 	benchRun(b, cfg, &PGASFused{})
 }
 
+// BenchmarkPGASFusedBatchPipelined drives the window-pipelined (depth 2)
+// schedule: per-slot arenas, the sliding-window rendezvous and QuietSlot are
+// all on the measured loop.
+func BenchmarkPGASFusedBatchPipelined(b *testing.B) {
+	cfg := benchConfig()
+	cfg.PipelineDepth = 2
+	benchRun(b, cfg, &PGASFused{})
+}
+
 func BenchmarkPGASFusedBatchCached(b *testing.B) {
 	cfg := benchConfig()
 	cfg.CacheFraction = 0.0001
@@ -115,6 +124,46 @@ func BenchmarkMultiNodePGASBatchDedup(b *testing.B) {
 	benchRunHW(b, cfg, ClusterHardware(2), &PGASFused{})
 }
 
+// BenchmarkRoutePlanCompile measures the host-side route-plan compiler
+// across its classifier variants: plain, dedup key sets, hot-row cache view,
+// both combined, and node-level dedup on a 2-node cluster.
+func BenchmarkRoutePlanCompile(b *testing.B) {
+	cases := []struct {
+		name    string
+		dedup   bool
+		cached  bool
+		cluster bool
+	}{
+		{"plain", false, false, false},
+		{"dedup", true, false, false},
+		{"cache", false, true, false},
+		{"dedup-cache", true, true, false},
+		{"cluster-dedup", true, false, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Dedup = c.dedup
+			if c.cached {
+				cfg.CacheFraction = 0.0001
+			}
+			hw := DefaultHardware()
+			if c.cluster {
+				hw = ClusterHardware(2)
+			}
+			sys, err := NewSystem(cfg, hw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := PlanCompileLoop(sys, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestMultiNodeSteadyStateZeroAllocs pins the steady-state allocation
 // contract for the cluster hot paths: once a batch is classified and the
 // arenas are warm, driving batches through the proxy/staging machinery —
@@ -128,21 +177,29 @@ func TestMultiNodeSteadyStateZeroAllocs(t *testing.T) {
 		name     string
 		dedup    bool
 		replicas int
+		depth    int
 		backend  Backend
 	}{
-		{"pgas-fused", false, 0, &PGASFused{}},
-		{"pgas-fused-dedup", true, 0, &PGASFused{}},
-		{"pgas-fused-replicas2", false, 2, &PGASFused{}},
-		{"baseline", false, 0, &Baseline{}},
-		{"baseline-replicas2", false, 2, &Baseline{}},
-		{"hybrid", false, 0, &Hybrid{}},
-		{"hybrid-dedup", true, 0, &Hybrid{}},
+		{"pgas-fused", false, 0, 1, &PGASFused{}},
+		{"pgas-fused-dedup", true, 0, 1, &PGASFused{}},
+		{"pgas-fused-replicas2", false, 2, 1, &PGASFused{}},
+		{"baseline", false, 0, 1, &Baseline{}},
+		{"baseline-replicas2", false, 2, 1, &Baseline{}},
+		{"hybrid", false, 0, 1, &Hybrid{}},
+		{"hybrid-dedup", true, 0, 1, &Hybrid{}},
+		// Depth-2 pipelined variants: the per-slot arenas, window rendezvous
+		// and QuietSlot path must hold the same zero-alloc contract.
+		{"pgas-fused-depth2", false, 0, 2, &PGASFused{}},
+		{"pgas-fused-dedup-depth2", true, 0, 2, &PGASFused{}},
+		{"baseline-depth2", false, 0, 2, &Baseline{}},
+		{"hybrid-depth2", false, 0, 2, &Hybrid{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			cfg := benchConfig()
 			cfg.Dedup = c.dedup
 			cfg.Replicas = c.replicas
+			cfg.PipelineDepth = c.depth
 			r := testing.Benchmark(func(b *testing.B) {
 				sys, err := NewSystem(cfg, ClusterHardware(2))
 				if err != nil {

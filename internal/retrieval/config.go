@@ -117,6 +117,24 @@ type Config struct {
 	// degraded links. 0 and 1 both mean no replication. Table-wise,
 	// dense-routing only (no Dedup, no CacheFraction).
 	Replicas int
+	// PipelineDepth enables inter-batch software pipelining: scratch arenas,
+	// route plans and the PGAS staging region are replicated across this many
+	// slots, and the global inter-batch barrier relaxes to a sliding-window
+	// rendezvous so batch N+1's embedding exchange can start while batch N's
+	// dense compute (or a slower GPU's batch N) is still in flight. 0 and 1
+	// both mean today's serial behavior; 2 is double buffering. Runs with a
+	// fault schedule force depth 1 (fault windows are defined against a
+	// lockstep batch sequence).
+	PipelineDepth int
+}
+
+// PipelineSlots returns the normalized pipeline depth (>= 1): the number of
+// per-GPU resource slots batches rotate through.
+func (c Config) PipelineSlots() int {
+	if c.PipelineDepth <= 1 {
+		return 1
+	}
+	return c.PipelineDepth
 }
 
 // Validate reports configuration errors.
@@ -159,6 +177,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("retrieval: index deduplication requires table-wise sharding (row-wise lookups are partial sums, not rows)")
 	case c.Replicas < 0:
 		return fmt.Errorf("retrieval: negative Replicas %d", c.Replicas)
+	case c.PipelineDepth < 0:
+		return fmt.Errorf("retrieval: negative PipelineDepth %d", c.PipelineDepth)
 	case c.Replicas > c.GPUs:
 		return fmt.Errorf("retrieval: %d replicas need %d GPUs, have %d (a shard cannot be mirrored twice on one GPU)",
 			c.Replicas, c.Replicas, c.GPUs)

@@ -146,8 +146,9 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb-hybrid")
-	sc := &s.scratch[g]
+	sc := s.scratchFor(g, bd)
 	pe := s.PGAS.PE(g)
+	pe.SetSlot(bd.Slot)
 	plan := bd.Plan
 	view := plan.Cache
 	dv := plan.Dedup
@@ -258,14 +259,16 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 			pe.PutVectors(s.PGAS.PE(target), vecs, vecBytes)
 		}
 	}
-	pe.Quiet(p)
+	pe.QuietSlot(p, bd.Slot)
 	bk.Accumulate(CompFused, p.Now()-batchStart)
 
 	// --- Collective over the collective-routed pairs only. Every rank
 	// enters (bulk-synchronous contract), even with all-zero segments; the
 	// entry rendezvous guarantees every owner's stores have quieted before
-	// the expansion phase reads staged rows.
+	// the expansion phase reads staged rows. Like the baseline's, this
+	// launch is stream-ordered behind the exchange gate under pipelining.
 	commStart := p.Now()
+	s.awaitExchangeGate(p, g)
 	var recvBuf []float32
 	if cfg.Functional {
 		sendSegs := scratchSlice(&sc.sendSegs, cfg.GPUs)

@@ -66,8 +66,9 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb-fused")
-	sc := &s.scratch[g]
+	sc := s.scratchFor(g, bd)
 	pe := s.PGAS.PE(g)
+	pe.SetSlot(bd.Slot)
 	fg := s.LocalTables(g)
 	lo, hi := s.Minibatch(g)
 	mini := hi - lo
@@ -212,7 +213,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 	if agg != nil {
 		agg.FlushAll()
 	}
-	pe.Quiet(p)
+	pe.QuietSlot(p, bd.Slot)
 	bk.Accumulate(CompFused, p.Now()-batchStart)
 
 	if bd.dedupBarrier != nil {

@@ -77,10 +77,11 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 						label += "+cache"
 					}
 					t.Run(label, func(t *testing.T) {
-						run := func(functional bool) *Result {
+						run := func(functional bool, depth int) *Result {
 							cfg := clusterTestConfig(4)
 							cfg.Dedup = dedup
 							cfg.Functional = functional
+							cfg.PipelineDepth = depth
 							if cached {
 								cfg.CacheFraction = 1e-8
 							}
@@ -100,18 +101,34 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 								want := mustReference(t, s, res.LastBatch)
 								for g := range want {
 									if !tensor.Equal(res.Final[g], want[g]) {
-										t.Fatalf("GPU %d differs from reference (max diff %g)",
-											g, tensor.MaxAbsDiff(res.Final[g], want[g]))
+										t.Fatalf("depth %d: GPU %d differs from reference (max diff %g)",
+											depth, g, tensor.MaxAbsDiff(res.Final[g], want[g]))
 									}
 								}
 							}
 							return res
 						}
-						fRes := run(true)
-						tRes := run(false)
-						if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
-							t.Errorf("functional total %g != timing total %g",
-								fRes.TotalTime, tRes.TotalTime)
+						// The gate holds at every pipeline depth: functional
+						// output == serial reference, timing run == functional
+						// run's simulated time, and the pipelined schedule's
+						// outputs are byte-identical to the serial schedule's.
+						fSerial := run(true, 1)
+						for _, depth := range []int{1, 2} {
+							fRes := fSerial
+							if depth > 1 {
+								fRes = run(true, depth)
+								for g := range fRes.Final {
+									if !tensor.Equal(fRes.Final[g], fSerial.Final[g]) {
+										t.Fatalf("depth %d: GPU %d differs from the depth-1 run (max diff %g)",
+											depth, g, tensor.MaxAbsDiff(fRes.Final[g], fSerial.Final[g]))
+									}
+								}
+							}
+							tRes := run(false, depth)
+							if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
+								t.Errorf("depth %d: functional total %g != timing total %g",
+									depth, fRes.TotalTime, tRes.TotalTime)
+							}
 						}
 					})
 				}

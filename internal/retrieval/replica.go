@@ -79,7 +79,7 @@ func (b *Baseline) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, b
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb")
-	sc := &s.scratch[g]
+	sc := s.scratchFor(g, bd)
 	plan := bd.Plan
 	vb := float64(cfg.VectorBytes())
 	lo, hi := s.Minibatch(g)
@@ -135,8 +135,10 @@ func (b *Baseline) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, b
 	stream.Synchronize(p)
 	bk.Accumulate(CompSyncUnpack, p.Now()-syncStart)
 
-	// --- Phase 2: all_to_all_single with Serve-derived segment sizes.
+	// --- Phase 2: all_to_all_single with Serve-derived segment sizes. The
+	// collective is stream-ordered behind the exchange gate under pipelining.
 	commStart := p.Now()
+	s.awaitExchangeGate(p, g)
 	var recvBuf []float32
 	if cfg.Functional {
 		sendSegs := scratchSlice(&sc.sendSegs, cfg.GPUs)
@@ -244,8 +246,9 @@ func (b *PGASFused) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, 
 	cfg := s.Cfg
 	dev := s.Devs[g]
 	stream := dev.Stream("emb-fused")
-	sc := &s.scratch[g]
+	sc := s.scratchFor(g, bd)
 	pe := s.PGAS.PE(g)
+	pe.SetSlot(bd.Slot)
 	plan := bd.Plan
 	vecBytes := cfg.VectorBytes()
 	fvb := float64(vecBytes)
@@ -339,7 +342,7 @@ func (b *PGASFused) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, 
 		}
 	}
 
-	pe.Quiet(p)
+	pe.QuietSlot(p, bd.Slot)
 	bk.Accumulate(CompFused, p.Now()-batchStart)
 
 	syncStart := p.Now()

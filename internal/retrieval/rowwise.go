@@ -106,7 +106,7 @@ func (b *RowWiseBaseline) functionalPartials(s *System, g int, bd *BatchData) []
 	cfg := s.Cfg
 	coll := s.globalColl
 	rlo, rhi := s.RowShard(g)
-	sc := &s.scratch[g]
+	sc := s.scratchFor(g, bd)
 	out := scratchSlice(&sc.partials, cfg.BatchSize*cfg.TotalTables*cfg.Dim)
 	clear(out) // arena reuse: samples with no row in this shard must stay zero
 	scratch := scratchSlice(&sc.vec, cfg.Dim)
@@ -139,6 +139,7 @@ func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk 
 	dev := s.Devs[g]
 	stream := dev.Stream("emb-rowwise-fused")
 	pe := s.PGAS.PE(g)
+	pe.SetSlot(bd.Slot)
 	peers := cfg.GPUs - 1
 	vecBytes := cfg.VectorBytes()
 
@@ -148,7 +149,7 @@ func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk 
 	kernelTotal := rowWiseKernelCost(s, g, bd) // same gather work; stores leave as atomics
 	var scratch []float32
 	if cfg.Functional {
-		scratch = scratchSlice(&s.scratch[g].vec, cfg.Dim)
+		scratch = scratchSlice(&s.scratchFor(g, bd).vec, cfg.Dim)
 	}
 	chunks := cfg.ChunksPerKernel
 	for k := 0; k < chunks; k++ {
@@ -178,7 +179,7 @@ func (b *RowWisePGAS) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk 
 			pe.PutVectors(s.PGAS.PE(peer), vecs, vecBytes)
 		}
 	}
-	pe.Quiet(p)
+	pe.QuietSlot(p, bd.Slot)
 	bk.Accumulate(CompFused, p.Now()-batchStart)
 
 	syncStart := p.Now()

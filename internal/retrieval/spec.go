@@ -202,7 +202,8 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		Plan:       spec.plan,
 		gen:        gen,
 		gradRng:    sim.NewRNG(cfg.Seed ^ 0x6AAD),
-		scratch:    make([]gpuScratch, cfg.GPUs),
+		scratch:    make([]gpuScratch, cfg.GPUs*cfg.PipelineSlots()),
+		gates:      make([]sim.Time, cfg.GPUs),
 		faultBatch: -1,
 	}
 	if spec.hw.Nodes > 0 {
@@ -222,6 +223,12 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("retrieval: wiring communicator: %w", err)
 		}
+	}
+	if slots := cfg.PipelineSlots(); slots > 1 {
+		// Double-buffered symmetric heap: each PE's staging region is split
+		// into per-slot halves, so quiet can retire one slot's stores while
+		// the next slot's are still in flight.
+		s.PGAS.ConfigureSlots(slots)
 	}
 	if sched := spec.hw.Faults; !sched.Empty() && spec.hw.Nodes > 0 && sched.HasProxyDrops() {
 		// Delivery-loss hooks only exist on cluster machines: drops model

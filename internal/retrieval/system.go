@@ -155,9 +155,20 @@ type System struct {
 	// sequence so faults unfold across a serving session.
 	faultOffset int
 
-	// scratch holds each GPU's reusable per-batch working buffers; only GPU
-	// g's simulated process touches scratch[g].
+	// scratch holds each GPU's reusable per-batch working buffers, one arena
+	// per (GPU, pipeline slot): scratch[g*slots+k] belongs to GPU g's slot k,
+	// and only GPU g's simulated process touches it. With pipelining off
+	// (slots == 1) this is exactly one arena per GPU.
 	scratch []gpuScratch
+
+	// gates[g] is GPU g's exchange gate: the earliest simulated time its next
+	// collective exchange may launch. The DLRM scheduler points it at the
+	// dense stream's pending-kernel horizon before each pipelined batch,
+	// modelling NCCL's stream-ordered launch semantics — the all-to-all
+	// cannot pass compute kernels already queued on the stream, while PGAS
+	// one-sided stores (issued from inside the fused gather kernel) can.
+	// All zeros unless the pipelined scheduler sets them.
+	gates []sim.Time
 
 	// planScr is the route-plan compiler's per-run arena (host-side; see
 	// plan.go).
@@ -298,6 +309,11 @@ func (s *System) Collection(g int) (*embedding.Collection, error) {
 // pooling summary (timing), plus real indices and output buffers in
 // functional mode.
 type BatchData struct {
+	// Slot is the batch's pipeline slot (batch index modulo the effective
+	// pipeline depth): the index of the per-GPU scratch arena, route-plan
+	// arena and PGAS staging region this batch borrows. Always 0 when
+	// pipelining is off.
+	Slot int
 	// Summary is the pooling structure driving the timing model.
 	Summary *workload.Summary
 	// Sparse is the materialised input batch (nil in timing mode).
@@ -380,6 +396,40 @@ func (s *System) ApplyFaults(batch int) {
 	}
 }
 
+// PipelineDepth returns the run's effective inter-batch pipeline depth: the
+// configured Config.PipelineDepth normalized to >= 1, forced to 1 when a
+// fault schedule is installed — fault windows are defined against a lockstep
+// batch sequence, and letting GPUs skew across batches would make "the
+// machine's state during batch N" ambiguous.
+func (s *System) PipelineDepth() int {
+	if !s.HW.Faults.Empty() {
+		return 1
+	}
+	return s.Cfg.PipelineSlots()
+}
+
+// scratchFor returns GPU g's scratch arena for bd's pipeline slot. Only GPU
+// g's simulated process may use the returned arena, and only while bd is the
+// batch in flight on that slot.
+func (s *System) scratchFor(g int, bd *BatchData) *gpuScratch {
+	return &s.scratch[g*s.Cfg.PipelineSlots()+bd.Slot]
+}
+
+// SetExchangeGate marks the earliest simulated time GPU g's next collective
+// exchange may launch. The pipelined DLRM scheduler points it at the dense
+// stream's pending-kernel horizon; a zero gate is a no-op. Collective-based
+// backends consume it at their exchange launch point; PGAS one-sided stores
+// ignore it by design.
+func (s *System) SetExchangeGate(g int, at sim.Time) { s.gates[g] = at }
+
+// awaitExchangeGate stalls p until GPU g's exchange gate opens. The stall is
+// paid inside the caller's communication phase, so it lands in CompComm.
+func (s *System) awaitExchangeGate(p *sim.Proc, g int) {
+	if at := s.gates[g]; at > 0 {
+		p.WaitUntil(at)
+	}
+}
+
 // SetFaultOffset shifts this run's batch indices by off on the fault
 // schedule's timeline: internal batch b is treated as schedule batch b+off
 // by ApplyFaults, the route-plan compiler's replica selection, and the proxy
@@ -391,7 +441,7 @@ func (s *System) SetFaultOffset(off int) { s.faultOffset = off }
 // NextBatchData draws the next batch in the mode the system was built for.
 func (s *System) NextBatchData() (*BatchData, error) {
 	defer func() { s.batchSeq++ }()
-	bd := &BatchData{}
+	bd := &BatchData{Slot: s.batchSeq % s.PipelineDepth()}
 	if !s.Cfg.Functional {
 		if s.cacheEnabled() || s.dedupEnabled() {
 			// The route-plan compiler needs real indices; materialise the
@@ -476,8 +526,11 @@ type Backend interface {
 	// Name labels the backend in results ("baseline", "pgas-fused", ...).
 	Name() string
 	// RunBatch executes one batch on GPU g's process and records component
-	// times into bk. All GPUs enter at the same simulated time (the caller
-	// barriers between batches).
+	// times into bk. With pipelining off the caller barriers between batches,
+	// so all GPUs enter at the same simulated time; with PipelineDepth > 1
+	// the caller's sliding-window rendezvous allows up to depth-1 batches of
+	// skew between GPUs, and each batch's slot resources (scratch arena,
+	// staging region) are private to that batch until it retires.
 	RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *trace.Breakdown)
 }
 
@@ -580,6 +633,11 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 	}
 
 	barrier := sim.NewBarrier(s.Env, s.Cfg.GPUs)
+	depth := s.PipelineDepth()
+	var win *sim.Window
+	if depth > 1 {
+		win = sim.NewWindow(s.Env, s.Cfg.GPUs, depth)
+	}
 	start := s.Env.Now()
 	var runErr error
 	for g := 0; g < s.Cfg.GPUs; g++ {
@@ -590,6 +648,19 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 					runErr = fmt.Errorf("retrieval: GPU %d: %v", g, r)
 				}
 			}()
+			if win != nil {
+				// Pipelined: the sliding window lets this GPU run up to
+				// depth-1 batches ahead of the slowest one, so a fast GPU's
+				// next exchange overlaps a slow GPU's current batch. Fault
+				// schedules force depth 1, so ApplyFaults never runs here.
+				for bi, bd := range batches {
+					win.Enter(p, bi)
+					b.RunBatch(s, p, g, bd, res.PerGPU[g])
+					win.Retire(g)
+				}
+				barrier.Await(p) // final rendezvous so TotalTime is the makespan
+				return
+			}
 			for bi, bd := range batches {
 				barrier.Await(p)
 				s.ApplyFaults(bi)

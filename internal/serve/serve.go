@@ -297,6 +297,24 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 		kick()
 	})
 
+	// Pipelined dispatch: with PipelineDepth > 1 the dispatcher keeps up to
+	// depth device batches in flight — it hands the next batch to the
+	// accelerator as soon as the previous one's EMB exchange stage drains,
+	// instead of idling until the full pipeline completes. Fault schedules
+	// force depth 1: their windows are expressed against the serial dispatch
+	// sequence.
+	depth := s.base.PipelineSlots()
+	if !s.hw.Faults.Empty() {
+		depth = 1
+	}
+	var (
+		completions []sim.Time
+		dispatched  int
+	)
+	if depth > 1 {
+		completions = make([]sim.Time, depth)
+	}
+
 	env.Go("dispatcher", func(p *sim.Proc) {
 		for {
 			if len(queue) == 0 {
@@ -327,6 +345,11 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 						continue
 					}
 				}
+			}
+			// In-flight cap: slot (dispatched % depth) is free only once the
+			// batch that last used it has fully completed.
+			if depth > 1 && dispatched >= depth {
+				p.WaitUntil(completions[(dispatched-depth)%depth])
 			}
 			n := len(queue)
 			if n > s.cfg.MaxBatch {
@@ -371,6 +394,30 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 				res.Resilience.Drops += pe.Drops()
 				res.Resilience.Retries += pe.Retries()
 				res.Resilience.Exhausted += pe.RetriesExhausted()
+			}
+			if depth > 1 {
+				// The batch completes plRes.TotalTime from now; its requests
+				// retire then (a scheduled completion event — the event heap's
+				// FIFO tie-break keeps completion order deterministic). The
+				// dispatcher itself only blocks for the EMB exchange stage,
+				// the resource the next dispatch actually contends for.
+				done := p.Now() + sim.Time(plRes.TotalTime)
+				completions[dispatched%depth] = done
+				dispatched++
+				env.Schedule(done, func() {
+					for _, arr := range taken {
+						res.Latencies = append(res.Latencies, sim.Duration(done-arr))
+					}
+					res.Completed += n
+				})
+				res.Dispatches++
+				res.PaddedSamples += shape - n
+				occupancy := plRes.EMBTime
+				if plRes.TotalTime < occupancy {
+					occupancy = plRes.TotalTime
+				}
+				p.Wait(occupancy)
+				continue
 			}
 			p.Wait(plRes.TotalTime)
 			done := p.Now()

@@ -319,3 +319,68 @@ func TestServerValidation(t *testing.T) {
 		t.Fatal("MaxBatch above base batch size accepted")
 	}
 }
+
+// Pipelined dispatch: with PipelineDepth > 1 the dispatcher keeps multiple
+// device batches in flight. The run must stay deterministic (same seed ⇒
+// byte-identical Result), conserve every request, and drain the queue no
+// later than the serial dispatcher does.
+func TestServingPipelinedDeterminism(t *testing.T) {
+	run := func(depth int) *Result {
+		base := serveTestConfig()
+		base.PipelineDepth = depth
+		return runOnce(t, base, serveTestServeConfig(), &retrieval.PGASFused{})
+	}
+	serial := run(1)
+	for _, depth := range []int{2, 3} {
+		a, b := run(depth), run(depth)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("depth %d: same-seed serving runs diverged:\n%+v\n%+v", depth, a, b)
+		}
+		if a.Completed == 0 {
+			t.Fatalf("depth %d: no requests completed; test exercises nothing", depth)
+		}
+		if a.Offered != a.Admitted+a.Dropped {
+			t.Fatalf("depth %d: offered %d != admitted %d + dropped %d",
+				depth, a.Offered, a.Admitted, a.Dropped)
+		}
+		if a.Completed != a.Admitted {
+			t.Fatalf("depth %d: completed %d != admitted %d after drain", depth, a.Completed, a.Admitted)
+		}
+		if len(a.Latencies) != a.Completed {
+			t.Fatalf("depth %d: %d latency samples for %d completions", depth, len(a.Latencies), a.Completed)
+		}
+		t.Logf("depth %d: completed %d in makespan %.3fms (serial: %d in %.3fms), goodput %.0f vs %.0f rps",
+			depth, a.Completed, float64(a.Makespan)*1e3, serial.Completed, float64(serial.Makespan)*1e3,
+			a.Goodput(), serial.Goodput())
+	}
+}
+
+// Under saturating load the pipelined dispatcher's overlap is what sets the
+// service rate: keeping a second batch in flight while the first drains its
+// dense tail must not lower goodput, and the queue must drain no later.
+func TestServingPipelinedGoodput(t *testing.T) {
+	run := func(depth int) *Result {
+		base := serveTestConfig()
+		base.PipelineDepth = depth
+		cfg := serveTestServeConfig()
+		cfg.Rate = 20000 // saturate: the dispatcher, not arrivals, is the bottleneck
+		cfg.QueueCap = 256
+		return runOnce(t, base, cfg, &retrieval.PGASFused{})
+	}
+	serial := run(1)
+	piped := run(2)
+	if piped.Completed == 0 {
+		t.Fatal("pipelined run completed nothing")
+	}
+	if piped.Makespan > serial.Makespan {
+		t.Errorf("pipelined makespan %.3fms exceeds serial %.3fms",
+			float64(piped.Makespan)*1e3, float64(serial.Makespan)*1e3)
+	}
+	if piped.Goodput() < serial.Goodput() {
+		t.Errorf("pipelined goodput %.0f rps below serial %.0f rps",
+			piped.Goodput(), serial.Goodput())
+	}
+	t.Logf("saturated: serial %d reqs / %.3fms (%.0f rps), depth-2 %d reqs / %.3fms (%.0f rps)",
+		serial.Completed, float64(serial.Makespan)*1e3, serial.Goodput(),
+		piped.Completed, float64(piped.Makespan)*1e3, piped.Goodput())
+}

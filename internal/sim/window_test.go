@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWindowDepth1IsLockstep: with depth 1 no party may start round r before
+// every party retired round r-1 — the entry times must match a Barrier run.
+func TestWindowDepth1IsLockstep(t *testing.T) {
+	const parties, rounds = 3, 4
+	// Party g spends (g+1)*10 time units per round.
+	runEntries := func(depth int) [][]Time {
+		e := NewEnv()
+		w := NewWindow(e, parties, depth)
+		entries := make([][]Time, parties)
+		for g := 0; g < parties; g++ {
+			g := g
+			entries[g] = make([]Time, 0, rounds)
+			e.Go(fmt.Sprintf("p%d", g), func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					w.Enter(p, r)
+					entries[g] = append(entries[g], p.Now())
+					p.Wait(Duration((g + 1) * 10))
+					w.Retire(g)
+				}
+			})
+		}
+		e.Run()
+		return entries
+	}
+	entries := runEntries(1)
+	for r := 0; r < rounds; r++ {
+		// Lockstep: everyone enters round r at the slowest party's finish time.
+		want := Time(r * 30) // slowest party takes 30/round
+		for g := 0; g < parties; g++ {
+			if entries[g][r] != want {
+				t.Errorf("depth 1: party %d entered round %d at %g, want %g", g, r, entries[g][r], want)
+			}
+		}
+	}
+}
+
+// TestWindowDepth2AllowsOneRoundOfSkew: a fast party may run one round ahead
+// of the slowest, but never two.
+func TestWindowDepth2AllowsOneRoundOfSkew(t *testing.T) {
+	const rounds = 6
+	e := NewEnv()
+	w := NewWindow(e, 2, 2)
+	var fastEntries, slowRetired []Time
+	e.Go("fast", func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			w.Enter(p, r)
+			fastEntries = append(fastEntries, p.Now())
+			p.Wait(1)
+			w.Retire(0)
+		}
+	})
+	e.Go("slow", func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			w.Enter(p, r)
+			p.Wait(10)
+			w.Retire(1)
+			slowRetired = append(slowRetired, p.Now())
+		}
+	})
+	e.Run()
+	// Round 0 and 1 start unblocked (depth 2); round r>=2 waits for the slow
+	// party to retire round r-2, i.e. at time 10*(r-1).
+	for r := 2; r < rounds; r++ {
+		want := slowRetired[r-2]
+		if fastEntries[r] != want {
+			t.Errorf("fast entered round %d at %g, want slow's retire of round %d at %g",
+				r, fastEntries[r], r-2, want)
+		}
+	}
+	if fastEntries[1] != 1 { // ran straight into round 1 after its own round 0
+		t.Errorf("fast entered round 1 at %g, want 1", fastEntries[1])
+	}
+}
+
+// TestWindowSteadyStateZeroAllocs pins the recycling contract: after warmup,
+// a window cycle must not allocate.
+func TestWindowSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test")
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		e := NewEnv()
+		w := NewWindow(e, 2, 2)
+		rounds := b.N + 2 // warmup rounds before the timer resets
+		for g := 0; g < 2; g++ {
+			g := g
+			e.Go(fmt.Sprintf("p%d", g), func(p *Proc) {
+				for r := 0; r < rounds; r++ {
+					w.Enter(p, r)
+					p.Wait(Duration(g + 1))
+					w.Retire(g)
+				}
+			})
+		}
+		for e.Pending() > 0 && e.EventsFired() < 64 {
+			e.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Run()
+	})
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Errorf("window steady state allocates %d allocs/op (want 0)", allocs)
+	}
+}
+
+func TestWindowPanicsOnBadArgs(t *testing.T) {
+	e := NewEnv()
+	for _, c := range []struct{ parties, depth int }{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWindow(%d, %d) did not panic", c.parties, c.depth)
+				}
+			}()
+			NewWindow(e, c.parties, c.depth)
+		}()
+	}
+}

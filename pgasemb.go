@@ -363,6 +363,26 @@ func RunAblationsContext(ctx context.Context, gpus int, opts ExperimentOptions) 
 	return experiments.RunAblationsContext(ctx, gpus, opts)
 }
 
+// PipelineDepthPoint is one (backend, depth) run of the inter-batch
+// pipelining sweep.
+type PipelineDepthPoint = experiments.PipelineDepthPoint
+
+// RunPipelineDepth sweeps the inter-batch pipeline depth for the baseline
+// and the accelerated backend on the weak-scaling DLRM workload.
+func RunPipelineDepth(gpus int, depths []int, opts ExperimentOptions) ([]PipelineDepthPoint, error) {
+	return experiments.RunPipelineDepth(gpus, depths, opts)
+}
+
+// RunPipelineDepthContext is RunPipelineDepth with cancellation.
+func RunPipelineDepthContext(ctx context.Context, gpus int, depths []int, opts ExperimentOptions) ([]PipelineDepthPoint, error) {
+	return experiments.RunPipelineDepthContext(ctx, gpus, depths, opts)
+}
+
+// PipelineDepthTable renders the pipeline-depth sweep as a table.
+func PipelineDepthTable(points []PipelineDepthPoint) *RenderedTable {
+	return experiments.PipelineDepthTable(points)
+}
+
 // Bench records host-side wall-clock timing of experiment runs; attach one
 // via ExperimentOptions.Bench and write its report with WriteJSON.
 type Bench = experiments.Bench
