@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench benchdiff bench-smoke chaos report fmt vet
+.PHONY: build test race bench benchdiff bench-smoke chaos placement report fmt vet
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ bench-smoke:
 # policy active.
 chaos:
 	$(GO) run ./cmd/chaos -out results
+
+# placement regenerates results/placement.{txt,csv}: the placement-policy
+# sweep (static / greedy / adaptive / adaptive+mirror x backend x Zipf) with
+# per-owner load imbalance, plan swaps and migration volume.
+placement:
+	$(GO) run ./cmd/placement -out results
 
 report:
 	$(GO) run ./cmd/report

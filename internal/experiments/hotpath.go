@@ -38,6 +38,27 @@ type hotPathCase struct {
 	hw       retrieval.HardwareParams
 	backend  retrieval.Backend
 	planOnly bool
+	// prime runs against the fresh system before the timer starts — the
+	// placement cases use it to install a mirror set, so the measured loop is
+	// the steady state AFTER the first rebalance, not the cold start.
+	prime func(*retrieval.System) error
+}
+
+// primePlacement observes two batches, asks the system's controller for one
+// rebalance decision, and re-attaches it so the plan swap and mirror set are
+// live — all through the public serving-layer hooks.
+func primePlacement(sys *retrieval.System) error {
+	for i := 0; i < 2; i++ {
+		if _, err := sys.NextBatchData(); err != nil {
+			return err
+		}
+	}
+	ctl := sys.Placement()
+	if _, err := ctl.Rebalance(); err != nil {
+		return err
+	}
+	sys.AttachPlacement(ctl)
+	return nil
 }
 
 // hotPathCases enumerates the per-batch hot paths tracked in bench.json.
@@ -54,6 +75,17 @@ func hotPathCases() []hotPathCase {
 	pipelined.PipelineDepth = 2
 	dedupCached := dedup
 	dedupCached.CacheFraction = 0.0001
+	placed := base
+	placed.AdaptivePlacement = true
+	placed.RebalanceEvery = 8
+	placedMirror := placed
+	placedMirror.HotTables = 2
+	pool := make([]int, placedMirror.TotalTables)
+	for f := range pool {
+		pool[f] = placedMirror.MaxPooling
+	}
+	pool[0], pool[1] = 64, 64 // two dominant tables: the mirror set
+	placedMirror.PerFeatureMaxPooling = pool
 	cluster := retrieval.ClusterHardware(2)
 	return []hotPathCase{
 		{name: "retrieval/baseline-batch", cfg: base, hw: hw, backend: &retrieval.Baseline{}},
@@ -64,6 +96,12 @@ func hotPathCases() []hotPathCase {
 		{name: "retrieval/pgas-fused-batch-replicas2", cfg: replicated, hw: hw, backend: &retrieval.PGASFused{}},
 		{name: "retrieval/pgas-fused-batch-pipelined2", cfg: pipelined, hw: hw, backend: &retrieval.PGASFused{}},
 		{name: "retrieval/hybrid-batch", cfg: base, hw: hw, backend: &retrieval.Hybrid{}},
+		// Adaptive placement: the same batch with the statistics collector on
+		// the compile pass, and with a live mirror set serving hot tables
+		// through the CacheView skip path.
+		{name: "retrieval/pgas-fused-batch-placement", cfg: placed, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/pgas-fused-batch-placement-mirror", cfg: placedMirror, hw: hw,
+			backend: &retrieval.PGASFused{}, prime: primePlacement},
 		// Multi-node: the same batch on a 2-node cluster, so the proxy
 		// staging and NIC launch paths are on the measured loop.
 		{name: "retrieval/multinode-baseline-batch", cfg: base, hw: cluster, backend: &retrieval.Baseline{}},
@@ -74,6 +112,8 @@ func hotPathCases() []hotPathCase {
 		{name: "retrieval/plan-compile", cfg: base, hw: hw, planOnly: true},
 		{name: "retrieval/plan-compile-dedup", cfg: dedup, hw: hw, planOnly: true},
 		{name: "retrieval/plan-compile-dedup-cached", cfg: dedupCached, hw: hw, planOnly: true},
+		{name: "retrieval/plan-compile-placement-mirror", cfg: placedMirror, hw: hw,
+			planOnly: true, prime: primePlacement},
 		{name: "retrieval/multinode-plan-compile-dedup", cfg: dedup, hw: cluster, planOnly: true},
 	}
 }
@@ -90,6 +130,9 @@ func RunHotPaths(b *Bench) error {
 		c := c
 		r := testing.Benchmark(func(tb *testing.B) {
 			sys, err := retrieval.NewSystem(c.cfg, c.hw)
+			if err == nil && c.prime != nil {
+				err = c.prime(sys)
+			}
 			if err != nil {
 				firstErr = fmt.Errorf("experiments: hot path %s: %w", c.name, err)
 				tb.SkipNow()

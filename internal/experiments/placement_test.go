@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/workload"
+)
+
+func placementTestOptions() PlacementOptions {
+	base := retrieval.Config{
+		GPUs:                 4,
+		TotalTables:          16,
+		Rows:                 512,
+		Dim:                  16,
+		BatchSize:            128,
+		MinPooling:           1,
+		MaxPooling:           4,
+		PerFeatureMaxPooling: []int{64, 64, 16, 16, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4},
+		Batches:              12,
+		Seed:                 2024,
+		ChunksPerKernel:      4,
+		Distribution:         workload.Zipf,
+	}
+	hw := retrieval.DefaultHardware()
+	return PlacementOptions{
+		ZipfExponents:  []float64{1.2},
+		Backends:       []retrieval.Backend{&retrieval.Baseline{}, &retrieval.PGASFused{}},
+		RebalanceEvery: 3,
+		Base:           &base,
+		HW:             &hw,
+	}
+}
+
+// The placement sweep must be byte-identical at any worker count.
+func TestPlacementDeterministicAcrossParallelism(t *testing.T) {
+	var results []*PlacementResult
+	var renders []string
+	for _, parallel := range []int{1, 4} {
+		o := placementTestOptions()
+		o.Parallel = parallel
+		res, err := RunPlacement(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		renders = append(renders, res.Table().CSV()+res.Table().Render())
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatalf("placement sweep differs between Parallel=1 and Parallel=4:\n%+v\nvs\n%+v",
+			results[0], results[1])
+	}
+	if renders[0] != renders[1] {
+		t.Fatalf("placement table differs between Parallel=1 and Parallel=4:\n%s\nvs\n%s",
+			renders[0], renders[1])
+	}
+}
+
+// Sanity on the sweep's content: the grid is complete, every point tracks
+// owner load, static is its own speedup unit, the adaptive policies actually
+// rebalance, and on the skewed workload they end better balanced than the
+// static plan.
+func TestPlacementSweepContent(t *testing.T) {
+	opts := placementTestOptions()
+	res, err := RunPlacement(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(opts.Backends) * len(opts.ZipfExponents) * len(PlacementPolicies)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("%d points, want %d", len(res.Points), wantPoints)
+	}
+	find := func(backend, policy string) PlacementPoint {
+		for _, p := range res.Points {
+			if p.Backend == backend && p.Policy == policy {
+				return p
+			}
+		}
+		t.Fatalf("point (%s, %s) missing", backend, policy)
+		return PlacementPoint{}
+	}
+	for _, p := range res.Points {
+		if p.TotalTime <= 0 {
+			t.Errorf("point (%s, %s) has no simulated time", p.Backend, p.Policy)
+		}
+		if p.MaxOwnerKeys <= 0 || p.Imbalance < 1 {
+			t.Errorf("point (%s, %s) tracked no owner load (max %d, imbalance %g)",
+				p.Backend, p.Policy, p.MaxOwnerKeys, p.Imbalance)
+		}
+		switch p.Policy {
+		case "static":
+			if p.Speedup != 1 {
+				t.Errorf("static point (%s) speedup %g, want 1", p.Backend, p.Speedup)
+			}
+			fallthrough
+		case "greedy":
+			if p.Rebalances != 0 || p.MigratedBytes != 0 {
+				t.Errorf("non-adaptive point (%s, %s) reports rebalancing: %d swaps, %g bytes",
+					p.Backend, p.Policy, p.Rebalances, p.MigratedBytes)
+			}
+		}
+	}
+	for _, backend := range []string{"baseline", "pgas-fused"} {
+		static := find(backend, "static")
+		for _, policy := range []string{"adaptive", "adaptive+mirror"} {
+			p := find(backend, policy)
+			if p.Rebalances == 0 && p.MigratedBytes == 0 {
+				t.Errorf("%s %s never rebalanced on the skewed workload", backend, policy)
+			}
+			if p.MaxOwnerKeys >= static.MaxOwnerKeys {
+				t.Errorf("%s %s max owner keys %d not below static %d",
+					backend, policy, p.MaxOwnerKeys, static.MaxOwnerKeys)
+			}
+			if p.Imbalance >= static.Imbalance {
+				t.Errorf("%s %s imbalance %.3f not below static %.3f",
+					backend, policy, p.Imbalance, static.Imbalance)
+			}
+		}
+	}
+}
+
+// Invalid sweeps are configuration errors, not silent empty tables.
+func TestPlacementValidation(t *testing.T) {
+	o := placementTestOptions()
+	o.Policies = []string{"nope"}
+	if _, err := RunPlacement(o); err == nil {
+		t.Fatal("unknown placement policy accepted")
+	}
+}

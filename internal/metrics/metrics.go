@@ -83,6 +83,32 @@ func WithinFactor(got, want, f float64) bool {
 	return got >= want/f && got <= want*f
 }
 
+// Imbalance returns max/mean of non-negative loads — the per-owner skew
+// measure the placement layer reports: 1.0 is perfectly balanced, GPUs is
+// the worst case (all load on one device). An empty or all-zero slice
+// returns 0 (the documented "no data" value — a run that served nothing has
+// no imbalance to report). It panics on negative loads, which indicate a
+// broken counter, not a value to compare.
+func Imbalance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, x := range xs {
+		if x < 0 {
+			panic(fmt.Sprintf("metrics: imbalance of negative load %g", x))
+		}
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(xs)))
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100) of xs by the
 // nearest-rank method on a sorted copy; serving latency tails (p50/p95/p99)
 // use it. An empty slice returns 0 (the documented "no data" value — a

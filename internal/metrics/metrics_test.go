@@ -151,3 +151,27 @@ func TestMonotone(t *testing.T) {
 	}()
 	Monotone([]float64{1}, 0, 0)
 }
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{4, 4, 4, 4}); got != 1 {
+		t.Fatalf("balanced loads: got %g, want 1", got)
+	}
+	if got := Imbalance([]float64{8, 0, 0, 0}); got != 4 {
+		t.Fatalf("all load on one of four: got %g, want 4", got)
+	}
+	if got := Imbalance([]float64{6, 2}); got != 1.5 {
+		t.Fatalf("got %g, want 1.5", got)
+	}
+	if got := Imbalance(nil); got != 0 {
+		t.Fatalf("empty slice: got %g, want 0", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero loads: got %g, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative load did not panic")
+		}
+	}()
+	Imbalance([]float64{1, -1})
+}

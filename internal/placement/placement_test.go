@@ -1,0 +1,340 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Tables:         8,
+		GPUs:           4,
+		TableBytes:     []int64{100, 100, 100, 100, 100, 100, 100, 100},
+		RebalanceEvery: 2,
+		Buckets:        4,
+	}
+}
+
+func testModel() CostModel {
+	return CostModel{GPUs: 4, VectorBytes: 256, HBMBandwidth: 900e9, WireBandwidth: 50e9}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no tables", func(c *Config) { c.Tables = 0 }},
+		{"no gpus", func(c *Config) { c.GPUs = 0 }},
+		{"table bytes mismatch", func(c *Config) { c.TableBytes = c.TableBytes[:3] }},
+		{"zero epoch", func(c *Config) { c.RebalanceEvery = 0 }},
+		{"negative hot", func(c *Config) { c.HotTables = -1 }},
+		{"all tables hot", func(c *Config) { c.HotTables = c.Tables }},
+		{"alpha out of range", func(c *Config) { c.Alpha = 1.5 }},
+		{"negative buckets", func(c *Config) { c.Buckets = -1 }},
+		{"bad concentration", func(c *Config) { c.MinConcentration = 2 }},
+		{"non-positive table bytes", func(c *Config) { c.TableBytes[2] = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.TableBytes = append([]int64(nil), cfg.TableBytes...)
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("expected a validation error")
+			}
+		})
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestStatsEMA(t *testing.T) {
+	st := NewStats(testConfig())
+	feed := func(loads []float64) {
+		st.BeginBatch()
+		for t, l := range loads {
+			st.AddTable(t, l)
+		}
+		st.EndBatch()
+	}
+	feed([]float64{10, 0, 0, 0, 0, 0, 0, 0})
+	if got := st.Loads()[0]; got != 10 {
+		t.Fatalf("first batch must seed the EMA directly: got %g", got)
+	}
+	feed([]float64{20, 4, 0, 0, 0, 0, 0, 0})
+	// alpha defaults to 0.25: 10 + 0.25*(20-10) = 12.5; 0 + 0.25*4 = 1.
+	if got := st.Loads()[0]; got != 12.5 {
+		t.Fatalf("EMA after second batch: got %g, want 12.5", got)
+	}
+	if got := st.Loads()[1]; got != 1 {
+		t.Fatalf("EMA after second batch: got %g, want 1", got)
+	}
+	if st.Batches() != 2 {
+		t.Fatalf("Batches = %d, want 2", st.Batches())
+	}
+}
+
+func TestStatsConcentration(t *testing.T) {
+	cfg := testConfig()
+	cfg.Buckets = 10
+	st := NewStats(cfg)
+	st.BeginBatch()
+	// Table 0: all traffic in one bucket. Table 1: perfectly flat.
+	st.AddBucket(0, 3, 100)
+	for b := 0; b < 10; b++ {
+		st.AddBucket(1, b, 10)
+	}
+	st.EndBatch()
+	if got := st.Concentration(0, 0.1); got != 1 {
+		t.Fatalf("single-bucket table concentration = %g, want 1", got)
+	}
+	if got := st.Concentration(1, 0.1); got != 0.1 {
+		t.Fatalf("flat table concentration = %g, want 0.1", got)
+	}
+	if got := st.Concentration(2, 0.1); got != 0 {
+		t.Fatalf("unobserved table concentration = %g, want 0", got)
+	}
+}
+
+func TestLPTBalancesObservedSkew(t *testing.T) {
+	// One scorching table plus seven cool ones: LPT must isolate the hot
+	// table and spread the rest.
+	loads := []float64{100, 1, 1, 1, 1, 1, 1, 1}
+	bytes := testConfig().TableBytes
+	plan, err := LPT(loads, bytes, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(plan, 8, bytes, 0); err != nil {
+		t.Fatal(err)
+	}
+	for g, shard := range plan {
+		for _, tb := range shard {
+			if tb == 0 && len(shard) != 1 {
+				t.Fatalf("hot table shares GPU %d with %v", g, shard)
+			}
+		}
+	}
+}
+
+func TestLPTRespectsCapacity(t *testing.T) {
+	loads := []float64{5, 4, 3, 2}
+	bytes := []int64{100, 100, 100, 100}
+	// Capacity for exactly one table per GPU forces a perfect spread even
+	// though load balance alone would pair the cold tables.
+	plan, err := LPT(loads, bytes, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, shard := range plan {
+		if len(shard) != 1 {
+			t.Fatalf("GPU %d holds %d tables under one-table capacity", g, len(shard))
+		}
+	}
+	if _, err := LPT(loads, bytes, 2, 100); err == nil {
+		t.Fatalf("4 tables cannot fit 2 GPUs at one table each; expected an error")
+	}
+}
+
+func TestHotSet(t *testing.T) {
+	loads := []float64{1, 9, 9, 3}
+	if got := HotSet(loads, 2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("HotSet = %v, want [1 2]", got)
+	}
+	// Ties break toward the lower id.
+	if got := HotSet([]float64{5, 5, 5}, 2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("tie-broken HotSet = %v, want [0 1]", got)
+	}
+	if got := HotSet(loads, 0); got != nil {
+		t.Fatalf("HotSet(k=0) = %v, want nil", got)
+	}
+}
+
+func TestMovesAndBytes(t *testing.T) {
+	old := [][]int{{0, 1}, {2, 3}}
+	new_ := [][]int{{0, 3}, {1, 2}}
+	moves := Moves(old, new_)
+	want := []Move{{Table: 1, From: 0, To: 1}, {Table: 3, From: 1, To: 0}}
+	if !reflect.DeepEqual(moves, want) {
+		t.Fatalf("Moves = %v, want %v", moves, want)
+	}
+	if got := MoveBytes(moves, []int64{10, 20, 30, 40}); got != 60 {
+		t.Fatalf("MoveBytes = %d, want 60", got)
+	}
+	if got := Moves(old, old); len(got) != 0 {
+		t.Fatalf("identity diff produced moves: %v", got)
+	}
+}
+
+func TestCostModelPrefersBalance(t *testing.T) {
+	m := testModel()
+	loads := []float64{100, 1, 1, 1, 1, 1, 1, 1}
+	skewed := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	balanced, err := LPT(loads, testConfig().TableBytes, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs, ss := m.Score(balanced, loads, nil), m.Score(skewed, loads, nil); bs.Total >= ss.Total {
+		t.Fatalf("balanced plan scored %g, skewed %g; balance must win", bs.Total, ss.Total)
+	}
+}
+
+func TestCostModelMirrorSplitsHotLoad(t *testing.T) {
+	m := testModel()
+	loads := []float64{100, 1, 1, 1, 1, 1, 1, 1}
+	plan := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	hot := make([]bool, 8)
+	hot[0] = true
+	plain := m.Score(plan, loads, nil)
+	mirrored := m.Score(plan, loads, hot)
+	if mirrored.MaxOwnerTime >= plain.MaxOwnerTime {
+		t.Fatalf("mirroring the hot table must cut the max owner time (%g vs %g)",
+			mirrored.MaxOwnerTime, plain.MaxOwnerTime)
+	}
+	if mirrored.WireBytes >= plain.WireBytes {
+		t.Fatalf("mirrored tables leave the wire (%g vs %g)", mirrored.WireBytes, plain.WireBytes)
+	}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.HotTables = 1
+	initial := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	c, err := NewController(cfg, testModel(), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Due(0) || c.Due(1) || !c.Due(2) || c.Due(3) || !c.Due(4) {
+		t.Fatalf("Due must fire at positive multiples of RebalanceEvery")
+	}
+
+	// No observations yet: a rebalance is a no-op.
+	rb, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Swapped || rb.Hot != nil {
+		t.Fatalf("rebalance with no stats must be a no-op: %+v", rb)
+	}
+
+	// Feed a heavily skewed epoch: table 0 is the hottest (it will be
+	// mirrored), and tables 2 and 3 — colocated on GPU 1 — carry the bulk
+	// of the unmirrorable load, so the LPT swap must separate them.
+	feed := func() {
+		st := c.Stats()
+		for batch := 0; batch < 2; batch++ {
+			st.BeginBatch()
+			st.AddTable(0, 100)
+			st.AddTable(2, 90)
+			st.AddTable(3, 80)
+			for _, tb := range []int{1, 4, 5, 6, 7} {
+				st.AddTable(tb, 1)
+			}
+			st.EndBatch()
+		}
+	}
+	feed()
+	rb, err = c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Swapped || len(rb.Moves) == 0 {
+		t.Fatalf("a skew-concentrated plan must be rebalanced: %+v", rb)
+	}
+	if err := ValidatePlan(rb.Plan, cfg.Tables, cfg.TableBytes, cfg.CapacityBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rb.Hot, []int{0}) {
+		t.Fatalf("hot set = %v, want [0]", rb.Hot)
+	}
+	if !reflect.DeepEqual(rb.NewMirrors, []int{0}) || rb.MirrorBytes != 100*3 {
+		t.Fatalf("table 0 must be newly mirrored to 3 GPUs: %+v", rb)
+	}
+	// Tables 2 and 3 must no longer share a GPU.
+	for _, shard := range rb.Plan {
+		has2, has3 := false, false
+		for _, tb := range shard {
+			has2 = has2 || tb == 2
+			has3 = has3 || tb == 3
+		}
+		if has2 && has3 {
+			t.Fatalf("heavy tables still colocated: %v", rb.Plan)
+		}
+	}
+	if c.Rebalances() != 1 {
+		t.Fatalf("Rebalances = %d, want 1", c.Rebalances())
+	}
+
+	// Same traffic again: the plan is already balanced, hysteresis holds
+	// it, and the already-installed mirror costs nothing new.
+	feed()
+	rb2, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb2.Swapped {
+		t.Fatalf("steady traffic must not thrash the plan: %+v", rb2)
+	}
+	if len(rb2.NewMirrors) != 0 || rb2.MirrorBytes != 0 {
+		t.Fatalf("unchanged hot set must not re-install mirrors: %+v", rb2)
+	}
+}
+
+func TestControllerDeterminism(t *testing.T) {
+	build := func() *Rebalance {
+		cfg := testConfig()
+		cfg.HotTables = 2
+		c, err := NewController(cfg, testModel(), [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := c.Stats()
+		for batch := 0; batch < 3; batch++ {
+			st.BeginBatch()
+			for tb := 0; tb < 8; tb++ {
+				st.AddTable(tb, float64((tb*7+batch)%11))
+				st.AddBucket(tb, tb%4, float64(tb))
+			}
+			st.EndBatch()
+		}
+		rb, err := c.Rebalance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rb
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical feeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestControllerMinConcentrationGatesMirrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.HotTables = 2
+	cfg.MinConcentration = 0.9
+	cfg.Buckets = 10
+	c, err := NewController(cfg, testModel(), [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	st.BeginBatch()
+	// Table 0: hot AND concentrated (one bucket). Table 1: hot but flat.
+	st.AddTable(0, 100)
+	st.AddBucket(0, 0, 100)
+	st.AddTable(1, 100)
+	for b := 0; b < 10; b++ {
+		st.AddBucket(1, b, 10)
+	}
+	st.EndBatch()
+	rb, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rb.Hot, []int{0}) {
+		t.Fatalf("only the concentrated table qualifies for a mirror: got %v", rb.Hot)
+	}
+}

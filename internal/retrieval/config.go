@@ -117,6 +117,31 @@ type Config struct {
 	// degraded links. 0 and 1 both mean no replication. Table-wise,
 	// dense-routing only (no Dedup, no CacheFraction).
 	Replicas int
+	// AdaptivePlacement enables the access-statistics-driven placement
+	// layer: the route-plan compiler feeds per-table and per-row-bucket
+	// lookup statistics to a placement controller, and every RebalanceEvery
+	// batches the run recomputes table placement from OBSERVED loads (LPT
+	// over the EMA, cost-model-gated with hysteresis), charges the shard
+	// migration as real NVLink/NIC traffic on the simulated clock, and swaps
+	// the effective plan at the batch boundary. Outputs are bit-exact with
+	// rebalancing on or off. Table-wise sharding only; forces pipeline
+	// depth 1 (a plan swap is defined against a lockstep batch sequence).
+	AdaptivePlacement bool
+	// RebalanceEvery is the adaptive-placement epoch length in batches.
+	// Required (positive) when AdaptivePlacement is set.
+	RebalanceEvery int
+	// HotTables additionally mirrors the top-K hottest OBSERVED tables on
+	// every GPU (selective replication — cheaper than the full-mirror
+	// Replicas): consumers pool mirrored vectors locally, exactly like a
+	// hot-row cache hit, and the mirror installs are charged as migration
+	// traffic. Requires AdaptivePlacement; mutually exclusive with
+	// CacheFraction (both claim the batch's hit-classification view).
+	HotTables int
+	// HotSetDriftEvery passes through to the workload generator: the Zipf
+	// hot set rotates to a different index-space region every this many
+	// batches (see workload.Config.HotSetDriftEvery). The shifting-traffic
+	// regime adaptive placement is built to chase. Zipf distribution only.
+	HotSetDriftEvery int
 	// PipelineDepth enables inter-batch software pipelining: scratch arenas,
 	// route plans and the PGAS staging region are replicated across this many
 	// slots, and the global inter-batch barrier relaxes to a sliding-window
@@ -190,6 +215,30 @@ func (c Config) Validate() error {
 	case c.Replicas > 1 && c.CacheFraction > 0:
 		return fmt.Errorf("retrieval: shard replication does not compose with the hot-row cache " +
 			"(replicated shards already serve remote rows locally; cache hit state would diverge across replicas)")
+	case c.AdaptivePlacement && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: adaptive placement requires table-wise sharding (row-wise shards are row ranges, not movable tables)")
+	case c.AdaptivePlacement && c.RebalanceEvery <= 0:
+		return fmt.Errorf("retrieval: AdaptivePlacement needs a positive RebalanceEvery epoch length, have %d", c.RebalanceEvery)
+	case !c.AdaptivePlacement && c.RebalanceEvery != 0:
+		return fmt.Errorf("retrieval: RebalanceEvery %d is set but AdaptivePlacement is off", c.RebalanceEvery)
+	case c.HotTables < 0:
+		return fmt.Errorf("retrieval: negative HotTables %d", c.HotTables)
+	case c.HotTables > 0 && !c.AdaptivePlacement:
+		return fmt.Errorf("retrieval: HotTables mirrors the hottest OBSERVED tables; it requires AdaptivePlacement")
+	case c.HotTables >= c.TotalTables:
+		return fmt.Errorf("retrieval: HotTables %d must leave at least one unmirrored table (%d total)",
+			c.HotTables, c.TotalTables)
+	case c.AdaptivePlacement && c.Replicas > 1:
+		return fmt.Errorf("retrieval: adaptive placement does not compose with full-mirror Replicas " +
+			"(both re-route reads; use HotTables for selective replication instead)")
+	case c.HotTables > 0 && c.CacheFraction > 0:
+		return fmt.Errorf("retrieval: hot-table mirrors do not compose with the hot-row cache " +
+			"(both claim the batch's hit-classification view; a mirrored table needs no cache)")
+	case c.AdaptivePlacement && c.CacheFraction > 0:
+		return fmt.Errorf("retrieval: adaptive placement does not compose with the hot-row cache " +
+			"(cache residency is keyed by owner; a plan swap would invalidate every cached row)")
+	case c.HotSetDriftEvery < 0:
+		return fmt.Errorf("retrieval: negative HotSetDriftEvery %d", c.HotSetDriftEvery)
 	}
 	if c.PerFeatureRows != nil {
 		for f, r := range c.PerFeatureRows {
@@ -229,6 +278,16 @@ func (c Config) tableRows(fid int) int {
 // VectorBytes returns the wire payload of one output embedding vector.
 func (c Config) VectorBytes() int { return 4 * c.Dim }
 
+// tableBytesAll returns every table's device-memory footprint, indexed by
+// global feature id — the placement layer's migration and capacity unit.
+func (c Config) tableBytesAll() []int64 {
+	out := make([]int64, c.TotalTables)
+	for fid := range out {
+		out[fid] = int64(c.tableRows(fid)) * int64(c.Dim) * 4
+	}
+	return out
+}
+
 // cacheSlotBytes is the per-cached-row device memory footprint: the row
 // values plus index/metadata overhead (key, slot bookkeeping).
 func (c Config) cacheSlotBytes() int { return c.Dim*4 + 16 }
@@ -267,6 +326,7 @@ func (c Config) workloadConfig() workload.Config {
 		IndexSpace:           int64(c.Rows),
 		Distribution:         c.Distribution,
 		ZipfExponent:         c.ZipfExponent,
+		HotSetDriftEvery:     c.HotSetDriftEvery,
 		NumDense:             13,
 		Seed:                 c.Seed,
 	}

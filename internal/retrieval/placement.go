@@ -1,0 +1,323 @@
+package retrieval
+
+import (
+	"context"
+	"fmt"
+
+	"pgasemb/internal/embedding"
+	"pgasemb/internal/placement"
+	"pgasemb/internal/sim"
+)
+
+// Adaptive placement wiring. The placement package decides WHERE tables live
+// and WHICH are mirrored; this file connects those decisions to the machine:
+//
+//   - the route-plan compiler feeds the controller's statistics collector as
+//     a side effect of the single host-side pass every batch already makes;
+//   - mirrored hot tables are expressed as a CacheView, so every backend's
+//     existing hit-skipping path serves mirror reads with zero backend edits;
+//   - rebalance epochs run on the ONE simulated clock: migration traffic is
+//     charged to the NVLink pipes (or the NIC fabric across nodes) between
+//     epochs, and plans swap only at batch boundaries.
+//
+// Determinism: the controller sees identical statistics whether the run is
+// timing-only or functional (both feed from the materialised batch), so the
+// placement trajectory — and therefore every route plan — is a pure function
+// of (config, seed).
+
+// placementEnabled reports whether this run rebalances adaptively.
+func (s *System) placementEnabled() bool { return s.placeCtl != nil }
+
+// Placement returns the run's adaptive-placement controller (nil unless
+// Config.AdaptivePlacement, or a controller was attached).
+func (s *System) Placement() *placement.Controller { return s.placeCtl }
+
+// AttachPlacement installs a caller-owned controller and adopts its current
+// plan and mirror set — the serving layer's hook: one controller per session,
+// shared across the per-dispatch runs, so access statistics and placement
+// decisions survive dispatch boundaries. Call before the first batch.
+func (s *System) AttachPlacement(ctl *placement.Controller) {
+	s.placeCtl = ctl
+	if s.hotMirror == nil {
+		s.hotMirror = make([]bool, s.Cfg.TotalTables)
+	}
+	s.applyPlan(ctl.Plan())
+	s.setHot(ctl.Hot())
+}
+
+// hotMirrorActive reports whether any table is currently mirrored — the
+// route-plan compiler's gate for the mirror classification pass.
+func (s *System) hotMirrorActive() bool { return s.placeCtl != nil && s.hotCount > 0 }
+
+// resetOwnerLoad zeroes the run's served-load accounting (run start).
+func (s *System) resetOwnerLoad() {
+	for g := range s.ownerKeys {
+		s.ownerKeys[g] = 0
+		s.ownerBytes[g] = 0
+	}
+	s.rebalances = 0
+	s.migratedBytes = 0
+}
+
+// OwnerLoad returns the run's accumulated per-GPU served load so far (the
+// live counters behind Result.OwnerKeys/OwnerBytes; table-wise plans only,
+// nil otherwise). The serving layer reads it between dispatches.
+func (s *System) OwnerLoad() (keys []int64, bytes []float64) {
+	return s.ownerKeys, s.ownerBytes
+}
+
+// observeBatch folds one compiled batch into the run's load accounting and
+// (when adaptive placement is on) the controller's statistics. Called from
+// NextBatchData after compileRoutePlan, while bd.Sparse is still materialised
+// on placement-enabled runs. Allocates nothing.
+func (s *System) observeBatch(bd *BatchData) {
+	if s.ownerKeys != nil {
+		s.accumOwnerLoad(bd)
+	}
+	if s.placeCtl == nil {
+		return
+	}
+	st := s.placeCtl.Stats()
+	st.BeginBatch()
+	nb := st.NumBuckets()
+	for fid := 0; fid < s.Cfg.TotalTables; fid++ {
+		fb := bd.Sparse.FeatureByID(fid)
+		rows := s.Cfg.tableRows(fid)
+		var count int64
+		for smp := 0; smp < s.Cfg.BatchSize; smp++ {
+			bag := fb.Bag(smp)
+			count += int64(len(bag))
+			for _, raw := range bag {
+				row := embedding.HashIndex(raw, rows)
+				st.AddBucket(fid, int(uint64(row)*uint64(nb)/uint64(rows)), 1)
+			}
+		}
+		st.AddTable(fid, float64(count))
+	}
+	st.EndBatch()
+}
+
+// accumOwnerLoad charges one batch's embedding service work to the GPU that
+// performs it: for every (owner, consumer) pair, the serving GPU (the owner,
+// or its replica under Config.Replicas) pays the pooled-index gathers and the
+// vector bytes it reads out of HBM; vectors the consumer resolves locally —
+// cache hits and hot-mirror reads — are charged to the consumer instead,
+// which is exactly the load-spreading effect mirroring buys.
+func (s *System) accumOwnerLoad(bd *BatchData) {
+	sum := bd.Summary
+	vb := float64(s.Cfg.VectorBytes())
+	for o := 0; o < s.Cfg.GPUs; o++ {
+		for c := 0; c < s.Cfg.GPUs; c++ {
+			lo, hi := s.Minibatch(c)
+			idx := s.localIndexTotal(sum, o, lo, hi)
+			vecs := (hi - lo) * s.LocalTables(o)
+			if v := bd.Cache; v != nil && o != c {
+				hitVecs, hitIdx := v.WireVecs[o][c], v.WireIdx[o][c]
+				vecs -= hitVecs
+				idx -= hitIdx
+				s.ownerKeys[c] += hitIdx
+				s.ownerBytes[c] += float64(hitVecs) * vb
+			}
+			g := bd.Plan.ServeGPU(o, c)
+			s.ownerKeys[g] += idx
+			s.ownerBytes[g] += float64(vecs) * vb
+		}
+	}
+}
+
+// classifyHotMirror expresses the controller's mirror set as a CacheView:
+// every non-empty output vector of a mirrored table is a guaranteed hit for
+// every remote consumer, pooled locally from the consumer's mirror copy. The
+// backends' cache-skip arithmetic (cacheChunkOwner / cacheChunkConsumer) then
+// serves mirror reads without any backend knowing mirrors exist. In
+// functional mode the mirror copy is bit-identical to the primary, so the
+// pool happens straight off the owner's table object.
+func (s *System) classifyHotMirror(bd *BatchData) *CacheView {
+	cfg := s.Cfg
+	B := cfg.BatchSize
+	view := &CacheView{
+		Hit:      make([][]bool, cfg.GPUs),
+		WireVecs: make([][]int, cfg.GPUs),
+		WireIdx:  make([][]int64, cfg.GPUs),
+	}
+	for p := 0; p < cfg.GPUs; p++ {
+		view.Hit[p] = make([]bool, len(s.Plan[p])*B)
+		view.WireVecs[p] = make([]int, cfg.GPUs)
+		view.WireIdx[p] = make([]int64, cfg.GPUs)
+	}
+	for p := 0; p < cfg.GPUs; p++ {
+		for fi, fid := range s.Plan[p] {
+			if !s.hotMirror[fid] {
+				continue
+			}
+			fb := bd.Sparse.FeatureByID(fid)
+			for g := 0; g < cfg.GPUs; g++ {
+				if g == p {
+					continue
+				}
+				lo, hi := s.Minibatch(g)
+				for smp := lo; smp < hi; smp++ {
+					bag := fb.Bag(smp)
+					if len(bag) == 0 {
+						continue // zero vector; nothing to gather or send
+					}
+					view.Hit[p][fi*B+smp] = true
+					view.WireVecs[p][g]++
+					view.WireIdx[p][g] += int64(len(bag))
+					if cfg.Functional {
+						off := ((smp-lo)*cfg.TotalTables + fid) * cfg.Dim
+						out := bd.Final[g].Data()[off : off+cfg.Dim]
+						s.colls[p].Tables[fi].LookupPooled(bag, cfg.Pooling, out)
+					}
+				}
+			}
+		}
+	}
+	return view
+}
+
+// runAdaptive is RunContext's adaptive-placement body: batches are generated
+// and executed one rebalance epoch at a time, so every epoch's route plans
+// are compiled against the placement that actually executes it, and the
+// controller decides between epochs with the epoch's statistics folded in.
+// Migration traffic from a swap is charged to the fabric before the next
+// epoch starts.
+func (s *System) runAdaptive(ctx context.Context, b Backend, res *Result) (*Result, error) {
+	start := s.Env.Now()
+	var lastEpoch []*BatchData
+	for done := 0; done < s.Cfg.Batches; {
+		n := s.Cfg.RebalanceEvery
+		if rem := s.Cfg.Batches - done; rem < n {
+			n = rem
+		}
+		epoch := make([]*BatchData, n)
+		for i := range epoch {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			bd, err := s.NextBatchData()
+			if err != nil {
+				return nil, err
+			}
+			epoch[i] = bd
+		}
+		if err := s.runEpoch(ctx, b, res, epoch, done); err != nil {
+			return nil, err
+		}
+		done += n
+		lastEpoch = epoch
+		if done < s.Cfg.Batches && s.placeCtl.Due(done) {
+			if err := s.rebalanceNow(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.TotalTime = s.Env.Now() - start
+	s.finishResult(res, b, lastEpoch)
+	return res, nil
+}
+
+// rebalanceNow asks the controller for an epoch decision and applies it to
+// the machine: the plan swap (shards re-pointed, no weights copied), the
+// mirror-set update, and the migration traffic both cost — charged on the
+// simulated clock so rebalancing is never free in TotalTime.
+func (s *System) rebalanceNow(ctx context.Context) error {
+	reb, err := s.placeCtl.Rebalance()
+	if err != nil {
+		return fmt.Errorf("retrieval: rebalance: %w", err)
+	}
+	if reb.Swapped {
+		s.applyPlan(reb.Plan)
+		s.rebalances++
+	}
+	s.setHot(reb.Hot)
+	if reb.MoveBytes+reb.MirrorBytes > 0 {
+		s.migratedBytes += float64(reb.MoveBytes + reb.MirrorBytes)
+		if err := s.chargeMigration(ctx, reb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPlan installs a new sharding plan on the run: Plan is rewritten in
+// place, and in functional mode each GPU's collection is re-pointed at the
+// migrated tables' existing weight objects — a shard move transfers
+// ownership, it does not create new rows, so outputs stay bit-exact across
+// the swap. Device alloc ledgers keep the spec's worst-case reservations
+// (shard plus hot-mirror reserve); the controller's capacity bound is what
+// keeps every intermediate plan feasible.
+func (s *System) applyPlan(plan [][]int) {
+	for g := range plan {
+		s.Plan[g] = append(s.Plan[g][:0], plan[g]...)
+	}
+	if !s.Cfg.Functional {
+		return
+	}
+	for g := range s.Plan {
+		c := s.colls[g]
+		c.FeatureIDs = append(c.FeatureIDs[:0], s.Plan[g]...)
+		c.Tables = c.Tables[:0]
+		for _, fid := range s.Plan[g] {
+			c.Tables = append(c.Tables, s.tableByFID[fid])
+		}
+	}
+}
+
+// setHot installs the controller's mirror set on the run.
+func (s *System) setHot(hot []int) {
+	for i := range s.hotMirror {
+		s.hotMirror[i] = false
+	}
+	for _, t := range hot {
+		s.hotMirror[t] = true
+	}
+	s.hotCount = len(hot)
+}
+
+// chargeMigration prices a rebalance decision's data movement on the live
+// machine: each moved shard rides the direct NVLink pipe (or the NIC fabric
+// when source and destination sit on different nodes), each new mirror is
+// copied from its owner to every other GPU, and the clock advances to the
+// last delivery — the availability cost of rebalancing under traffic.
+func (s *System) chargeMigration(ctx context.Context, reb *placement.Rebalance) error {
+	tb := s.placeCtl.Config().TableBytes
+	var until sim.Time
+	send := func(src, dst int, bytes int64) {
+		if src == dst || bytes <= 0 {
+			return
+		}
+		var at sim.Time
+		if s.multiNode() && s.nodeOf(src) != s.nodeOf(dst) {
+			at = s.Net.Send(src, s.nodeOf(dst), int(bytes))
+		} else {
+			at = s.Fab.Pipe(src, dst).Offer(float64(bytes))
+		}
+		if at > until {
+			until = at
+		}
+	}
+	for _, mv := range reb.Moves {
+		send(mv.From, mv.To, tb[mv.Table])
+	}
+	if len(reb.NewMirrors) > 0 {
+		owner := make([]int, s.Cfg.TotalTables)
+		for g, shard := range reb.Plan {
+			for _, t := range shard {
+				owner[t] = g
+			}
+		}
+		for _, t := range reb.NewMirrors {
+			for g := 0; g < s.Cfg.GPUs; g++ {
+				send(owner[t], g, tb[t])
+			}
+		}
+	}
+	if until > s.Env.Now() {
+		s.Env.Go("placement-migrate", func(p *sim.Proc) { p.WaitUntil(until) })
+		if _, err := s.Env.RunContext(ctx); err != nil {
+			return fmt.Errorf("retrieval: migration wait: %w", err)
+		}
+	}
+	return nil
+}

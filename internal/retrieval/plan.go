@@ -205,6 +205,13 @@ func (s *System) compileRoutePlan(bd *BatchData) {
 		// sets, so the dedup pass below sees only cache misses.
 		plan.Cache = s.classifyCache(bd)
 		bd.Cache = plan.Cache
+	} else if s.hotMirrorActive() {
+		// Mirrored hot tables ride the same view: their vectors are
+		// guaranteed local hits for every consumer, so every backend's
+		// cache-skip path serves mirror reads unchanged. (Cache and adaptive
+		// placement are mutually exclusive by Config validation.)
+		plan.Cache = s.classifyHotMirror(bd)
+		bd.Cache = plan.Cache
 	}
 	if s.dedupEnabled() {
 		plan.Dedup = s.classifyDedup(bd)

@@ -67,6 +67,7 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 	for _, name := range RegisteredBackends() {
 		for _, m := range machines {
 			registryFaultGate(t, name, m.name, m.hw)
+			registryPlacementGate(t, name, m.name, m.hw)
 			for _, dedup := range []bool{false, true} {
 				for _, cached := range []bool{false, true} {
 					label := fmt.Sprintf("%s/%s", name, m.name)

@@ -2,6 +2,7 @@ package retrieval
 
 import (
 	"fmt"
+	"sort"
 
 	"pgasemb/internal/collective"
 	"pgasemb/internal/embedding"
@@ -9,6 +10,7 @@ import (
 	"pgasemb/internal/gpu"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/pgas"
+	"pgasemb/internal/placement"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/sparse"
 	"pgasemb/internal/workload"
@@ -152,6 +154,18 @@ func (spec *SystemSpec) allocPlan(g int) []namedAlloc {
 			int64(slots) * int64(cfg.cacheSlotBytes()),
 		})
 	}
+	if cfg.HotTables > 0 {
+		// Selective replication reserve: room for mirrors of the K largest
+		// tables — the hot set is chosen from observed load at run time, so
+		// the reserve is sized for the worst footprint it could pick.
+		bytes := append([]int64(nil), cfg.tableBytesAll()...)
+		sort.Slice(bytes, func(a, b int) bool { return bytes[a] > bytes[b] })
+		var mirrorBytes int64
+		for _, b := range bytes[:cfg.HotTables] {
+			mirrorBytes += b
+		}
+		allocs = append(allocs, namedAlloc{"hot-mirror", mirrorBytes})
+	}
 	if cfg.Replicas > 1 {
 		// Mirrors of the other shards replicated onto this GPU: shard o is
 		// mirrored on GPUs (o+k) mod GPUs for k < Replicas, so GPU g holds
@@ -271,5 +285,80 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 			}
 		}
 	}
+	if cfg.Sharding == TableWise {
+		s.ownerKeys = make([]int64, cfg.GPUs)
+		s.ownerBytes = make([]float64, cfg.GPUs)
+	}
+	if cfg.AdaptivePlacement {
+		// The run owns a mutable copy of the plan (rebalance epochs rewrite
+		// it); weights were created above in spec-plan order, so every run of
+		// this spec starts from identical tables regardless of how its
+		// placement later evolves.
+		plan := make([][]int, cfg.GPUs)
+		for g := range plan {
+			plan[g] = append([]int(nil), spec.plan[g]...)
+		}
+		s.Plan = plan
+		ctl, err := spec.NewPlacementController()
+		if err != nil {
+			return nil, err
+		}
+		s.placeCtl = ctl
+		s.hotMirror = make([]bool, cfg.TotalTables)
+		if cfg.Functional {
+			s.tableByFID = make([]*embedding.Table, cfg.TotalTables)
+			for g := range s.colls {
+				for i, fid := range s.colls[g].FeatureIDs {
+					s.tableByFID[fid] = s.colls[g].Tables[i]
+				}
+			}
+		}
+	}
 	return s, nil
+}
+
+// placementCapacity returns the per-GPU byte budget available to primary
+// shards under adaptive placement: device capacity minus the largest
+// non-shard reservation any GPU carries (output buffers, the hot-mirror
+// reserve, caches). Using the worst GPU's overhead keeps any plan the
+// controller accepts feasible on every device.
+func (spec *SystemSpec) placementCapacity() int64 {
+	var worst int64
+	for g := 0; g < spec.cfg.GPUs; g++ {
+		var other int64
+		for _, a := range spec.allocPlan(g) {
+			if a.name != "embedding-tables" {
+				other += a.bytes
+			}
+		}
+		if other > worst {
+			worst = other
+		}
+	}
+	return spec.hw.GPU.MemoryCapacity - worst
+}
+
+// NewPlacementController builds the adaptive-placement controller for this
+// spec's initial plan. NewRunWithSeed calls it per run; the serving layer
+// builds ONE per session and shares it across dispatch runs via
+// System.AttachPlacement, so statistics survive dispatch boundaries.
+func (spec *SystemSpec) NewPlacementController() (*placement.Controller, error) {
+	cfg := spec.cfg
+	pcfg := placement.Config{
+		Tables:         cfg.TotalTables,
+		GPUs:           cfg.GPUs,
+		TableBytes:     cfg.tableBytesAll(),
+		CapacityBytes:  spec.placementCapacity(),
+		RebalanceEvery: cfg.RebalanceEvery,
+		HotTables:      cfg.HotTables,
+	}
+	model := placement.CostModel{
+		GPUs:         cfg.GPUs,
+		VectorBytes:  cfg.VectorBytes(),
+		HBMBandwidth: spec.hw.GPU.HBMBandwidth,
+		// Two NVLink links per pair on the reference machine; the model only
+		// needs a consistent scale to compare plans, not an exact wire time.
+		WireBandwidth: 2 * spec.hw.Link.LinkBandwidth,
+	}
+	return placement.NewController(pcfg, model, spec.plan)
 }

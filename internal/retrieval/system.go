@@ -14,6 +14,7 @@ import (
 	"pgasemb/internal/metrics"
 	"pgasemb/internal/nvlink"
 	"pgasemb/internal/pgas"
+	"pgasemb/internal/placement"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/sparse"
 	"pgasemb/internal/tensor"
@@ -128,8 +129,11 @@ type System struct {
 	PGAS *pgas.Runtime
 	Comm *collective.Comm
 	// Net is the inter-node NIC interconnect; nil when HW.Nodes == 0.
-	Net  *fabric.Interconnect
-	Plan [][]int // Plan[g] = global feature IDs resident on GPU g (shared with Spec; read-only)
+	Net *fabric.Interconnect
+	// Plan[g] = global feature IDs resident on GPU g. Shared with the Spec
+	// and read-only — except under adaptive placement, where the run owns a
+	// deep copy that rebalance epochs swap at batch boundaries.
+	Plan [][]int
 
 	// cluster is the node geometry (zero value when HW.Nodes == 0).
 	cluster fabric.Cluster
@@ -177,6 +181,31 @@ type System struct {
 	// dedupStats accumulates the run's deduplication savings (classifyDedup
 	// folds one batch in at a time; host-side, so no synchronisation).
 	dedupStats metrics.DedupCounters
+
+	// Adaptive placement state (nil/zero unless Cfg.AdaptivePlacement).
+	// placeCtl owns the access statistics and rebalance decisions; the
+	// serving layer installs a session-shared controller via AttachPlacement
+	// so statistics survive across its one-batch dispatch runs.
+	placeCtl *placement.Controller
+	// tableByFID maps global feature ID -> table object so a plan swap
+	// re-points shard collections without touching weights (functional
+	// adaptive-placement runs only).
+	tableByFID []*embedding.Table
+	// hotMirror marks the tables currently mirrored on every GPU — the
+	// controller's hot set as of the last rebalance; hotCount counts the
+	// trues. Both change only at epoch boundaries.
+	hotMirror []bool
+	hotCount  int
+	// rebalances / migratedBytes summarise the run's plan swaps and the
+	// shard payload they moved between owners.
+	rebalances    int
+	migratedBytes float64
+
+	// ownerKeys/ownerBytes accumulate each GPU's served embedding load:
+	// keys gathered from its shard and bytes leaving its HBM on behalf of
+	// all consumers (table-wise plans only; nil otherwise).
+	ownerKeys  []int64
+	ownerBytes []float64
 
 	// Functional state (nil slices in timing mode).
 	colls []*embedding.Collection
@@ -398,11 +427,12 @@ func (s *System) ApplyFaults(batch int) {
 
 // PipelineDepth returns the run's effective inter-batch pipeline depth: the
 // configured Config.PipelineDepth normalized to >= 1, forced to 1 when a
-// fault schedule is installed — fault windows are defined against a lockstep
-// batch sequence, and letting GPUs skew across batches would make "the
-// machine's state during batch N" ambiguous.
+// fault schedule is installed or adaptive placement is enabled. Fault windows
+// are defined against a lockstep batch sequence, and rebalance epochs swap
+// the sharding plan at batch boundaries — in both cases letting GPUs skew
+// across batches would make "the machine's state during batch N" ambiguous.
 func (s *System) PipelineDepth() int {
-	if !s.HW.Faults.Empty() {
+	if !s.HW.Faults.Empty() || s.placementEnabled() {
 		return 1
 	}
 	return s.Cfg.PipelineSlots()
@@ -443,19 +473,22 @@ func (s *System) NextBatchData() (*BatchData, error) {
 	defer func() { s.batchSeq++ }()
 	bd := &BatchData{Slot: s.batchSeq % s.PipelineDepth()}
 	if !s.Cfg.Functional {
-		if s.cacheEnabled() || s.dedupEnabled() {
-			// The route-plan compiler needs real indices; materialise the
-			// batch, compile, then drop it — timing runs keep no data plane.
-			// The pooling stream (and so all timing inputs) is identical to
-			// what NextSummary would have produced.
+		if s.cacheEnabled() || s.dedupEnabled() || s.placementEnabled() {
+			// The route-plan compiler (and the placement statistics feed)
+			// needs real indices; materialise the batch, compile, then drop
+			// it — timing runs keep no data plane. The pooling stream (and
+			// so all timing inputs) is identical to what NextSummary would
+			// have produced.
 			bd.Sparse = s.gen.NextBatch()
 			bd.Summary = summaryFromBatch(bd.Sparse)
 			s.compileRoutePlan(bd)
+			s.observeBatch(bd)
 			bd.Sparse = nil
 			return bd, nil
 		}
 		bd.Summary = s.gen.NextSummary()
 		s.compileRoutePlan(bd)
+		s.observeBatch(bd)
 		return bd, nil
 	}
 	bd.Sparse = s.gen.NextBatch()
@@ -487,6 +520,7 @@ func (s *System) NextBatchData() (*BatchData, error) {
 	// it, and dedup classification (which runs after, so hit vectors never
 	// enter the key sets) sizes the staging buffers.
 	s.compileRoutePlan(bd)
+	s.observeBatch(bd)
 	return bd, nil
 }
 
@@ -586,6 +620,17 @@ type Result struct {
 	ProxyDrops            int64
 	ProxyRetries          int64
 	ProxyRetriesExhausted int64
+	// OwnerKeys[g] / OwnerBytes[g] are GPU g's served embedding load across
+	// the run: keys gathered from its shard and bytes leaving its HBM on
+	// behalf of all consumers. metrics.Imbalance over either quantifies how
+	// skewed the placement was. Table-wise sharding only; nil otherwise.
+	OwnerKeys  []int64
+	OwnerBytes []float64
+	// Rebalances counts adaptive-placement plan swaps; MigratedBytes is the
+	// total shard payload those swaps moved between owners (charged to the
+	// fabric on the simulated clock, so it also shows up in TotalTime).
+	Rebalances    int
+	MigratedBytes float64
 }
 
 // Run executes the configured number of batches under the given backend and
@@ -619,6 +664,13 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 	if s.Net != nil {
 		s.Net.Reset()
 	}
+	s.resetOwnerLoad()
+	if s.placementEnabled() {
+		// Adaptive placement runs epoch-chunked: batches are generated one
+		// rebalance epoch at a time so each epoch's route plans are compiled
+		// against the placement that will actually execute it.
+		return s.runAdaptive(ctx, b, res)
+	}
 
 	batches := make([]*BatchData, s.Cfg.Batches)
 	for i := range batches {
@@ -632,13 +684,25 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 		batches[i] = bd
 	}
 
+	start := s.Env.Now()
+	if err := s.runEpoch(ctx, b, res, batches, 0); err != nil {
+		return nil, err
+	}
+	res.TotalTime = s.Env.Now() - start
+	s.finishResult(res, b, batches)
+	return res, nil
+}
+
+// runEpoch executes the given batches on all GPUs — the inner loop of a run.
+// firstBatch offsets the fault schedule's batch indices for epoch-chunked
+// adaptive-placement runs, whose batches arrive one rebalance epoch at a time.
+func (s *System) runEpoch(ctx context.Context, b Backend, res *Result, batches []*BatchData, firstBatch int) error {
 	barrier := sim.NewBarrier(s.Env, s.Cfg.GPUs)
 	depth := s.PipelineDepth()
 	var win *sim.Window
 	if depth > 1 {
 		win = sim.NewWindow(s.Env, s.Cfg.GPUs, depth)
 	}
-	start := s.Env.Now()
 	var runErr error
 	for g := 0; g < s.Cfg.GPUs; g++ {
 		g := g
@@ -663,22 +727,31 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 			}
 			for bi, bd := range batches {
 				barrier.Await(p)
-				s.ApplyFaults(bi)
+				s.ApplyFaults(firstBatch + bi)
 				b.RunBatch(s, p, g, bd, res.PerGPU[g])
 			}
 			barrier.Await(p) // final rendezvous so TotalTime is the makespan
 		})
 	}
 	if _, err := s.Env.RunContext(ctx); err != nil {
-		return nil, fmt.Errorf("retrieval: %s run: %w", b.Name(), err)
+		return fmt.Errorf("retrieval: %s run: %w", b.Name(), err)
 	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	res.TotalTime = s.Env.Now() - start
+	return runErr
+}
+
+// finishResult fills the post-run summary fields shared by the lockstep and
+// adaptive-placement paths; batches is the final epoch's inputs (for the
+// functional last-batch capture).
+func (s *System) finishResult(res *Result, b Backend, batches []*BatchData) {
 	res.Breakdown = trace.MergeMax(res.PerGPU...)
 	res.CommTrace = s.commTrace(b)
 	res.DedupStats = s.dedupStats
+	if s.ownerKeys != nil {
+		res.OwnerKeys = append([]int64(nil), s.ownerKeys...)
+		res.OwnerBytes = append([]float64(nil), s.ownerBytes...)
+	}
+	res.Rebalances = s.rebalances
+	res.MigratedBytes = s.migratedBytes
 	if s.Net != nil {
 		res.NICMessages = s.Net.Messages()
 		res.NICPayloadBytes = s.Net.PayloadBytes()
@@ -695,7 +768,6 @@ func (s *System) RunContext(ctx context.Context, b Backend) (*Result, error) {
 		res.Final = last.Final
 		res.LastBatch = last.Sparse
 	}
-	return res, nil
 }
 
 // CommTracer is implemented by backends whose communication rides a single,

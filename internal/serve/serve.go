@@ -21,6 +21,7 @@ import (
 	"pgasemb/internal/cache"
 	"pgasemb/internal/dlrm"
 	"pgasemb/internal/metrics"
+	"pgasemb/internal/placement"
 	"pgasemb/internal/retrieval"
 	"pgasemb/internal/sim"
 )
@@ -117,6 +118,12 @@ type Server struct {
 	specs   map[int]*retrieval.SystemSpec
 	model   *dlrm.Model
 	caches  *cache.Set
+	// placeCtl is the session-shared adaptive-placement controller (nil
+	// unless the base configuration enables AdaptivePlacement): one
+	// controller per serving session, attached to every dispatched run, so
+	// access statistics and placement decisions survive dispatch boundaries
+	// — the rebalance cadence is counted in DISPATCHES here, not batches.
+	placeCtl *placement.Controller
 }
 
 // NewServer validates and wires a serving setup. The base configuration's
@@ -159,6 +166,16 @@ func NewServer(base retrieval.Config, hw retrieval.HardwareParams, backend retri
 	if slots := base.CacheSlots(hw.GPU); slots > 0 && base.GPUs > 1 && base.Sharding == retrieval.TableWise {
 		srv.caches = cache.NewSet(base.GPUs, slots, base.Dim, base.Functional)
 	}
+	if base.AdaptivePlacement {
+		// Build the controller off the largest shape's spec: table sizes are
+		// shape-independent and its capacity bound (largest activation
+		// buffers) is the most conservative across the buckets.
+		ctl, err := srv.specs[base.BatchSize].NewPlacementController()
+		if err != nil {
+			return nil, err
+		}
+		srv.placeCtl = ctl
+	}
 	return srv, nil
 }
 
@@ -198,6 +215,17 @@ type Result struct {
 	// DedupStats aggregates the index-deduplication counters across every
 	// dispatched batch (zero when Config.Dedup is off).
 	DedupStats metrics.DedupCounters
+
+	// OwnerKeys and OwnerBytes accumulate each GPU's served embedding load
+	// (pooled-index gathers and HBM vector bytes) across every dispatched
+	// batch — nil unless the base configuration shards table-wise.
+	OwnerKeys  []int64
+	OwnerBytes []float64
+	// Rebalances counts adaptive-placement plan swaps applied between
+	// dispatches, and MigratedBytes the shard and mirror bytes they copied
+	// (both zero unless the base configuration enables AdaptivePlacement).
+	Rebalances    int
+	MigratedBytes float64
 }
 
 // Percentile returns the p-th latency percentile (nearest rank), or 0 when
@@ -227,6 +255,22 @@ func (r *Result) Goodput() float64 {
 
 // HitRate returns the aggregate cache hit rate (0 without a cache).
 func (r *Result) HitRate() float64 { return r.CacheStats.HitRate() }
+
+// Imbalance returns the max/mean spread of the per-GPU pooled-gather counts
+// — the placement subsystem's headline balance metric: 1.0 is perfectly
+// balanced, GPUs is all load on one device (0 when owner load is not
+// tracked). Gather counts, not egress bytes: every owner emits the same
+// number of output vectors per batch, it is the HBM row reads that skew.
+func (r *Result) Imbalance() float64 {
+	if len(r.OwnerKeys) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.OwnerKeys))
+	for g, k := range r.OwnerKeys {
+		xs[g] = float64(k)
+	}
+	return metrics.Imbalance(xs)
+}
 
 // Availability returns the fraction of offered requests that completed —
 // the headline resilience number (sheds, queue-full drops and timeout
@@ -304,7 +348,10 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 	// force depth 1: their windows are expressed against the serial dispatch
 	// sequence.
 	depth := s.base.PipelineSlots()
-	if !s.hw.Faults.Empty() {
+	if !s.hw.Faults.Empty() || s.placeCtl != nil {
+		// Fault windows are expressed against the serial dispatch sequence,
+		// and a placement swap is a barrier: the plan a dispatch compiles
+		// against must be the plan it executes under.
 		depth = 1
 	}
 	var (
@@ -375,6 +422,12 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 				runErr = err
 				return
 			}
+			if s.placeCtl != nil {
+				// Replace the run's private controller with the session's:
+				// the dispatch adopts the current plan and mirror set, and
+				// its batch feeds the shared statistics.
+				pl.Sys.AttachPlacement(s.placeCtl)
+			}
 			// The dispatch is one internal batch (index 0); shifting it onto
 			// the dispatch sequence lets fault windows expressed in dispatch
 			// indices unfold across the serving session.
@@ -389,6 +442,16 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 				return
 			}
 			res.DedupStats = res.DedupStats.Add(pl.Sys.DedupStats())
+			if keys, bytes := pl.Sys.OwnerLoad(); keys != nil {
+				if res.OwnerKeys == nil {
+					res.OwnerKeys = make([]int64, len(keys))
+					res.OwnerBytes = make([]float64, len(keys))
+				}
+				for g := range keys {
+					res.OwnerKeys[g] += keys[g]
+					res.OwnerBytes[g] += bytes[g]
+				}
+			}
 			for g := 0; g < pl.Sys.PGAS.NumPEs(); g++ {
 				pe := pl.Sys.PGAS.PE(g)
 				res.Resilience.Drops += pe.Drops()
@@ -427,6 +490,25 @@ func (s *Server) RunContext(ctx context.Context) (*Result, error) {
 			res.Completed += n
 			res.Dispatches++
 			res.PaddedSamples += shape - n
+			// Adaptive placement: every RebalanceEvery dispatches the shared
+			// controller re-plans off the accumulated statistics; the copied
+			// shard and mirror bytes occupy the dispatcher for their wire
+			// time, so rebalancing delays the queue exactly as the microlevel
+			// model charges it (placement forces serial dispatch above).
+			if ctl := s.placeCtl; ctl != nil && ctl.Due(res.Dispatches) {
+				reb, err := ctl.Rebalance()
+				if err != nil {
+					runErr = err
+					return
+				}
+				if reb.Swapped {
+					res.Rebalances++
+				}
+				if bytes := reb.MoveBytes + reb.MirrorBytes; bytes > 0 {
+					res.MigratedBytes += float64(bytes)
+					p.Wait(float64(bytes) / (2 * s.hw.Link.LinkBandwidth))
+				}
+			}
 		}
 	})
 

@@ -57,6 +57,14 @@ type Config struct {
 	Distribution IndexDist
 	// ZipfExponent is the skew parameter when Distribution == Zipf.
 	ZipfExponent float64
+	// HotSetDriftEvery rotates the Zipf rank→index mapping every this many
+	// batches: the hot items drift to a different region of the index space
+	// while the skew SHAPE stays fixed — the shifting-traffic regime an
+	// adaptive placement layer must chase. The rotation step derives from
+	// Seed, so drift is fully deterministic, and the pooling stream is
+	// untouched (NextSummary and NextBatch stay trajectory-identical). 0
+	// disables drift. Zipf distribution only.
+	HotSetDriftEvery int
 	// NumDense is the dense-feature width for DLRM inputs.
 	NumDense int
 	// Seed makes the workload reproducible.
@@ -87,6 +95,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: Zipf index space too large for exact sampling (max 2^24)")
 	case c.NumDense < 0:
 		return fmt.Errorf("workload: NumDense must be non-negative")
+	case c.HotSetDriftEvery < 0:
+		return fmt.Errorf("workload: negative HotSetDriftEvery %d", c.HotSetDriftEvery)
+	case c.HotSetDriftEvery > 0 && c.Distribution != Zipf:
+		return fmt.Errorf("workload: HotSetDriftEvery rotates the Zipf rank mapping; it needs Distribution == Zipf " +
+			"(a uniform stream has no hot set to drift)")
 	}
 	if c.PerFeatureMaxPooling != nil {
 		for f, m := range c.PerFeatureMaxPooling {
@@ -198,6 +211,14 @@ type Generator struct {
 	rngIdx   *sim.RNG // index values
 	rngDense *sim.RNG // dense features
 	zipf     *sim.ZipfTable
+
+	// Hot-set drift state: batches counts draws of either kind (NextBatch
+	// and NextSummary advance it identically, keeping the two modes
+	// trajectory-identical), and driftOffset rotates the Zipf rank→index
+	// mapping by driftStep every HotSetDriftEvery batches.
+	batches     int
+	driftOffset int64
+	driftStep   int64
 }
 
 // NewGenerator validates cfg and returns a generator.
@@ -214,7 +235,24 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.Distribution == Zipf {
 		g.zipf = sim.NewZipfTable(g.rngIdx, cfg.ZipfExponent, int(cfg.IndexSpace))
 	}
+	if cfg.HotSetDriftEvery > 0 && cfg.IndexSpace > 1 {
+		// A seed-derived rotation step in [1, IndexSpace): golden-ratio
+		// mixing spreads consecutive seeds across the index space, and the
+		// floor at 1 guarantees every drift epoch actually moves the hot set.
+		g.driftStep = int64((cfg.Seed*0x9E3779B97F4A7C15 + 0xD1F7) % uint64(cfg.IndexSpace-1))
+		g.driftStep++
+	}
 	return g, nil
+}
+
+// advanceBatch steps the drift epoch counter. NextBatch and NextSummary both
+// call it exactly once per batch, so the rotation schedule is identical
+// whether or not indices are materialised.
+func (g *Generator) advanceBatch() {
+	if g.cfg.HotSetDriftEvery > 0 && g.batches > 0 && g.batches%g.cfg.HotSetDriftEvery == 0 {
+		g.driftOffset = (g.driftOffset + g.driftStep) % g.cfg.IndexSpace
+	}
+	g.batches++
 }
 
 // Config returns the generator's configuration.
@@ -235,7 +273,14 @@ func (g *Generator) drawPooling(f int) int {
 
 func (g *Generator) drawIndex() int64 {
 	if g.zipf != nil {
-		return int64(g.zipf.Next())
+		v := int64(g.zipf.Next())
+		if g.driftOffset != 0 {
+			// Rotate the rank→index mapping: the same rank (same draw
+			// stream) lands on a shifted raw index, so the hot set moves
+			// while the skew shape is preserved exactly.
+			v = (v + g.driftOffset) % g.cfg.IndexSpace
+		}
+		return v
 	}
 	if g.cfg.IndexSpace <= 1<<31 {
 		return int64(g.rngIdx.Intn(int(g.cfg.IndexSpace)))
@@ -245,6 +290,7 @@ func (g *Generator) drawIndex() int64 {
 
 // NextBatch materialises a full sparse batch (pooling + indices).
 func (g *Generator) NextBatch() *sparse.Batch {
+	g.advanceBatch()
 	b := &sparse.Batch{Size: g.cfg.BatchSize, Features: make([]sparse.FeatureBag, g.cfg.NumFeatures)}
 	for f := 0; f < g.cfg.NumFeatures; f++ {
 		offsets := make([]int32, g.cfg.BatchSize+1)
@@ -273,6 +319,7 @@ type Summary struct {
 // NextSummary draws the same pooling sequence NextBatch would (identical
 // rngPool trajectory) without touching the index stream.
 func (g *Generator) NextSummary() *Summary {
+	g.advanceBatch()
 	s := &Summary{
 		BatchSize:   g.cfg.BatchSize,
 		NumFeatures: g.cfg.NumFeatures,

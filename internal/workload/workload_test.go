@@ -411,3 +411,129 @@ func TestSameSeedGeneratorsByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+func driftCfg() Config {
+	return Config{
+		NumFeatures:      3,
+		BatchSize:        16,
+		MinPooling:       1,
+		MaxPooling:       8,
+		IndexSpace:       1000,
+		Distribution:     Zipf,
+		ZipfExponent:     1.2,
+		HotSetDriftEvery: 2,
+		Seed:             2024,
+	}
+}
+
+func TestHotSetDriftValidation(t *testing.T) {
+	c := driftCfg()
+	c.HotSetDriftEvery = -1
+	if c.Validate() == nil {
+		t.Error("negative HotSetDriftEvery not rejected")
+	}
+	c = driftCfg()
+	c.Distribution = Uniform
+	if c.Validate() == nil {
+		t.Error("drift without Zipf not rejected")
+	}
+	if err := driftCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSetDriftSameSeedDeterministic(t *testing.T) {
+	a, err := NewGenerator(driftCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(driftCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		ba, bb := a.NextBatch(), b.NextBatch()
+		if !reflect.DeepEqual(ba, bb) {
+			t.Fatalf("batch %d diverged across same-seed drifting generators", i)
+		}
+	}
+}
+
+func TestHotSetDriftMovesHotIndices(t *testing.T) {
+	g, err := NewGenerator(driftCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := func(counts map[int64]int) int64 {
+		var best int64 = -1
+		for idx, n := range counts {
+			if best < 0 || n > counts[best] || (n == counts[best] && idx < best) {
+				best = idx
+			}
+		}
+		return best
+	}
+	countEpoch := func() map[int64]int {
+		counts := map[int64]int{}
+		for i := 0; i < 2; i++ { // one drift epoch = HotSetDriftEvery batches
+			b := g.NextBatch()
+			for _, f := range b.Features {
+				for _, idx := range f.Indices {
+					counts[idx]++
+				}
+			}
+		}
+		return counts
+	}
+	first := top(countEpoch())
+	second := top(countEpoch())
+	if first == second {
+		t.Fatalf("hot index did not move across a drift epoch (stayed %d)", first)
+	}
+}
+
+func TestHotSetDriftPreservesPoolingStream(t *testing.T) {
+	// Drift must only touch the index stream: pooling summaries (and so all
+	// timing inputs) are byte-identical with drift on and off.
+	on, err := NewGenerator(driftCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := driftCfg()
+	offCfg.HotSetDriftEvery = 0
+	off, err := NewGenerator(offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if !reflect.DeepEqual(on.NextSummary(), off.NextSummary()) {
+			t.Fatalf("pooling stream diverged at batch %d with drift enabled", i)
+		}
+	}
+}
+
+func TestHotSetDriftSummaryBatchParity(t *testing.T) {
+	// NextSummary must advance the drift epoch exactly like NextBatch: a
+	// generator that summarised its first batches draws the same drifted
+	// indices afterwards as one that materialised them.
+	a, err := NewGenerator(driftCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(driftCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a.NextSummary()
+		b.NextBatch()
+	}
+	// Index RNG positions differ (summaries draw no indices), but the drift
+	// OFFSET must agree — compare it directly.
+	if a.driftOffset != b.driftOffset {
+		t.Fatalf("drift offset diverged: summary path %d, batch path %d", a.driftOffset, b.driftOffset)
+	}
+	if a.driftOffset == 0 {
+		t.Fatalf("three batches at HotSetDriftEvery=2 must have drifted")
+	}
+}

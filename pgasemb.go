@@ -514,6 +514,12 @@ type (
 	ChaosResult = experiments.ChaosResult
 	// ChaosPoint is one (backend, fault profile, replica count) serving run.
 	ChaosPoint = experiments.ChaosPoint
+	// PlacementOptions tunes the placement-policy × backend × Zipf sweep.
+	PlacementOptions = experiments.PlacementOptions
+	// PlacementResult is the placement sweep's point grid.
+	PlacementResult = experiments.PlacementResult
+	// PlacementPoint is one (backend, Zipf exponent, policy) retrieval run.
+	PlacementPoint = experiments.PlacementPoint
 )
 
 // Fault event kinds (FaultEvent.Kind).
@@ -546,4 +552,23 @@ func RunChaos(opts ChaosOptions) (*ChaosResult, error) {
 // RunChaosContext is RunChaos with cancellation.
 func RunChaosContext(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 	return experiments.RunChaosContext(ctx, opts)
+}
+
+// PlacementPolicies lists the placement sweep's known policy names, in
+// sweep order: static, greedy, adaptive, adaptive+mirror.
+func PlacementPolicies() []string {
+	return append([]string(nil), experiments.PlacementPolicies...)
+}
+
+// RunPlacement executes the adaptive-placement sweep: every (backend, Zipf
+// exponent, policy) point is an offline retrieval run on a skewed workload,
+// reporting simulated time, per-owner load imbalance, plan swaps and
+// migration volume.
+func RunPlacement(opts PlacementOptions) (*PlacementResult, error) {
+	return experiments.RunPlacement(opts)
+}
+
+// RunPlacementContext is RunPlacement with cancellation.
+func RunPlacementContext(ctx context.Context, opts PlacementOptions) (*PlacementResult, error) {
+	return experiments.RunPlacementContext(ctx, opts)
 }
