@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench benchdiff bench-smoke chaos placement report fmt vet
+.PHONY: build test race bench benchdiff bench-smoke chaos placement precision report fmt vet
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ chaos:
 # per-owner load imbalance, plan swaps and migration volume.
 placement:
 	$(GO) run ./cmd/placement -out results
+
+# precision regenerates results/precision.{txt,csv}: the mixed-precision
+# wire-transport sweep (backend x dedup x fp32/fp16/int8) on a 2-node
+# cluster, with comm-volume, NIC-traffic and measured output-error columns.
+precision:
+	$(GO) run ./cmd/precision -nodes 2 -gpus-per-node 2 -out results
 
 report:
 	$(GO) run ./cmd/report

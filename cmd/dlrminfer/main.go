@@ -6,10 +6,13 @@
 // Usage:
 //
 //	dlrminfer [-gpus 4] [-kind weak|strong] [-batches 20] [-dedup] [-seed 0]
-//	          [-backend baseline,pgas-fused] [-pipeline 1] [-timeout 0]
+//	          [-backend baseline,pgas-fused] [-pipeline 1] [-precision fp32]
+//	          [-timeout 0]
 //
 // -dedup enables batch-level index deduplication on all backends (unique
 // rows are shipped once per destination shard and expanded locally).
+// -precision picks the wire transport format for embedding rows: fp32
+// (uncompressed), fp16, or int8 (per-row absmax scale).
 // -backend takes a comma-separated list of registered backend names.
 // -pipeline sets the inter-batch software-pipelining depth (1 = serial,
 // 2 = double-buffered EMB prefetch overlapping the next batch's exchange
@@ -36,8 +39,15 @@ func main() {
 	backendNames := flag.String("backend", "baseline,pgas-fused", "comma-separated registered backend names to run")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = configuration default)")
 	pipeline := flag.Int("pipeline", 1, "inter-batch pipeline depth (1 = serial, 2 = double buffering)")
+	precision := flag.String("precision", "fp32", "wire transport format for embedding rows: fp32, fp16 or int8")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
+
+	prec, err := pgasemb.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlrminfer: %v\n", err)
+		os.Exit(2)
+	}
 
 	var backends []pgasemb.Backend
 	for _, name := range strings.Split(*backendNames, ",") {
@@ -70,6 +80,7 @@ func main() {
 	cfg.Batches = *batches
 	cfg.Dedup = *dedup
 	cfg.PipelineDepth = *pipeline
+	cfg.WirePrecision = prec
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -81,8 +92,8 @@ func main() {
 		defer cancel()
 	}
 
-	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches, pipeline depth %d, seed %d\n\n",
-		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches, cfg.PipelineSlots(), cfg.Seed)
+	fmt.Printf("DLRM inference: %s scaling, %d GPUs, %d tables, batch %d, %d batches, pipeline depth %d, wire %s, seed %d\n\n",
+		*kind, *gpus, cfg.TotalTables, cfg.BatchSize, cfg.Batches, cfg.PipelineSlots(), prec, cfg.Seed)
 	fmt.Printf("%-12s  %-14s  %-14s  %-10s\n", "backend", "total", "EMB segment", "EMB share")
 	results := make(map[string]*pgasemb.PipelineResult)
 	failed := false

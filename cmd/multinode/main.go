@@ -7,7 +7,7 @@
 // Usage:
 //
 //	multinode [-nodes 4] [-gpus-per-node 4] [-batches 20]
-//	          [-backend pgas-fused] [-csv] [-timeout 0]
+//	          [-backend pgas-fused] [-precision fp32] [-csv] [-timeout 0]
 //
 // -backend swaps the accelerated column's backend for any registered name
 // (e.g. hybrid); the baseline column always runs for comparison.
@@ -29,11 +29,17 @@ func main() {
 	batchSize := flag.Int("batchsize", 0, "global batch size (0 = configuration default)")
 	parallel := flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS); results are identical for every value")
 	backend := flag.String("backend", "pgas-fused", "registered backend for the accelerated column (baseline always runs for comparison)")
+	precision := flag.String("precision", "fp32", "wire transport format for embedding rows: fp32, fp16 or int8 (both columns)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
 	flag.Parse()
 
 	if _, err := pgasemb.NewBackendByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "multinode:", err)
+		os.Exit(2)
+	}
+	prec, err := pgasemb.ParsePrecision(*precision)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "multinode:", err)
 		os.Exit(2)
 	}
@@ -44,12 +50,13 @@ func main() {
 		defer cancel()
 	}
 	opts := pgasemb.MultiNodeOptions{
-		MaxNodes:    *nodes,
-		GPUsPerNode: *gpusPerNode,
-		Batches:     *batches,
-		BatchSize:   *batchSize,
-		Backend:     *backend,
-		Parallel:    *parallel,
+		MaxNodes:      *nodes,
+		GPUsPerNode:   *gpusPerNode,
+		Batches:       *batches,
+		BatchSize:     *batchSize,
+		Backend:       *backend,
+		WirePrecision: prec,
+		Parallel:      *parallel,
 	}
 	var tables []*pgasemb.RenderedTable
 	for _, kind := range []pgasemb.ScalingKind{pgasemb.WeakScaling, pgasemb.StrongScaling} {

@@ -9,7 +9,7 @@
 //
 //	serve [-rate 4000,8000] [-cache 0,0.01,0.05] [-duration 2s] [-gpus 4]
 //	      [-backend both] [-arrival poisson] [-dedup] [-seed 0] [-pipeline 1]
-//	      [-parallel N] [-out results] [-timeout 0]
+//	      [-precision fp32] [-parallel N] [-out results] [-timeout 0]
 //
 // -rate and -cache take comma-separated sweeps; -duration is SIMULATED
 // time (the arrival window of each point). -dedup adds the batch-level
@@ -43,6 +43,7 @@ func main() {
 	dedup := flag.Bool("dedup", false, "add the batch-level index-deduplication axis (each point runs with dedup off and on)")
 	seed := flag.Uint64("seed", 0, "arrival-process seed (0 = workload default)")
 	pipeline := flag.Int("pipeline", 1, "inter-batch pipeline depth (1 = serial dispatch, 2 = overlapped dispatches)")
+	precision := flag.String("precision", "fp32", "wire transport format for embedding rows: fp32, fp16 or int8")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points")
 	out := flag.String("out", "results", "output directory")
 	timeout := flag.Duration("timeout", 0, "abort after this host wall-clock duration (0 = no limit)")
@@ -71,6 +72,10 @@ func main() {
 		}
 		backends = []pgasemb.Backend{be}
 	}
+	prec, err := pgasemb.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
 	var arr pgasemb.Arrival
 	switch *arrival {
 	case "poisson":
@@ -89,6 +94,7 @@ func main() {
 		Duration:       duration.Seconds(),
 		Serve:          pgasemb.ServeConfig{Arrival: arr, Seed: *seed},
 		PipelineDepth:  *pipeline,
+		WirePrecision:  prec,
 		Parallel:       *parallel,
 	}
 	if *dedup {

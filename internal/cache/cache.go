@@ -12,6 +12,12 @@
 // Cache, and all probes/admissions happen during deterministic host-side
 // batch classification, so hit/miss outcomes are a pure function of
 // (workload seed, capacity) — never of goroutine interleaving.
+//
+// Cached rows are always stored DECODED (fp32), whatever the wire codec
+// (Config.WirePrecision): under reduced precision the tables themselves are
+// quantized at rest, so the fp32 values a consumer admits are already the
+// post-codec values every other path reads — cache hits need no decode
+// kernel and stay bit-identical to wire-served rows by construction.
 package cache
 
 import (

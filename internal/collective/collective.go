@@ -82,6 +82,12 @@ type Comm struct {
 
 	volume *trace.VolumeTrace
 
+	// Vector codec for reduced wire precision: segments that are whole
+	// codecDim-element embedding rows are accounted at codecBytes per row on
+	// the wire instead of 4·codecDim. Zero codecDim means no codec (fp32).
+	codecDim   int
+	codecBytes int
+
 	// Rendezvous state for the in-flight collective. Op descriptors are
 	// refcounted and recycled through opFree, and the entry barrier reuses
 	// its waiter list, so a steady-state collective allocates nothing.
@@ -140,6 +146,31 @@ func (c *Comm) Volume() *trace.VolumeTrace { return c.volume }
 
 // ResetVolume clears the volume trace between measurement repetitions.
 func (c *Comm) ResetVolume() { c.volume = &trace.VolumeTrace{} }
+
+// SetVectorCodec installs a wire codec for the all-to-all paths: functional
+// segments made of whole dim-element embedding rows ship encBytes per row
+// instead of the raw 4·dim. Only the forward all-to-all applies the codec —
+// gradients and reductions (all-gather, reduce-scatter, all-reduce,
+// broadcast) stay fp32 by design. dim <= 0 clears the codec.
+func (c *Comm) SetVectorCodec(dim, encBytes int) {
+	if dim <= 0 {
+		c.codecDim, c.codecBytes = 0, 0
+		return
+	}
+	c.codecDim, c.codecBytes = dim, encBytes
+}
+
+// segBytes returns the wire bytes of a functional segment of n float32
+// elements: whole embedding rows are priced by the installed codec; anything
+// else (no codec, or a payload that is not whole rows) ships as fp32. The
+// per-row byte count is integer arithmetic so the timing-mode byte totals
+// (vector count × encoded bytes) match exactly.
+func (c *Comm) segBytes(n int) float64 {
+	if c.codecDim > 0 && n%c.codecDim == 0 {
+		return float64(n / c.codecDim * c.codecBytes)
+	}
+	return 4 * float64(n)
+}
 
 // pairBandwidth returns the effective rate from src to dst inside a
 // collective. Cross-node pairs of a cluster communicator are paced by the
@@ -276,7 +307,7 @@ func (c *Comm) AllToAllSingle(p *sim.Proc, rank int, sendSegs, recvSegs [][]floa
 		if hier {
 			sz := resizeF(&c.hier[rank].sizes, n)
 			for d := range sendSegs {
-				sz[d] = 4 * float64(len(sendSegs[d]))
+				sz[d] = c.segBytes(len(sendSegs[d]))
 			}
 			op.sizes[rank] = sz
 		}
@@ -309,16 +340,16 @@ func (c *Comm) AllToAllSingle(p *sim.Proc, rank int, sendSegs, recvSegs [][]floa
 		if peer == rank {
 			continue
 		}
-		outBytes := 4 * float64(len(sendSegs[peer]))
+		outBytes := c.segBytes(len(sendSegs[peer]))
 		out := c.occupyWire(p, rank, peer, outBytes, c.transferTime(rank, peer, outBytes))
-		in := c.transferTime(peer, rank, 4*float64(len(recvSegs[peer])))
+		in := c.transferTime(peer, rank, c.segBytes(len(recvSegs[peer])))
 		if out > worst {
 			worst = out
 		}
 		if in > worst {
 			worst = in
 		}
-		egress += 4 * float64(len(sendSegs[peer]))
+		egress += outBytes
 	}
 	if worst > 0 {
 		c.volume.Add(start, start+worst, egress)

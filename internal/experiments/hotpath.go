@@ -75,6 +75,10 @@ func hotPathCases() []hotPathCase {
 	pipelined.PipelineDepth = 2
 	dedupCached := dedup
 	dedupCached.CacheFraction = 0.0001
+	fp16 := base
+	fp16.WirePrecision = retrieval.FP16
+	int8 := base
+	int8.WirePrecision = retrieval.Int8
 	placed := base
 	placed.AdaptivePlacement = true
 	placed.RebalanceEvery = 8
@@ -96,6 +100,10 @@ func hotPathCases() []hotPathCase {
 		{name: "retrieval/pgas-fused-batch-replicas2", cfg: replicated, hw: hw, backend: &retrieval.PGASFused{}},
 		{name: "retrieval/pgas-fused-batch-pipelined2", cfg: pipelined, hw: hw, backend: &retrieval.PGASFused{}},
 		{name: "retrieval/hybrid-batch", cfg: base, hw: hw, backend: &retrieval.Hybrid{}},
+		// Reduced wire precision: the same batch with the transport codec's
+		// vector counting and encode/decode kernel charges on the loop.
+		{name: "retrieval/pgas-fused-batch-fp16", cfg: fp16, hw: hw, backend: &retrieval.PGASFused{}},
+		{name: "retrieval/pgas-fused-batch-int8", cfg: int8, hw: hw, backend: &retrieval.PGASFused{}},
 		// Adaptive placement: the same batch with the statistics collector on
 		// the compile pass, and with a live mirror set serving hot tables
 		// through the CacheView skip path.

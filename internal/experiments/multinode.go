@@ -34,6 +34,10 @@ type MultiNodeOptions struct {
 	// Backend names the registered backend occupying the accelerated slot
 	// (the "PGAS fused" column). Empty means "pgas-fused".
 	Backend string
+	// WirePrecision sets the wire transport format for embedding rows at
+	// every sweep point (FP32 = uncompressed, the default). Both columns
+	// run at the same precision, so the speedups stay like-for-like.
+	WirePrecision retrieval.Precision
 	// Parallel bounds concurrent simulation runs (0 = GOMAXPROCS). Results
 	// are identical for every value; only wall-clock time changes.
 	Parallel int
@@ -84,6 +88,7 @@ func (o MultiNodeOptions) config(kind ScalingKind, nodes int) retrieval.Config {
 	if o.BatchSize > 0 {
 		cfg.BatchSize = o.BatchSize
 	}
+	cfg.WirePrecision = o.WirePrecision
 	return cfg
 }
 

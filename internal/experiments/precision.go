@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pgasemb/internal/metrics"
+	"pgasemb/internal/retrieval"
+	"pgasemb/internal/sim"
+	"pgasemb/internal/tensor"
+)
+
+// The wire-precision experiment: how much of the retrieval step survives
+// when embedding rows cross NVLink and the NIC as fp16 or per-row-scaled
+// int8 instead of fp32. Every (backend, dedup, precision) cell is a timing
+// run on the same seed, so the comm-volume and EMB-time columns isolate the
+// codec; a small functional sidecar run per precision measures the actual
+// worst-case output deviation the quantization introduces, since the codec's
+// accuracy cost is independent of backend and machine shape (every backend
+// reads the same quantized-at-rest tables).
+
+// PrecisionOptions tunes the wire-precision sweep.
+type PrecisionOptions struct {
+	// Nodes picks the machine: 1 = a single NVLink node, >1 = a cluster of
+	// NVLink nodes joined by NICs (default 1).
+	Nodes int
+	// GPUsPerNode is each node's GPU count (default 4).
+	GPUsPerNode int
+	// Batches overrides the per-run batch count (0 = the configuration's).
+	Batches int
+	// BatchSize overrides the per-run global batch size (0 = the
+	// configuration's). Mainly for tests and CI smoke runs.
+	BatchSize int
+	// Backends names the registered backends to sweep. Empty means
+	// baseline, pgas-fused and hybrid.
+	Backends []string
+	// Parallel bounds concurrent simulation runs (0 = GOMAXPROCS). Results
+	// are identical for every value; only wall-clock time changes.
+	Parallel int
+	// Bench, when set, records wall-clock timing of every run.
+	Bench *Bench
+}
+
+func (o PrecisionOptions) nodes() int {
+	if o.Nodes <= 0 {
+		return 1
+	}
+	return o.Nodes
+}
+
+func (o PrecisionOptions) gpusPerNode() int {
+	if o.GPUsPerNode <= 0 {
+		return 4
+	}
+	return o.GPUsPerNode
+}
+
+func (o PrecisionOptions) backends() []string {
+	if len(o.Backends) == 0 {
+		return []string{"baseline", "pgas-fused", "hybrid"}
+	}
+	return o.Backends
+}
+
+func (o PrecisionOptions) parallel() int {
+	return Options{Parallel: o.Parallel}.parallel()
+}
+
+func (o PrecisionOptions) hardware() retrieval.HardwareParams {
+	if o.nodes() > 1 {
+		return retrieval.ClusterHardware(o.nodes())
+	}
+	return retrieval.DefaultHardware()
+}
+
+func (o PrecisionOptions) config(dedup bool, prec retrieval.Precision) retrieval.Config {
+	cfg := retrieval.MultiNodeConfig(o.nodes(), o.gpusPerNode())
+	cfg.Dedup = dedup
+	cfg.WirePrecision = prec
+	if o.Batches > 0 {
+		cfg.Batches = o.Batches
+	}
+	if o.BatchSize > 0 {
+		cfg.BatchSize = o.BatchSize
+	}
+	return cfg
+}
+
+// precisionSweep is the fixed precision axis, widest wire format first.
+var precisionSweep = []retrieval.Precision{retrieval.FP32, retrieval.FP16, retrieval.Int8}
+
+// PrecisionPoint holds one (backend, dedup, precision) timing run.
+type PrecisionPoint struct {
+	Backend   string
+	Dedup     bool
+	Precision retrieval.Precision
+	Result    *retrieval.Result
+}
+
+// PrecisionResult is the full sweep plus the per-precision accuracy sidecar.
+type PrecisionResult struct {
+	Nodes       int
+	GPUsPerNode int
+	// Points are ordered backend-major, then dedup, then precision, so each
+	// triple of consecutive entries shares its fp32 head.
+	Points []PrecisionPoint
+	// MaxAbsErr is the worst per-element output deviation versus the fp32
+	// run of the same functional workload, one entry per reduced precision.
+	MaxAbsErr map[retrieval.Precision]float64
+}
+
+// Point returns the entry for the given cell.
+func (r *PrecisionResult) Point(backend string, dedup bool, prec retrieval.Precision) PrecisionPoint {
+	for _, p := range r.Points {
+		if p.Backend == backend && p.Dedup == dedup && p.Precision == prec {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("experiments: no precision point for %s/dedup=%v/%s", backend, dedup, prec))
+}
+
+// RunPrecision executes the wire-precision sweep.
+func RunPrecision(opts PrecisionOptions) (*PrecisionResult, error) {
+	return RunPrecisionContext(context.Background(), opts)
+}
+
+// RunPrecisionContext is RunPrecision with cancellation. All timing cells
+// and the functional accuracy runs dispatch onto one worker pool; specs are
+// built up front and results land in index-addressed slices, so the tables
+// are byte-identical at any Parallel.
+func RunPrecisionContext(ctx context.Context, opts PrecisionOptions) (*PrecisionResult, error) {
+	backends := opts.backends()
+	hw := opts.hardware()
+	dedups := []bool{false, true}
+	// One spec per (dedup, precision); every backend shares it.
+	specs := make([]*retrieval.SystemSpec, len(dedups)*len(precisionSweep))
+	for di, dedup := range dedups {
+		for pi, prec := range precisionSweep {
+			spec, err := retrieval.NewSystemSpec(opts.config(dedup, prec), hw)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: precision sweep, dedup=%v %s: %w", dedup, prec, err)
+			}
+			specs[di*len(precisionSweep)+pi] = spec
+		}
+	}
+	// The accuracy sidecar runs the small functional workload, whose outputs
+	// depend only on the precision (quantize-at-rest), not the backend.
+	errSpecs := make([]*retrieval.SystemSpec, len(precisionSweep))
+	for pi, prec := range precisionSweep {
+		cfg := retrieval.TestScaleConfig(opts.gpusPerNode())
+		cfg.WirePrecision = prec
+		spec, err := retrieval.NewSystemSpec(cfg, retrieval.DefaultHardware())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: precision accuracy run, %s: %w", prec, err)
+		}
+		errSpecs[pi] = spec
+	}
+
+	timingRuns := len(backends) * len(specs)
+	results := make([]*retrieval.Result, timingRuns+len(errSpecs))
+	stop := opts.Bench.Start("precision-sweep", opts.parallel())
+	err := forEach(ctx, opts.parallel(), len(results), func(i int) error {
+		if i >= timingRuns {
+			spec := errSpecs[i-timingRuns]
+			r, err := runSpec(ctx, spec, &retrieval.Baseline{}, spec.Config().Seed, opts.Bench)
+			if err != nil {
+				return fmt.Errorf("experiments: precision accuracy run, %s: %w",
+					precisionSweep[i-timingRuns], err)
+			}
+			results[i] = r
+			return nil
+		}
+		spec := specs[i%len(specs)]
+		backend, err := retrieval.NewBackendByName(backends[i/len(specs)])
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		r, err := runSpec(ctx, spec, backend, spec.Config().Seed, opts.Bench)
+		if err != nil {
+			return fmt.Errorf("experiments: precision sweep, %s dedup=%v %s: %w",
+				backend.Name(), spec.Config().Dedup, spec.Config().WirePrecision, err)
+		}
+		results[i] = r
+		return nil
+	})
+	stop()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PrecisionResult{
+		Nodes:       opts.nodes(),
+		GPUsPerNode: opts.gpusPerNode(),
+		MaxAbsErr:   map[retrieval.Precision]float64{},
+	}
+	for bi, name := range backends {
+		for di, dedup := range dedups {
+			for pi, prec := range precisionSweep {
+				res.Points = append(res.Points, PrecisionPoint{
+					Backend:   name,
+					Dedup:     dedup,
+					Precision: prec,
+					Result:    results[bi*len(specs)+di*len(precisionSweep)+pi],
+				})
+			}
+		}
+	}
+	fp32 := results[timingRuns]
+	for pi, prec := range precisionSweep {
+		if prec == retrieval.FP32 {
+			continue
+		}
+		var worst float64
+		got := results[timingRuns+pi]
+		for g := range got.Final {
+			if d := tensor.MaxAbsDiff(got.Final[g], fp32.Final[g]); d > worst {
+				worst = d
+			}
+		}
+		res.MaxAbsErr[prec] = worst
+	}
+	return res, nil
+}
+
+// SweepTable renders the full grid: per cell, EMB time, the speedup the
+// reduced wire format buys over fp32 on the same backend and dedup setting,
+// the communication volume with its compression ratio, the NIC wire traffic
+// on cluster machines, and the measured worst-case output error.
+func (r *PrecisionResult) SweepTable() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Wire-precision sweep (%d node(s) x %d GPUs)", r.Nodes, r.GPUsPerNode),
+		Headers: []string{"Backend", "Dedup", "Precision", "EMB time", "vs fp32",
+			"Comm GB", "Comm ratio", "NIC GB", "Max abs err"},
+	}
+	for _, p := range r.Points {
+		base := r.Point(p.Backend, p.Dedup, retrieval.FP32).Result
+		commRatio := "-"
+		if base.CommTrace.Total() > 0 {
+			commRatio = fmt.Sprintf("%.3f", p.Result.CommTrace.Total()/base.CommTrace.Total())
+		}
+		maxErr := "0"
+		if e, ok := r.MaxAbsErr[p.Precision]; ok {
+			maxErr = fmt.Sprintf("%.3e", e)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Backend,
+			fmt.Sprintf("%v", p.Dedup),
+			p.Precision.String(),
+			sim.FormatTime(p.Result.TotalTime),
+			fmt.Sprintf("%.2fx", metrics.Speedup(base.TotalTime, p.Result.TotalTime)),
+			gigabytes(p.Result.CommTrace.Total()),
+			commRatio,
+			gigabytes(p.Result.NICWireBytes),
+			maxErr,
+		})
+	}
+	return t
+}

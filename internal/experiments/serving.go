@@ -38,6 +38,9 @@ type ServingOptions struct {
 	// depth at every point (0 keeps the base configuration's own depth;
 	// 1 = serial dispatch, ≥2 overlaps in-flight dispatches).
 	PipelineDepth int
+	// WirePrecision sets the wire transport format for embedding rows at
+	// every point (FP32 = uncompressed, the default).
+	WirePrecision retrieval.Precision
 	// Serve carries the batching knobs (MaxBatch, MaxWait, QueueCap,
 	// arrival process); Rate and Duration are overwritten by the sweep.
 	Serve serve.Config
@@ -160,6 +163,7 @@ func RunServingContext(ctx context.Context, opts ServingOptions) (*ServingResult
 		cfg := base
 		cfg.CacheFraction = opts.CacheFractions[fi]
 		cfg.Dedup = dedups[di]
+		cfg.WirePrecision = opts.WirePrecision
 		if opts.PipelineDepth > 0 {
 			cfg.PipelineDepth = opts.PipelineDepth
 		}

@@ -168,6 +168,26 @@ func (d *Device) CopyKernelCost(bytes float64) sim.Duration {
 	return 2 * bytes / (d.params.HBMBandwidth * d.params.StreamEfficiency) * sim.Duration(d.slow)
 }
 
+// EncodeKernelCost models the owner-side wire-precision encode: rawBytes of
+// fp32 rows are read and encBytes of compressed rows written, a streaming
+// bandwidth-bound kernel (quantization arithmetic hides under the memory
+// traffic, like copy and unpack).
+func (d *Device) EncodeKernelCost(rawBytes, encBytes float64) sim.Duration {
+	if rawBytes < 0 || encBytes < 0 {
+		panic(fmt.Sprintf("gpu%d: negative encode bytes (%g, %g)", d.id, rawBytes, encBytes))
+	}
+	return (rawBytes + encBytes) / (d.params.HBMBandwidth * d.params.StreamEfficiency) * sim.Duration(d.slow)
+}
+
+// DecodeKernelCost models the consumer-side decode: encBytes of compressed
+// rows read, rawBytes of fp32 rows written. Symmetric to EncodeKernelCost.
+func (d *Device) DecodeKernelCost(encBytes, rawBytes float64) sim.Duration {
+	if encBytes < 0 || rawBytes < 0 {
+		panic(fmt.Sprintf("gpu%d: negative decode bytes (%g, %g)", d.id, encBytes, rawBytes))
+	}
+	return (encBytes + rawBytes) / (d.params.HBMBandwidth * d.params.StreamEfficiency) * sim.Duration(d.slow)
+}
+
 // MLPKernelCost models a dense layer batch: flops of fp32 work, plus the
 // activation/weight traffic if it dominates (roofline max of the two).
 func (d *Device) MLPKernelCost(flops, bytes float64) sim.Duration {

@@ -32,6 +32,36 @@ type Runtime struct {
 	net    *fabric.Interconnect // nil on single-node runtimes
 	pes    []*PE
 	hooks  *FaultHooks // nil = perfect delivery
+
+	// Vector codec for reduced wire precision: functional stores whose
+	// payload is whole codecDim-element embedding rows are accounted at
+	// codecBytes per row instead of 4·codecDim. Zero codecDim = no codec.
+	codecDim   int
+	codecBytes int
+}
+
+// SetVectorCodec installs a wire codec: PutFloat32s payloads made of whole
+// dim-element embedding rows are charged encBytes per row on the wire (and
+// through the inter-node proxy) instead of the raw 4·dim. Timing-only
+// callers pass their encoded vector size to PutVectors directly; atomics and
+// gets (the backward gradient paths) stay fp32. dim <= 0 clears the codec.
+func (rt *Runtime) SetVectorCodec(dim, encBytes int) {
+	if dim <= 0 {
+		rt.codecDim, rt.codecBytes = 0, 0
+		return
+	}
+	rt.codecDim, rt.codecBytes = dim, encBytes
+}
+
+// putPayload returns the wire payload of a functional store of n float32
+// elements under the installed codec (fp32 when no codec is installed or the
+// store is not whole rows). Integer per-row arithmetic, so functional
+// payloads equal the timing mode's vector-count × encoded-bytes exactly.
+func (rt *Runtime) putPayload(n int) int {
+	if rt.codecDim > 0 && n%rt.codecDim == 0 {
+		return n / rt.codecDim * rt.codecBytes
+	}
+	return 4 * n
 }
 
 // FaultHooks injects delivery faults into a cluster runtime's proxy layer.
@@ -277,7 +307,7 @@ func (pe *PE) PutFloat32s(target *PE, dst, src []float32) sim.Time {
 	if target.id == pe.id {
 		return pe.rt.env.Now()
 	}
-	return pe.accountPut(target, 4*len(src))
+	return pe.accountPut(target, pe.rt.putPayload(len(src)))
 }
 
 // PutBytes issues a timing-only one-sided store of payload bytes to target.

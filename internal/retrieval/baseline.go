@@ -144,6 +144,22 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 		return
 	}
 
+	// Owner-side wire encode: compress every off-diagonal segment before the
+	// collective ships it. A pure streaming kernel priced from the plan's
+	// counts, so timing and functional runs charge identically.
+	if cfg.WireCodecActive() {
+		encStart := p.Now()
+		sent, _ := plan.CollectiveCodecVecs(g)
+		if sent > 0 {
+			wvb := float64(cfg.WireVectorBytes())
+			enc := dev.EncodeKernelCost(float64(sent)*vb, float64(sent)*wvb)
+			_, encEnd := stream.Launch(p, enc)
+			p.WaitUntil(encEnd)
+			stream.Synchronize(p)
+		}
+		bk.Accumulate(CompComputation, p.Now()-encStart)
+	}
+
 	// --- Phase 2: all_to_all_single. Segment for dst = dst's minibatch
 	// rows of the local outputs. The collective is stream-ordered: under a
 	// pipelined schedule it cannot launch past dense kernels already queued
@@ -218,14 +234,15 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	} else {
 		sendBytes := scratchSlice(&sc.sendBytes, cfg.GPUs)
 		recvBytes := scratchSlice(&sc.recvBytes, cfg.GPUs)
+		wvb := float64(cfg.WireVectorBytes())
 		for peer := 0; peer < cfg.GPUs; peer++ {
 			sendBytes[peer] = 0
 			recvBytes[peer] = 0
 			if peer == g {
 				continue
 			}
-			sendBytes[peer] = float64(plan.CollectiveVecs(g, peer)) * vb
-			recvBytes[peer] = float64(plan.CollectiveVecs(peer, g)) * vb
+			sendBytes[peer] = float64(plan.CollectiveVecs(g, peer)) * wvb
+			recvBytes[peer] = float64(plan.CollectiveVecs(peer, g)) * wvb
 		}
 		s.Comm.AllToAllSingleSizes(p, g, sendBytes, recvBytes)
 	}
@@ -234,6 +251,19 @@ func (b *Baseline) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *tr
 	// --- Phase 3: unpack the received rank-major segments into the
 	// (mini, TotalTables, d) layout the interaction layer expects.
 	unpackStart := p.Now()
+	// Consumer-side wire decode: dequantize every received segment back to
+	// fp32 before unpack/expansion. Runs under DirectPlacement too — the
+	// ablation removes the rearrangement, not the dequantize.
+	if cfg.WireCodecActive() {
+		_, recv := plan.CollectiveCodecVecs(g)
+		if recv > 0 {
+			wvb := float64(cfg.WireVectorBytes())
+			dec := dev.DecodeKernelCost(float64(recv)*wvb, float64(recv)*vb)
+			_, decEnd := stream.Launch(p, dec)
+			p.WaitUntil(decEnd)
+			stream.Synchronize(p)
+		}
+	}
 	if !b.DirectPlacement {
 		if dv == nil {
 			remoteBytes := float64(mini*(cfg.TotalTables-fg)-hitVecs) * vb

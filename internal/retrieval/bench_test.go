@@ -72,6 +72,20 @@ func BenchmarkPGASFusedBatchPipelined(b *testing.B) {
 	benchRun(b, cfg, &PGASFused{})
 }
 
+// Reduced-wire-precision variants: the codec's per-transfer accounting (vector
+// counts, encode/decode kernel charges) must ride the same warm arenas.
+func BenchmarkPGASFusedBatchFP16(b *testing.B) {
+	cfg := benchConfig()
+	cfg.WirePrecision = FP16
+	benchRun(b, cfg, &PGASFused{})
+}
+
+func BenchmarkPGASFusedBatchInt8(b *testing.B) {
+	cfg := benchConfig()
+	cfg.WirePrecision = Int8
+	benchRun(b, cfg, &PGASFused{})
+}
+
 func BenchmarkPGASFusedBatchCached(b *testing.B) {
 	cfg := benchConfig()
 	cfg.CacheFraction = 0.0001
@@ -178,21 +192,28 @@ func TestMultiNodeSteadyStateZeroAllocs(t *testing.T) {
 		dedup    bool
 		replicas int
 		depth    int
+		prec     Precision
 		backend  Backend
 	}{
-		{"pgas-fused", false, 0, 1, &PGASFused{}},
-		{"pgas-fused-dedup", true, 0, 1, &PGASFused{}},
-		{"pgas-fused-replicas2", false, 2, 1, &PGASFused{}},
-		{"baseline", false, 0, 1, &Baseline{}},
-		{"baseline-replicas2", false, 2, 1, &Baseline{}},
-		{"hybrid", false, 0, 1, &Hybrid{}},
-		{"hybrid-dedup", true, 0, 1, &Hybrid{}},
+		{"pgas-fused", false, 0, 1, FP32, &PGASFused{}},
+		{"pgas-fused-dedup", true, 0, 1, FP32, &PGASFused{}},
+		{"pgas-fused-replicas2", false, 2, 1, FP32, &PGASFused{}},
+		{"baseline", false, 0, 1, FP32, &Baseline{}},
+		{"baseline-replicas2", false, 2, 1, FP32, &Baseline{}},
+		{"hybrid", false, 0, 1, FP32, &Hybrid{}},
+		{"hybrid-dedup", true, 0, 1, FP32, &Hybrid{}},
 		// Depth-2 pipelined variants: the per-slot arenas, window rendezvous
 		// and QuietSlot path must hold the same zero-alloc contract.
-		{"pgas-fused-depth2", false, 0, 2, &PGASFused{}},
-		{"pgas-fused-dedup-depth2", true, 0, 2, &PGASFused{}},
-		{"baseline-depth2", false, 0, 2, &Baseline{}},
-		{"hybrid-depth2", false, 0, 2, &Hybrid{}},
+		{"pgas-fused-depth2", false, 0, 2, FP32, &PGASFused{}},
+		{"pgas-fused-dedup-depth2", true, 0, 2, FP32, &PGASFused{}},
+		{"baseline-depth2", false, 0, 2, FP32, &Baseline{}},
+		{"hybrid-depth2", false, 0, 2, FP32, &Hybrid{}},
+		// Reduced-wire-precision variants: codec vector counting and the
+		// encode/decode kernel charges must not allocate either.
+		{"pgas-fused-batch-fp16", false, 0, 1, FP16, &PGASFused{}},
+		{"pgas-fused-batch-int8", false, 0, 1, Int8, &PGASFused{}},
+		{"baseline-fp16", false, 0, 1, FP16, &Baseline{}},
+		{"hybrid-int8", true, 0, 1, Int8, &Hybrid{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -200,6 +221,7 @@ func TestMultiNodeSteadyStateZeroAllocs(t *testing.T) {
 			cfg.Dedup = c.dedup
 			cfg.Replicas = c.replicas
 			cfg.PipelineDepth = c.depth
+			cfg.WirePrecision = c.prec
 			r := testing.Benchmark(func(b *testing.B) {
 				sys, err := NewSystem(cfg, ClusterHardware(2))
 				if err != nil {

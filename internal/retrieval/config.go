@@ -50,6 +50,46 @@ func (s Sharding) String() string {
 	return "table-wise"
 }
 
+// Precision selects the wire transport precision for embedding rows
+// (Config.WirePrecision): rows are compressed at the owning GPU, shipped over
+// NVLink or the NIC in the reduced format, and decompressed at the consumer.
+// The zero value is full fp32 — existing configurations are unaffected.
+type Precision int
+
+const (
+	// FP32 ships full 4-byte floats (the default; no codec).
+	FP32 Precision = iota
+	// FP16 ships IEEE binary16 rows: 2 bytes per element.
+	FP16
+	// Int8 ships per-row absmax-scaled int8 rows: 1 byte per element plus a
+	// 4-byte fp32 scale per row.
+	Int8
+)
+
+func (p Precision) String() string {
+	switch p {
+	case FP16:
+		return "fp16"
+	case Int8:
+		return "int8"
+	}
+	return "fp32"
+}
+
+// ParsePrecision parses a wire precision name as accepted by the CLI
+// -precision flags: fp32, fp16 or int8.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp32", "":
+		return FP32, nil
+	case "fp16":
+		return FP16, nil
+	case "int8":
+		return Int8, nil
+	}
+	return FP32, fmt.Errorf("retrieval: unknown wire precision %q (want fp32, fp16 or int8)", s)
+}
+
 // Config describes one experiment setup.
 type Config struct {
 	// GPUs is the number of devices (1-4 in the paper).
@@ -151,6 +191,15 @@ type Config struct {
 	// fault schedule force depth 1 (fault windows are defined against a
 	// lockstep batch sequence).
 	PipelineDepth int
+	// WirePrecision compresses embedding rows for transport: owners encode
+	// rows to fp16 or per-row-scaled int8 before they cross NVLink or the
+	// NIC, consumers decode them at HBM bandwidth. Wire and collective byte
+	// counts shrink by the codec ratio while HBM-side gather costs stay
+	// fp32; in functional mode every row's values are the real
+	// quantize→dequantize round trip (the serial Reference applies the same
+	// codec, so bit-exactness still holds). Table-wise sharding only — the
+	// row-wise and backward gradient paths stay fp32.
+	WirePrecision Precision
 }
 
 // PipelineSlots returns the normalized pipeline depth (>= 1): the number of
@@ -239,6 +288,11 @@ func (c Config) Validate() error {
 			"(cache residency is keyed by owner; a plan swap would invalidate every cached row)")
 	case c.HotSetDriftEvery < 0:
 		return fmt.Errorf("retrieval: negative HotSetDriftEvery %d", c.HotSetDriftEvery)
+	case c.WirePrecision != FP32 && c.WirePrecision != FP16 && c.WirePrecision != Int8:
+		return fmt.Errorf("retrieval: unknown WirePrecision %d (want FP32, FP16 or Int8)", c.WirePrecision)
+	case c.WirePrecision != FP32 && c.Sharding == RowWise:
+		return fmt.Errorf("retrieval: reduced wire precision requires table-wise sharding " +
+			"(row-wise traffic is partial sums and gradients, which stay fp32)")
 	}
 	if c.PerFeatureRows != nil {
 		for f, r := range c.PerFeatureRows {
@@ -275,8 +329,26 @@ func (c Config) tableRows(fid int) int {
 	return c.Rows
 }
 
-// VectorBytes returns the wire payload of one output embedding vector.
+// VectorBytes returns the uncompressed (fp32) payload of one embedding
+// vector — the HBM-side unit every gather, expand and unpack kernel works in.
 func (c Config) VectorBytes() int { return 4 * c.Dim }
+
+// WireVectorBytes returns the encoded payload of one embedding vector as it
+// crosses NVLink or the NIC under WirePrecision: 4d for fp32, 2d for fp16,
+// d+4 for int8 (one byte per element plus the row's fp32 absmax scale).
+func (c Config) WireVectorBytes() int {
+	switch c.WirePrecision {
+	case FP16:
+		return 2 * c.Dim
+	case Int8:
+		return c.Dim + 4
+	}
+	return 4 * c.Dim
+}
+
+// WireCodecActive reports whether a transport codec is configured — the
+// fp32 default skips every encode/decode code path entirely.
+func (c Config) WireCodecActive() bool { return c.WirePrecision != FP32 }
 
 // tableBytesAll returns every table's device-memory footprint, indexed by
 // global feature id — the placement layer's migration and capacity unit.

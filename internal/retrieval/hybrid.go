@@ -71,7 +71,11 @@ func (b *Hybrid) routeCollective(s *System, plan *RoutePlan, src, dst int) bool 
 	if vecs == 0 {
 		return false
 	}
-	vb := s.Cfg.VectorBytes()
+	// Both transports carry the ENCODED payload under a wire codec, but the
+	// per-message header tax is unchanged — so reduced precision shifts the
+	// crossover toward the one-sided path (headers amortise over fewer
+	// payload bytes).
+	vb := s.Cfg.WireVectorBytes()
 	link := s.Fab.PairBandwidth(src, dst)
 	pgasT := float64(vecs) * s.Fab.WireBytes(vb) / link
 
@@ -155,9 +159,18 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 	fg := s.LocalTables(g)
 	vecBytes := cfg.VectorBytes()
 	vb := float64(vecBytes)
+	wireVecBytes := cfg.WireVectorBytes() // per-vector payload on either transport
 
 	batchStart := p.Now()
 	p.Wait(dev.Params().KernelLaunch)
+
+	// Owner-side wire encode: per pair both transports move the same vectors,
+	// so the one-sided tally covers the mixed schedule's full send side.
+	if cfg.WireCodecActive() {
+		if sent, _ := plan.OneSidedCodecVecs(g); sent > 0 {
+			p.Wait(dev.EncodeKernelCost(float64(sent)*vb, float64(sent)*float64(wireVecBytes)))
+		}
+	}
 
 	// Kernel occupancy: identical to PGASFused — the same outputs are
 	// produced whichever transport carries them.
@@ -256,7 +269,7 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 			if vecs == 0 {
 				continue
 			}
-			pe.PutVectors(s.PGAS.PE(target), vecs, vecBytes)
+			pe.PutVectors(s.PGAS.PE(target), vecs, wireVecBytes)
 		}
 	}
 	pe.QuietSlot(p, bd.Slot)
@@ -335,10 +348,10 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 			sendBytes[peer] = 0
 			recvBytes[peer] = 0
 			if b.routeCollective(s, plan, g, peer) {
-				sendBytes[peer] = float64(plan.CollectiveVecs(g, peer)) * vb
+				sendBytes[peer] = float64(plan.CollectiveVecs(g, peer)) * float64(wireVecBytes)
 			}
 			if b.routeCollective(s, plan, peer, g) {
-				recvBytes[peer] = float64(plan.CollectiveVecs(peer, g)) * vb
+				recvBytes[peer] = float64(plan.CollectiveVecs(peer, g)) * float64(wireVecBytes)
 			}
 		}
 		s.Comm.AllToAllSingleSizes(p, g, sendBytes, recvBytes)
@@ -347,6 +360,15 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 
 	// --- Unpack collective dense segments, then expand every wire pairing.
 	unpackStart := p.Now()
+	// Consumer-side wire decode first: both arrival paths carry encoded
+	// rows, dequantized back to fp32 before unpack/expansion reads them.
+	if cfg.WireCodecActive() {
+		if _, recv := plan.OneSidedCodecVecs(g); recv > 0 {
+			dec := dev.DecodeKernelCost(float64(recv)*float64(wireVecBytes), float64(recv)*vb)
+			_, decEnd := stream.Launch(p, dec)
+			p.WaitUntil(decEnd)
+		}
+	}
 	var denseBytes float64
 	denseSegs := 0
 	for src := 0; src < cfg.GPUs; src++ {
@@ -378,7 +400,7 @@ func (b *Hybrid) runMixed(s *System, p *sim.Proc, g int, bd *BatchData, bk *trac
 				refs += dv.MissIdx[src][g]
 				outVecs += int(dv.DenseVecs[src][g])
 				if lane := s.stageGPU(src, myNode); lane != g {
-					bytes := float64(dv.NodeUniq[src][myNode]) * s.Fab.WireBytes(vecBytes)
+					bytes := float64(dv.NodeUniq[src][myNode]) * s.Fab.WireBytes(wireVecBytes)
 					if done := s.Fab.Pipe(lane, g).Offer(bytes); done > redist {
 						redist = done
 					}

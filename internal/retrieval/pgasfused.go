@@ -84,6 +84,7 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 
 	vecBytes := cfg.VectorBytes()
 	fvb := float64(vecBytes)
+	wireVecBytes := cfg.WireVectorBytes() // per-vector payload on the transport
 
 	// Hot-row cache discounts (zero when plan.Cache is nil): the kernel's
 	// occupancy is set by the whole batch's real item count — skipped hit
@@ -130,6 +131,15 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 					nodeCursors[i] = 0
 				}
 			}
+		}
+	}
+
+	// Owner-side wire encode: remote-bound vectors are compressed as they
+	// leave. Priced once for the batch from the plan's counts — a streaming
+	// kernel folded into the fused window, identical in both modes.
+	if cfg.WireCodecActive() && cfg.GPUs > 1 {
+		if sent, _ := plan.OneSidedCodecVecs(g); sent > 0 {
+			p.Wait(dev.EncodeKernelCost(float64(sent)*fvb, float64(sent)*float64(wireVecBytes)))
 		}
 	}
 
@@ -203,9 +213,9 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 				continue
 			}
 			if agg != nil {
-				agg.StoreBytes(s.PGAS.PE(target), vecs*vecBytes)
+				agg.StoreBytes(s.PGAS.PE(target), vecs*wireVecBytes)
 			} else {
-				pe.PutVectors(s.PGAS.PE(target), vecs, vecBytes)
+				pe.PutVectors(s.PGAS.PE(target), vecs, wireVecBytes)
 			}
 		}
 	}
@@ -235,8 +245,9 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 				outVecs += int(dv.DenseVecs[src][g])
 				if lane := s.stageGPU(src, myNode); lane != g {
 					// The staged node-unique rows landed on the lane GPU;
-					// redistribute them over NVLink before expanding.
-					bytes := float64(dv.NodeUniq[src][myNode]) * s.Fab.WireBytes(vecBytes)
+					// redistribute them over NVLink before expanding (still
+					// wire-encoded; consumers decode before the final sync).
+					bytes := float64(dv.NodeUniq[src][myNode]) * s.Fab.WireBytes(wireVecBytes)
 					if done := s.Fab.Pipe(lane, g).Offer(bytes); done > redist {
 						redist = done
 					}
@@ -298,6 +309,18 @@ func (b *PGASFused) RunBatch(s *System, p *sim.Proc, g int, bd *BatchData, bk *t
 		_, unpackEnd := stream.Launch(p, unpack)
 		p.WaitUntil(unpackEnd)
 		bk.Accumulate(CompSyncUnpack, p.Now()-unpackStart)
+	}
+
+	// Consumer-side wire decode: everything one-sidedly landed here is
+	// dequantized back to fp32 before the next layer reads it.
+	if cfg.WireCodecActive() && cfg.GPUs > 1 {
+		decStart := p.Now()
+		if _, recv := plan.OneSidedCodecVecs(g); recv > 0 {
+			dec := dev.DecodeKernelCost(float64(recv)*float64(wireVecBytes), float64(recv)*fvb)
+			_, decEnd := stream.Launch(p, dec)
+			p.WaitUntil(decEnd)
+		}
+		bk.Accumulate(CompSyncUnpack, p.Now()-decStart)
 	}
 
 	syncStart := p.Now()

@@ -33,11 +33,12 @@ func placementGateConfig() Config {
 // The third variant layers index deduplication on top: mirror hits must never
 // enter the dedup key sets, and swaps must stay bit-exact under both.
 func registryPlacementGate(t *testing.T, name, machine string, hw HardwareParams) {
-	run := func(t *testing.T, functional, adaptive, dedup bool, hot int) *Result {
+	run := func(t *testing.T, functional, adaptive, dedup bool, hot int, prec Precision) *Result {
 		t.Helper()
 		cfg := placementGateConfig()
 		cfg.Functional = functional
 		cfg.Dedup = dedup
+		cfg.WirePrecision = prec
 		if adaptive {
 			cfg.AdaptivePlacement = true
 			cfg.RebalanceEvery = 2
@@ -70,14 +71,20 @@ func registryPlacementGate(t *testing.T, name, machine string, hw HardwareParams
 		label string
 		hot   int
 		dedup bool
+		prec  Precision
 	}{
-		{"rebalance", 0, false},
-		{"rebalance+mirror", 1, false},
-		{"rebalance+mirror+dedup", 1, true},
+		{"rebalance", 0, false, FP32},
+		{"rebalance+mirror", 1, false, FP32},
+		{"rebalance+mirror+dedup", 1, true, FP32},
+		// Reduced wire precision under swaps and mirrors: rebalancing
+		// relocates quantized-at-rest tables, so outputs must stay byte-
+		// identical to the codec-applied placement-off run and reference.
+		{"rebalance+mirror+dedup+fp16", 1, true, FP16},
+		{"rebalance+mirror+dedup+int8", 1, true, Int8},
 	} {
 		t.Run(fmt.Sprintf("%s/%s+placement-%s", name, machine, v.label), func(t *testing.T) {
-			off := run(t, true, false, v.dedup, 0)
-			on := run(t, true, true, v.dedup, v.hot)
+			off := run(t, true, false, v.dedup, 0, v.prec)
+			on := run(t, true, true, v.dedup, v.hot, v.prec)
 			if on.Rebalances == 0 {
 				t.Fatal("skewed gate workload triggered no rebalance; the gate is not exercising swaps")
 			}
@@ -87,7 +94,7 @@ func registryPlacementGate(t *testing.T, name, machine string, hw HardwareParams
 						g, tensor.MaxAbsDiff(on.Final[g], off.Final[g]))
 				}
 			}
-			tRes := run(t, false, true, v.dedup, v.hot)
+			tRes := run(t, false, true, v.dedup, v.hot, v.prec)
 			if math.Abs(on.TotalTime-tRes.TotalTime) > 1e-9 {
 				t.Errorf("functional total %g != timing total %g", on.TotalTime, tRes.TotalTime)
 			}

@@ -148,6 +148,73 @@ func (p *RoutePlan) CollectiveVecs(src, dst int) int {
 	return vecs
 }
 
+// CollectiveCodecVecs returns the vectors GPU g encodes into and decodes out
+// of the pair-addressed all-to-all when a wire codec is active: every
+// off-diagonal segment it contributes (sent) and receives (recv). Diagonal
+// segments stay local HBM traffic and are never encoded.
+func (p *RoutePlan) CollectiveCodecVecs(g int) (sent, recv int64) {
+	for peer := 0; peer < p.sys.Cfg.GPUs; peer++ {
+		if peer == g {
+			continue
+		}
+		sent += int64(p.CollectiveVecs(g, peer))
+		recv += int64(p.CollectiveVecs(peer, g))
+	}
+	return sent, recv
+}
+
+// OneSidedCodecVecs returns the vectors GPU g encodes (as an owner issuing
+// one-sided stores) and decodes (as a consumer, before expand/unpack) when a
+// wire codec is active. Node-wire routes ship each node-deduplicated row
+// once per destination node (counted once on the send side), and every
+// consumer on the node decodes the full staged set its expansion references.
+func (p *RoutePlan) OneSidedCodecVecs(g int) (sent, recv int64) {
+	s := p.sys
+	for d := 0; d < s.Cfg.GPUs; d++ {
+		if d == g {
+			continue
+		}
+		if p.Class(g, d) != RouteNodeWire {
+			sent += int64(p.CollectiveVecs(g, d))
+		}
+		if p.Class(d, g) == RouteNodeWire {
+			recv += p.Dedup.NodeUniq[d][s.nodeOf(g)]
+		} else {
+			recv += int64(p.CollectiveVecs(d, g))
+		}
+	}
+	if dv := p.Dedup; dv != nil && dv.NodeWire != nil {
+		for node, wire := range dv.NodeWire[g] {
+			if wire {
+				sent += dv.NodeUniq[g][node]
+			}
+		}
+	}
+	return sent, recv
+}
+
+// ReplicatedCodecVecs returns the vectors GPU g encodes (pairs the batch's
+// Serve matrix has it serving to REMOTE consumers) and decodes (pairs remote
+// GPUs serve to it) when a wire codec is active. Replicated runs only
+// (Serve != nil); consumer-local mirror reads never touch the wire.
+func (p *RoutePlan) ReplicatedCodecVecs(g int) (sent, recv int64) {
+	s := p.sys
+	glo, ghi := s.Minibatch(g)
+	for o := 0; o < s.Cfg.GPUs; o++ {
+		fgo := int64(s.LocalTables(o))
+		for c := 0; c < s.Cfg.GPUs; c++ {
+			if c != g && p.Serve[o][c] == g {
+				clo, chi := s.Minibatch(c)
+				sent += int64(chi-clo) * fgo
+			}
+		}
+		if p.Serve[o][g] != g {
+			recv += int64(ghi-glo) * fgo
+		}
+	}
+	return sent, recv
+}
+
 // GatherDedup reports whether the pair's owner-side gather stages each unique
 // row once and serves duplicate references from the staged working set
 // (timing model only; output data is unchanged).

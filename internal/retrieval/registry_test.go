@@ -49,10 +49,12 @@ func TestRegistryUnknownBackendListsNames(t *testing.T) {
 }
 
 // TestRegistryBitExactnessGate is the registry-driven correctness gate:
-// every registered backend, across the dedup × cache grid and on
-// single-node, 1-node-cluster and 2-node-cluster machines, must (a)
-// reproduce the serial Reference bit-exactly in functional mode and (b)
-// finish a timing-only run at exactly the functional run's simulated time.
+// every registered backend, across the wire-precision × dedup × cache grid
+// and on single-node, 1-node-cluster and 2-node-cluster machines, must (a)
+// reproduce the serial Reference bit-exactly in functional mode — the
+// reference reads the same quantized-at-rest tables, so reduced precisions
+// are held to byte identity, not an error tolerance — and (b) finish a
+// timing-only run at exactly the functional run's simulated time.
 // Registering a backend is what opts it into this gate — a new backend is
 // held to the invariants automatically.
 func TestRegistryBitExactnessGate(t *testing.T) {
@@ -68,70 +70,76 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 		for _, m := range machines {
 			registryFaultGate(t, name, m.name, m.hw)
 			registryPlacementGate(t, name, m.name, m.hw)
-			for _, dedup := range []bool{false, true} {
-				for _, cached := range []bool{false, true} {
-					label := fmt.Sprintf("%s/%s", name, m.name)
-					if dedup {
-						label += "+dedup"
-					}
-					if cached {
-						label += "+cache"
-					}
-					t.Run(label, func(t *testing.T) {
-						run := func(functional bool, depth int) *Result {
-							cfg := clusterTestConfig(4)
-							cfg.Dedup = dedup
-							cfg.Functional = functional
-							cfg.PipelineDepth = depth
-							if cached {
-								cfg.CacheFraction = 1e-8
-							}
-							s, err := NewSystem(cfg, m.hw)
-							if err != nil {
-								t.Fatal(err)
-							}
-							be, err := NewBackendByName(name)
-							if err != nil {
-								t.Fatal(err)
-							}
-							res, err := s.Run(be)
-							if err != nil {
-								t.Fatal(err)
-							}
-							if functional {
-								want := mustReference(t, s, res.LastBatch)
-								for g := range want {
-									if !tensor.Equal(res.Final[g], want[g]) {
-										t.Fatalf("depth %d: GPU %d differs from reference (max diff %g)",
-											depth, g, tensor.MaxAbsDiff(res.Final[g], want[g]))
+			for _, prec := range []Precision{FP32, FP16, Int8} {
+				for _, dedup := range []bool{false, true} {
+					for _, cached := range []bool{false, true} {
+						label := fmt.Sprintf("%s/%s", name, m.name)
+						if prec != FP32 {
+							label += "+" + prec.String()
+						}
+						if dedup {
+							label += "+dedup"
+						}
+						if cached {
+							label += "+cache"
+						}
+						t.Run(label, func(t *testing.T) {
+							run := func(functional bool, depth int) *Result {
+								cfg := clusterTestConfig(4)
+								cfg.WirePrecision = prec
+								cfg.Dedup = dedup
+								cfg.Functional = functional
+								cfg.PipelineDepth = depth
+								if cached {
+									cfg.CacheFraction = 1e-8
+								}
+								s, err := NewSystem(cfg, m.hw)
+								if err != nil {
+									t.Fatal(err)
+								}
+								be, err := NewBackendByName(name)
+								if err != nil {
+									t.Fatal(err)
+								}
+								res, err := s.Run(be)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if functional {
+									want := mustReference(t, s, res.LastBatch)
+									for g := range want {
+										if !tensor.Equal(res.Final[g], want[g]) {
+											t.Fatalf("depth %d: GPU %d differs from reference (max diff %g)",
+												depth, g, tensor.MaxAbsDiff(res.Final[g], want[g]))
+										}
 									}
 								}
+								return res
 							}
-							return res
-						}
-						// The gate holds at every pipeline depth: functional
-						// output == serial reference, timing run == functional
-						// run's simulated time, and the pipelined schedule's
-						// outputs are byte-identical to the serial schedule's.
-						fSerial := run(true, 1)
-						for _, depth := range []int{1, 2} {
-							fRes := fSerial
-							if depth > 1 {
-								fRes = run(true, depth)
-								for g := range fRes.Final {
-									if !tensor.Equal(fRes.Final[g], fSerial.Final[g]) {
-										t.Fatalf("depth %d: GPU %d differs from the depth-1 run (max diff %g)",
-											depth, g, tensor.MaxAbsDiff(fRes.Final[g], fSerial.Final[g]))
+							// The gate holds at every pipeline depth: functional
+							// output == serial reference, timing run == functional
+							// run's simulated time, and the pipelined schedule's
+							// outputs are byte-identical to the serial schedule's.
+							fSerial := run(true, 1)
+							for _, depth := range []int{1, 2} {
+								fRes := fSerial
+								if depth > 1 {
+									fRes = run(true, depth)
+									for g := range fRes.Final {
+										if !tensor.Equal(fRes.Final[g], fSerial.Final[g]) {
+											t.Fatalf("depth %d: GPU %d differs from the depth-1 run (max diff %g)",
+												depth, g, tensor.MaxAbsDiff(fRes.Final[g], fSerial.Final[g]))
+										}
 									}
 								}
+								tRes := run(false, depth)
+								if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
+									t.Errorf("depth %d: functional total %g != timing total %g",
+										depth, fRes.TotalTime, tRes.TotalTime)
+								}
 							}
-							tRes := run(false, depth)
-							if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
-								t.Errorf("depth %d: functional total %g != timing total %g",
-									depth, fRes.TotalTime, tRes.TotalTime)
-							}
-						}
-					})
+						})
+					}
 				}
 			}
 		}
@@ -148,11 +156,12 @@ func TestRegistryBitExactnessGate(t *testing.T) {
 //     outputs must still match the serial reference bit-exactly and a
 //     timing-only run must land on the functional run's simulated time.
 func registryFaultGate(t *testing.T, name, machine string, hw HardwareParams) {
-	run := func(t *testing.T, sched *fault.Schedule, replicas int, functional bool) *Result {
+	run := func(t *testing.T, sched *fault.Schedule, replicas int, functional bool, prec Precision) *Result {
 		t.Helper()
 		cfg := clusterTestConfig(4)
 		cfg.Functional = functional
 		cfg.Replicas = replicas
+		cfg.WirePrecision = prec
 		fhw := hw
 		fhw.Faults = sched
 		s, err := NewSystem(cfg, fhw)
@@ -178,17 +187,17 @@ func registryFaultGate(t *testing.T, name, machine string, hw HardwareParams) {
 		}
 		return res
 	}
-	timeGate := func(t *testing.T, sched *fault.Schedule, replicas int) {
-		fRes := run(t, sched, replicas, true)
-		tRes := run(t, sched, replicas, false)
+	timeGate := func(t *testing.T, sched *fault.Schedule, replicas int, prec Precision) {
+		fRes := run(t, sched, replicas, true, prec)
+		tRes := run(t, sched, replicas, false, prec)
 		if math.Abs(fRes.TotalTime-tRes.TotalTime) > 1e-9 {
 			t.Errorf("functional total %g != timing total %g", fRes.TotalTime, tRes.TotalTime)
 		}
 	}
 
 	t.Run(fmt.Sprintf("%s/%s+empty-schedule-identity", name, machine), func(t *testing.T) {
-		plain := run(t, nil, 0, true)
-		empty := run(t, &fault.Schedule{Seed: 1}, 1, true)
+		plain := run(t, nil, 0, true, FP32)
+		empty := run(t, &fault.Schedule{Seed: 1}, 1, true, FP32)
 		// Replicas 0 and 1 both mean "unreplicated" and are recorded in
 		// Result.Cfg; mask the echoed configs so the comparison covers the
 		// simulation outputs — times, breakdowns, traces, tensors, counters.
@@ -212,7 +221,7 @@ func registryFaultGate(t *testing.T, name, machine string, hw HardwareParams) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			timeGate(t, sched, 0)
+			timeGate(t, sched, 0, FP32)
 		})
 	}
 	if name == "pgas-overlap-only" {
@@ -223,7 +232,11 @@ func registryFaultGate(t *testing.T, name, machine string, hw HardwareParams) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		timeGate(t, nil, 2)
-		timeGate(t, sched, 2)
+		// All three wire precisions: replica failover re-routes pairs per
+		// batch, and quantize-at-rest must keep every routing byte-exact.
+		for _, prec := range []Precision{FP32, FP16, Int8} {
+			timeGate(t, nil, 2, prec)
+			timeGate(t, sched, 2, prec)
+		}
 	})
 }

@@ -135,6 +135,20 @@ func (b *Baseline) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, b
 	stream.Synchronize(p)
 	bk.Accumulate(CompSyncUnpack, p.Now()-syncStart)
 
+	// Owner-side wire encode of every remotely served segment.
+	if cfg.WireCodecActive() {
+		encStart := p.Now()
+		sent, _ := plan.ReplicatedCodecVecs(g)
+		if sent > 0 {
+			wvb := float64(cfg.WireVectorBytes())
+			enc := dev.EncodeKernelCost(float64(sent)*vb, float64(sent)*wvb)
+			_, encEnd := stream.Launch(p, enc)
+			p.WaitUntil(encEnd)
+			stream.Synchronize(p)
+		}
+		bk.Accumulate(CompComputation, p.Now()-encStart)
+	}
+
 	// --- Phase 2: all_to_all_single with Serve-derived segment sizes. The
 	// collective is stream-ordered behind the exchange gate under pipelining.
 	commStart := p.Now()
@@ -169,6 +183,7 @@ func (b *Baseline) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, b
 	} else {
 		sendBytes := scratchSlice(&sc.sendBytes, cfg.GPUs)
 		recvBytes := scratchSlice(&sc.recvBytes, cfg.GPUs)
+		wvb := float64(cfg.WireVectorBytes())
 		for peer := 0; peer < cfg.GPUs; peer++ {
 			sendBytes[peer] = 0
 			recvBytes[peer] = 0
@@ -178,10 +193,10 @@ func (b *Baseline) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, b
 			plo, phi := s.Minibatch(peer)
 			for o := 0; o < cfg.GPUs; o++ {
 				if plan.Serve[o][peer] == g {
-					sendBytes[peer] += float64((phi-plo)*s.LocalTables(o)) * vb
+					sendBytes[peer] += float64((phi-plo)*s.LocalTables(o)) * wvb
 				}
 				if plan.Serve[o][g] == peer {
-					recvBytes[peer] += float64(mini*s.LocalTables(o)) * vb
+					recvBytes[peer] += float64(mini*s.LocalTables(o)) * wvb
 				}
 			}
 		}
@@ -191,6 +206,17 @@ func (b *Baseline) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, b
 
 	// --- Phase 3: unpack the remotely served segments into the final layout.
 	unpackStart := p.Now()
+	// Consumer-side wire decode of every remotely served segment (runs under
+	// DirectPlacement too — the ablation removes only the rearrangement).
+	if cfg.WireCodecActive() {
+		if _, recv := plan.ReplicatedCodecVecs(g); recv > 0 {
+			wvb := float64(cfg.WireVectorBytes())
+			dec := dev.DecodeKernelCost(float64(recv)*wvb, float64(recv)*vb)
+			_, decEnd := stream.Launch(p, dec)
+			p.WaitUntil(decEnd)
+			stream.Synchronize(p)
+		}
+	}
 	if !b.DirectPlacement {
 		var remoteBytes float64
 		segments := 0
@@ -252,9 +278,18 @@ func (b *PGASFused) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, 
 	plan := bd.Plan
 	vecBytes := cfg.VectorBytes()
 	fvb := float64(vecBytes)
+	wireVecBytes := cfg.WireVectorBytes()
 
 	batchStart := p.Now()
 	p.Wait(dev.Params().KernelLaunch)
+
+	// Owner-side wire encode of every remotely served vector, folded into
+	// the fused window like the dense path's.
+	if cfg.WireCodecActive() {
+		if sent, _ := plan.ReplicatedCodecVecs(g); sent > 0 {
+			p.Wait(dev.EncodeKernelCost(float64(sent)*fvb, float64(sent)*float64(wireVecBytes)))
+		}
+	}
 
 	// Occupancy is set by every vector this GPU serves across the batch; the
 	// per-peer store overhead covers only consumers actually served remotely.
@@ -337,13 +372,24 @@ func (b *PGASFused) runReplicated(s *System, p *sim.Proc, g int, bd *BatchData, 
 				}
 			}
 			if vecs > 0 {
-				pe.PutVectors(s.PGAS.PE(c), vecs, vecBytes)
+				pe.PutVectors(s.PGAS.PE(c), vecs, wireVecBytes)
 			}
 		}
 	}
 
 	pe.QuietSlot(p, bd.Slot)
 	bk.Accumulate(CompFused, p.Now()-batchStart)
+
+	// Consumer-side wire decode of everything remotely served to this GPU.
+	if cfg.WireCodecActive() {
+		decStart := p.Now()
+		if _, recv := plan.ReplicatedCodecVecs(g); recv > 0 {
+			dec := dev.DecodeKernelCost(float64(recv)*float64(wireVecBytes), float64(recv)*fvb)
+			_, decEnd := stream.Launch(p, dec)
+			p.WaitUntil(decEnd)
+		}
+		bk.Accumulate(CompSyncUnpack, p.Now()-decStart)
+	}
 
 	syncStart := p.Now()
 	stream.Synchronize(p)

@@ -13,6 +13,7 @@ import (
 	"pgasemb/internal/placement"
 	"pgasemb/internal/sim"
 	"pgasemb/internal/sparse"
+	"pgasemb/internal/tensor"
 	"pgasemb/internal/workload"
 )
 
@@ -238,6 +239,14 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 			return nil, fmt.Errorf("retrieval: wiring communicator: %w", err)
 		}
 	}
+	if cfg.WireCodecActive() {
+		// Reduced wire precision: every whole-row payload on the PGAS and
+		// collective transports is accounted at the encoded size. Gradient
+		// and partial-sum traffic (AtomicAdd, reduce-scatter) never flows
+		// through these row-shaped paths and stays fp32.
+		s.Comm.SetVectorCodec(cfg.Dim, cfg.WireVectorBytes())
+		s.PGAS.SetVectorCodec(cfg.Dim, cfg.WireVectorBytes())
+	}
 	if slots := cfg.PipelineSlots(); slots > 1 {
 		// Double-buffered symmetric heap: each PE's staging region is split
 		// into per-slot halves, so quiet can retire one slot's stores while
@@ -282,6 +291,23 @@ func (spec *SystemSpec) NewRunWithSeed(seed uint64) (*System, error) {
 					rowsPer[i] = cfg.tableRows(fid)
 				}
 				s.colls = append(s.colls, embedding.NewCollectionWithRows(spec.plan[g], rowsPer, cfg.Dim, cfg.Pooling, wrng))
+			}
+		}
+		if cfg.WireCodecActive() {
+			// Quantize-at-rest: round-trip every table through the wire codec
+			// once, so each consumer — local or remote, cached or not, and
+			// the serial Reference — observes identical post-codec values
+			// regardless of which route (store, collective, replica failover,
+			// post-rebalance owner) delivered the row. See internal/tensor.
+			for _, coll := range s.colls {
+				for _, tbl := range coll.Tables {
+					switch cfg.WirePrecision {
+					case FP16:
+						tensor.RoundTripFloat16(tbl.Weights.Data())
+					case Int8:
+						tensor.RoundTripInt8Rows(tbl.Weights.Data(), cfg.Dim)
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Wire codecs for reduced-precision embedding transport. Both codecs are
+// pure bits-level integer and exact IEEE arithmetic — no FMA, no libm
+// approximations — so a round trip is deterministic across architectures.
+// The retrieval layer applies the codec to table weights once at rest
+// (decode-on-read, the model of fp16-serving parameter servers) rather than
+// per transfer: every consumer — local or remote, cached or not, and the
+// serial Reference — then observes identical post-codec values, which is
+// what keeps the bit-exactness gate intact when replica failover or
+// adaptive placement re-routes a row mid-run. For fp16 the two views
+// coincide exactly (the round trip is idempotent: a round-tripped value has
+// no bits left to drop); for int8 a per-transfer re-encode could differ in
+// the last ulp of the row scale, so at-rest is the defined semantics.
+
+// Float32ToFloat16Bits converts f to the nearest IEEE-754 binary16 bit
+// pattern: round-to-nearest-even, overflow to infinity, gradual underflow to
+// binary16 subnormals, NaN preserved (quietened, payload truncated).
+func Float32ToFloat16Bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16((b >> 16) & 0x8000)
+	exp := int((b >> 23) & 0xff)
+	man := b & 0x007fffff
+	if exp == 0xff { // Inf or NaN
+		if man == 0 {
+			return sign | 0x7c00
+		}
+		return sign | 0x7e00 | uint16(man>>13)
+	}
+	e := exp - 127 + 15
+	if e >= 0x1f { // overflow to infinity
+		return sign | 0x7c00
+	}
+	if e <= 0 { // binary16 subnormal or zero
+		if e < -10 {
+			return sign // underflow to signed zero
+		}
+		man |= 0x00800000 // make the leading bit explicit
+		shift := uint(14 - e)
+		half := man >> shift
+		round := uint32(1) << (shift - 1)
+		if man&round != 0 && (man&(round-1) != 0 || half&1 != 0) {
+			half++ // may carry into the smallest normal, which is correct
+		}
+		return sign | uint16(half)
+	}
+	half := sign | uint16(e)<<10 | uint16(man>>13)
+	if man&0x1000 != 0 && (man&0x0fff != 0 || man&0x2000 != 0) {
+		half++ // mantissa carry rolls into the exponent (up to infinity)
+	}
+	return half
+}
+
+// Float16BitsToFloat32 converts a binary16 bit pattern to the float32 with
+// the same value (every binary16 value is exactly representable in binary32).
+func Float16BitsToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | man<<13)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		n := uint32(bits.Len32(man)) // normalize the subnormal
+		return math.Float32frombits(sign | (n+102)<<23 | (man<<(24-n))&0x007fffff)
+	}
+	return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+}
+
+// RoundTripFloat16 replaces every element with its fp32→fp16→fp32 round
+// trip — the values a consumer sees after fp16 wire transport.
+func RoundTripFloat16(data []float32) {
+	for i, v := range data {
+		data[i] = Float16BitsToFloat32(Float32ToFloat16Bits(v))
+	}
+}
+
+// Int8RowScale returns the per-row absmax scale of the int8 codec: absmax/127
+// over the finite elements, 0 for an all-zero row, NaN when the row contains
+// any non-finite element (the whole row decodes to NaN — quantizing an
+// Inf/NaN lane to a number would silently hide corruption).
+func Int8RowScale(row []float32) float32 {
+	var max float32
+	finite := true
+	for _, v := range row {
+		a := math.Float32bits(v) &^ 0x80000000 // |v| by bit masking
+		if a >= 0x7f800000 {
+			finite = false
+			break
+		}
+		if av := math.Float32frombits(a); av > max {
+			max = av
+		}
+	}
+	if !finite {
+		return float32(math.NaN())
+	}
+	return max / 127
+}
+
+// QuantizeInt8 quantizes v against a row scale: round-half-away-from-zero,
+// clamped to [-127, 127]. A zero or NaN scale quantizes everything to 0 (the
+// scale alone carries the row's value in those cases).
+func QuantizeInt8(v, scale float32) int8 {
+	if !(scale > 0) { // zero row or NaN-poisoned scale
+		return 0
+	}
+	r := float64(v) / float64(scale)
+	if r != r { // NaN lane against a finite scale (direct misuse)
+		return 0
+	}
+	q := math.Floor(math.Abs(r) + 0.5)
+	if q > 127 {
+		q = 127
+	}
+	if r < 0 {
+		q = -q
+	}
+	return int8(q)
+}
+
+// EncodeInt8Row quantizes one row into dst (len(dst) >= len(row)) and
+// returns the row's scale.
+func EncodeInt8Row(row []float32, dst []int8) float32 {
+	scale := Int8RowScale(row)
+	for i, v := range row {
+		dst[i] = QuantizeInt8(v, scale)
+	}
+	return scale
+}
+
+// DecodeInt8Row dequantizes src into dst (len(dst) >= len(src)).
+func DecodeInt8Row(src []int8, scale float32, dst []float32) {
+	for i, q := range src {
+		dst[i] = float32(q) * scale
+	}
+}
+
+// RoundTripInt8Rows replaces every dim-length row of data with its int8
+// round trip under the per-row absmax codec; len(data) must be a multiple
+// of dim.
+func RoundTripInt8Rows(data []float32, dim int) {
+	if dim <= 0 || len(data)%dim != 0 {
+		panic("tensor: RoundTripInt8Rows needs data to be whole dim-length rows")
+	}
+	for r := 0; r < len(data); r += dim {
+		row := data[r : r+dim]
+		scale := Int8RowScale(row)
+		for i, v := range row {
+			row[i] = float32(QuantizeInt8(v, scale)) * scale
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// fp16Cases pins notable binary16 encodings bit-for-bit.
+var fp16Cases = []struct {
+	name string
+	in   float32
+	bits uint16
+}{
+	{"zero", 0, 0x0000},
+	{"neg-zero", float32(math.Copysign(0, -1)), 0x8000},
+	{"one", 1, 0x3c00},
+	{"two", 2, 0x4000},
+	{"half", 0.5, 0x3800},
+	{"neg-one", -1, 0xbc00},
+	{"max-normal", 65504, 0x7bff},
+	{"overflow-to-inf", 65536, 0x7c00},
+	{"large-overflow", 1e30, 0x7c00},
+	{"neg-overflow", -1e30, 0xfc00},
+	{"inf", float32(math.Inf(1)), 0x7c00},
+	{"neg-inf", float32(math.Inf(-1)), 0xfc00},
+	{"smallest-normal", 6.103515625e-05, 0x0400},          // 2^-14
+	{"largest-subnormal", 6.097555160522461e-05, 0x03ff},  // (1023/1024)·2^-14
+	{"smallest-subnormal", 5.960464477539063e-08, 0x0001}, // 2^-24
+	{"underflow-to-zero", 1e-9, 0x0000},
+	{"neg-underflow", -1e-9, 0x8000},
+}
+
+func TestFloat16BitsExact(t *testing.T) {
+	for _, c := range fp16Cases {
+		if got := Float32ToFloat16Bits(c.in); got != c.bits {
+			t.Errorf("%s: Float32ToFloat16Bits(%g) = %#04x, want %#04x", c.name, c.in, got, c.bits)
+		}
+	}
+}
+
+func TestFloat16NaNPropagates(t *testing.T) {
+	h := Float32ToFloat16Bits(float32(math.NaN()))
+	if h&0x7c00 != 0x7c00 || h&0x03ff == 0 {
+		t.Fatalf("NaN encoded as %#04x, not a binary16 NaN", h)
+	}
+	back := Float16BitsToFloat32(h)
+	if back == back {
+		t.Fatalf("decoded NaN compares equal to itself: %v", back)
+	}
+}
+
+// TestFloat16RoundToNearestEven pins the tie-breaking direction: a value
+// exactly halfway between two binary16 neighbours rounds to the even one.
+func TestFloat16RoundToNearestEven(t *testing.T) {
+	cases := []struct {
+		in   float32
+		bits uint16
+	}{
+		// 1 + 2^-11 is exactly between 1.0 (0x3c00, even) and 1+2^-10 (0x3c01).
+		{1 + 0x1p-11, 0x3c00},
+		// 1 + 3·2^-11 is between 1+2^-10 (0x3c01) and 1+2^-9 (0x3c02, even).
+		{1 + 3*0x1p-11, 0x3c02},
+		// Just above the tie rounds up regardless of parity.
+		{1 + 0x1p-11 + 0x1p-20, 0x3c01},
+	}
+	for _, c := range cases {
+		if got := Float32ToFloat16Bits(c.in); got != c.bits {
+			t.Errorf("Float32ToFloat16Bits(%x) = %#04x, want %#04x", c.in, got, c.bits)
+		}
+	}
+}
+
+// TestFloat16RoundTripAllBitPatterns decodes every one of the 65536 binary16
+// bit patterns and re-encodes it: the round trip must reproduce the pattern
+// (idempotence), and every decode must be exact. This covers normals,
+// subnormals, zeros and infinities without sampling.
+func TestFloat16RoundTripAllBitPatterns(t *testing.T) {
+	for u := 0; u < 1<<16; u++ {
+		h := uint16(u)
+		if h&0x7c00 == 0x7c00 && h&0x03ff != 0 {
+			continue // NaN payloads are quietened, not preserved bit-for-bit
+		}
+		f := Float16BitsToFloat32(h)
+		if got := Float32ToFloat16Bits(f); got != h {
+			t.Fatalf("round trip %#04x -> %g -> %#04x", h, f, got)
+		}
+	}
+}
+
+// TestFloat16ErrorBound verifies the wire-precision error bound the
+// retrieval layer advertises: |x - fp16(x)| <= 2^-10 · absmax for every
+// element of a row, absmax taken over the row.
+func TestFloat16ErrorBound(t *testing.T) {
+	rng := newTestRNG(41)
+	for trial := 0; trial < 100; trial++ {
+		row := make([]float32, 64)
+		var absmax float64
+		for i := range row {
+			row[i] = float32((rng.next() - 0.5) * 4)
+			if a := math.Abs(float64(row[i])); a > absmax {
+				absmax = a
+			}
+		}
+		for _, x := range row {
+			y := Float16BitsToFloat32(Float32ToFloat16Bits(x))
+			if err := math.Abs(float64(y) - float64(x)); err > absmax/1024 {
+				t.Fatalf("fp16 error %g exceeds 2^-10·absmax = %g (x=%g)", err, absmax/1024, x)
+			}
+		}
+	}
+}
+
+func TestInt8AllZeroRow(t *testing.T) {
+	row := make([]float32, 16)
+	q := make([]int8, 16)
+	scale := EncodeInt8Row(row, q)
+	if scale != 0 {
+		t.Fatalf("all-zero row scale = %g, want 0", scale)
+	}
+	out := make([]float32, 16)
+	DecodeInt8Row(q, scale, out)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("element %d decoded to %g, want 0", i, v)
+		}
+	}
+}
+
+func TestInt8NaNPoisonsRow(t *testing.T) {
+	for _, bad := range []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))} {
+		row := []float32{1, 2, bad, 4}
+		q := make([]int8, len(row))
+		scale := EncodeInt8Row(row, q)
+		if scale == scale {
+			t.Fatalf("row with %v produced finite scale %g, want NaN", bad, scale)
+		}
+		out := make([]float32, len(row))
+		DecodeInt8Row(q, scale, out)
+		for i, v := range out {
+			if v == v {
+				t.Fatalf("element %d decoded to non-NaN %g after poisoned scale", i, v)
+			}
+		}
+	}
+}
+
+// TestInt8ErrorBound verifies the advertised bound: each element's round-trip
+// error is at most absmax/127 (in fact absmax/254, half a quantization step).
+func TestInt8ErrorBound(t *testing.T) {
+	rng := newTestRNG(43)
+	for trial := 0; trial < 100; trial++ {
+		row := make([]float32, 64)
+		var absmax float64
+		for i := range row {
+			row[i] = float32((rng.next() - 0.5) * 8)
+			if a := math.Abs(float64(row[i])); a > absmax {
+				absmax = a
+			}
+		}
+		q := make([]int8, len(row))
+		scale := EncodeInt8Row(row, q)
+		out := make([]float32, len(row))
+		DecodeInt8Row(q, scale, out)
+		for i := range row {
+			if err := math.Abs(float64(out[i]) - float64(row[i])); err > absmax/127 {
+				t.Fatalf("int8 error %g exceeds absmax/127 = %g (x=%g)", err, absmax/127, row[i])
+			}
+		}
+	}
+}
+
+// TestInt8RoundHalfAwayFromZero pins the quantizer's rounding rule so the
+// codec cannot silently drift across Go or hardware versions.
+func TestInt8RoundHalfAwayFromZero(t *testing.T) {
+	cases := []struct {
+		v, scale float32
+		q        int8
+	}{
+		{1.5, 1, 2},
+		{-1.5, 1, -2},
+		{2.5, 1, 3},
+		{0.49, 1, 0},
+		{200, 1, 127}, // clamp
+		{-200, 1, -127},
+	}
+	for _, c := range cases {
+		if got := QuantizeInt8(c.v, c.scale); got != c.q {
+			t.Errorf("QuantizeInt8(%g, %g) = %d, want %d", c.v, c.scale, got, c.q)
+		}
+	}
+}
+
+// TestRoundTripDeterminism re-runs both round trips on the same pseudo-random
+// data and requires bit-identical results — the codecs may not depend on
+// anything but their inputs.
+func TestRoundTripDeterminism(t *testing.T) {
+	const dim = 16
+	base := make([]float32, 8*dim)
+	rng := newTestRNG(47)
+	for i := range base {
+		base[i] = float32((rng.next() - 0.5) * 2)
+	}
+	run16 := func() []float32 {
+		d := append([]float32(nil), base...)
+		RoundTripFloat16(d)
+		return d
+	}
+	run8 := func() []float32 {
+		d := append([]float32(nil), base...)
+		RoundTripInt8Rows(d, dim)
+		return d
+	}
+	a16, b16 := run16(), run16()
+	a8, b8 := run8(), run8()
+	for i := range base {
+		if math.Float32bits(a16[i]) != math.Float32bits(b16[i]) {
+			t.Fatalf("fp16 round trip not deterministic at %d", i)
+		}
+		if math.Float32bits(a8[i]) != math.Float32bits(b8[i]) {
+			t.Fatalf("int8 round trip not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRoundTripInt8RowsRejectsPartialRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partial row accepted")
+		}
+	}()
+	RoundTripInt8Rows(make([]float32, 10), 4)
+}
+
+// newTestRNG is a tiny xorshift generator so codec tests do not depend on
+// math/rand's sequence stability.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed*2685821657736338717 + 1} }
+
+func (r *testRNG) next() float64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return float64(r.s>>11) / float64(1<<53)
+}

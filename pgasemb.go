@@ -291,6 +291,50 @@ func RunCommVolumeContext(ctx context.Context, kind ScalingKind, gpus, bins int,
 	return experiments.RunCommVolumeContext(ctx, kind, gpus, bins, opts)
 }
 
+// Precision selects the wire transport format for embedding rows
+// (Config.WirePrecision): fp32 passthrough, fp16 half floats, or int8 with a
+// per-row absmax scale. Tables and pooled outputs stay fp32; only whole-row
+// transfers over NVLink and the NIC are compressed.
+type Precision = retrieval.Precision
+
+// Wire precisions (Config.WirePrecision).
+const (
+	// WireFP32 ships rows uncompressed (the default).
+	WireFP32 = retrieval.FP32
+	// WireFP16 ships rows as IEEE half floats: 2 bytes per element,
+	// worst-case per-element error 2^-10 times the element magnitude.
+	WireFP16 = retrieval.FP16
+	// WireInt8 ships rows as per-row absmax-scaled int8: 1 byte per element
+	// plus a 4-byte scale, worst-case error absmax/127 per row.
+	WireInt8 = retrieval.Int8
+)
+
+// ParsePrecision maps "fp32", "fp16" or "int8" (or "") to a Precision.
+func ParsePrecision(s string) (Precision, error) { return retrieval.ParsePrecision(s) }
+
+// Wire-precision sweep types.
+type (
+	// PrecisionOptions tunes the backend × dedup × precision sweep.
+	PrecisionOptions = experiments.PrecisionOptions
+	// PrecisionResult is the sweep's cell grid plus measured output errors.
+	PrecisionResult = experiments.PrecisionResult
+	// PrecisionPoint is one (backend, dedup, precision) timing run.
+	PrecisionPoint = experiments.PrecisionPoint
+)
+
+// RunPrecision executes the wire-precision sweep: every (backend, dedup,
+// precision) cell is a timing run on the same seed, with communication
+// volume, NIC traffic and measured worst-case output error alongside the
+// speedups.
+func RunPrecision(opts PrecisionOptions) (*PrecisionResult, error) {
+	return experiments.RunPrecision(opts)
+}
+
+// RunPrecisionContext is RunPrecision with cancellation.
+func RunPrecisionContext(ctx context.Context, opts PrecisionOptions) (*PrecisionResult, error) {
+	return experiments.RunPrecisionContext(ctx, opts)
+}
+
 // Multi-node sweep types.
 type (
 	// MultiNodeOptions tunes the multi-node scaling sweep (node count,
